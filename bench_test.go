@@ -1,0 +1,173 @@
+package janus_test
+
+// bench_test.go holds one testing.B benchmark per table and figure of the
+// paper's evaluation (regenerating the artifact through the experiment
+// harness) plus micro-benchmarks of the core operations whose costs the
+// paper reports: single-tuple insert/delete maintenance, query latency,
+// and partitioning.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-artifact benchmarks print their table through b.Log on the first
+// iteration, so -v (or the harness) shows the regenerated rows.
+
+import (
+	"io"
+	"testing"
+
+	janus "janusaqp"
+	"janusaqp/internal/experiments"
+	"janusaqp/internal/workload"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Rows: 60000, Queries: 200, Seed: 1}
+}
+
+func runExperiment(b *testing.B, fn func(experiments.Options) (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := fn(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			tbl.Fprint(io.Discard)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (accuracy/latency over 3 datasets).
+func BenchmarkTable2(b *testing.B) { runExperiment(b, experiments.RunTable2) }
+
+// BenchmarkFigure5Throughput regenerates Figure 5 (update throughput and
+// re-optimization cost).
+func BenchmarkFigure5Throughput(b *testing.B) { runExperiment(b, experiments.RunFigure5) }
+
+// BenchmarkFigure6Deletions regenerates Figure 6 (error vs deletion rate).
+func BenchmarkFigure6Deletions(b *testing.B) { runExperiment(b, experiments.RunFigure6) }
+
+// BenchmarkFigure7Catchup regenerates Figure 7 (catch-up goal sweep).
+func BenchmarkFigure7Catchup(b *testing.B) { runExperiment(b, experiments.RunFigure7) }
+
+// BenchmarkFigure8Templates regenerates Figure 8 (dynamic query templates).
+func BenchmarkFigure8Templates(b *testing.B) { runExperiment(b, experiments.RunFigure8) }
+
+// BenchmarkFigure9MultiDim regenerates Figure 9 (5-D templates).
+func BenchmarkFigure9MultiDim(b *testing.B) { runExperiment(b, experiments.RunFigure9) }
+
+// BenchmarkFigure10Repartition regenerates Figure 10 (re-partitioning vs
+// static DPT under skew).
+func BenchmarkFigure10Repartition(b *testing.B) { runExperiment(b, experiments.RunFigure10) }
+
+// BenchmarkTable3Partitioning regenerates Table 3 (BS vs DP optimizers).
+func BenchmarkTable3Partitioning(b *testing.B) { runExperiment(b, experiments.RunTable3) }
+
+// BenchmarkTable4Samplers regenerates Table 4 (broker samplers).
+func BenchmarkTable4Samplers(b *testing.B) { runExperiment(b, experiments.RunTable4) }
+
+// BenchmarkAblationBeta sweeps the re-partitioning threshold.
+func BenchmarkAblationBeta(b *testing.B) { runExperiment(b, experiments.RunAblationBeta) }
+
+// BenchmarkAblationIndexes compares the range-aggregate backends.
+func BenchmarkAblationIndexes(b *testing.B) { runExperiment(b, experiments.RunAblationIndexes) }
+
+// BenchmarkAblationCatchupSeed measures pooled-sample seeding.
+func BenchmarkAblationCatchupSeed(b *testing.B) { runExperiment(b, experiments.RunAblationCatchupSeed) }
+
+// BenchmarkAblationPartialRepartition compares full vs partial rebuilds.
+func BenchmarkAblationPartialRepartition(b *testing.B) {
+	runExperiment(b, experiments.RunAblationPartialRepartition)
+}
+
+// BenchmarkAblationHistogram compares a fixed equi-width histogram under
+// domain drift.
+func BenchmarkAblationHistogram(b *testing.B) {
+	runExperiment(b, experiments.RunAblationHistogram)
+}
+
+// --- micro-benchmarks -------------------------------------------------------
+
+func benchEngine(b *testing.B, rows int) (*janus.Engine, []janus.Tuple) {
+	b.Helper()
+	tuples, err := workload.Generate(workload.NYCTaxi, rows, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	br := janus.NewBroker()
+	for _, t := range tuples {
+		br.PublishInsert(t)
+	}
+	eng := janus.NewEngine(janus.Config{LeafNodes: 128, SampleRate: 0.01, CatchUpRate: 0.10, Seed: 1}, br)
+	if err := eng.AddTemplate(janus.Template{
+		Name: "main", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return eng, tuples
+}
+
+// BenchmarkInsert measures single-tuple synopsis maintenance (the
+// per-request cost behind Figure 5's throughput).
+func BenchmarkInsert(b *testing.B) {
+	eng, _ := benchEngine(b, 50000)
+	fresh, _ := workload.Generate(workload.NYCTaxi, b.N, 10_000_000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Insert(fresh[i])
+	}
+}
+
+// BenchmarkDelete measures single-tuple deletion maintenance.
+func BenchmarkDelete(b *testing.B) {
+	eng, _ := benchEngine(b, 50000)
+	fresh, _ := workload.Generate(workload.NYCTaxi, b.N, 20_000_000, 3)
+	for _, t := range fresh {
+		eng.Insert(t)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Delete(fresh[i].ID)
+	}
+}
+
+// BenchmarkQuerySum measures end-to-end query latency (Table 2's
+// ms/query column for JanusAQP).
+func BenchmarkQuerySum(b *testing.B) {
+	eng, tuples := benchEngine(b, 50000)
+	gen := workload.NewQueryGen(4, tuples, []int{0})
+	queries := gen.Workload(256, janus.FuncSum)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query("main", queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryAvg measures AVG latency (two-estimator path).
+func BenchmarkQueryAvg(b *testing.B) {
+	eng, tuples := benchEngine(b, 50000)
+	gen := workload.NewQueryGen(5, tuples, []int{0})
+	queries := gen.Workload(256, janus.FuncAvg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query("main", queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReinitialize measures the full 5-step re-initialization
+// (Figure 5 right, Janus line).
+func BenchmarkReinitialize(b *testing.B) {
+	eng, _ := benchEngine(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Reinitialize("main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command janusql is an interactive approximate-SQL shell over a streaming
+// dataset — the "low-latency SQL interface for approximate aggregate
+// queries" of the paper's introduction.
+//
+// It loads a synthetic dataset, keeps streaming the remainder in the
+// background while you type, and answers statements like
+//
+//	SELECT SUM(tripDistance) FROM trips WHERE pickupTime BETWEEN 0 AND 86400
+//	SELECT AVG(fareAmount) FROM trips WITH CONFIDENCE 0.99
+//	SELECT COUNT(*) FROM trips WHERE pickupTime >= 43200
+//
+// Type \help for the schema and \quit to exit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	janus "janusaqp"
+	"janusaqp/internal/workload"
+)
+
+func main() {
+	rows := flag.Int("rows", 150000, "dataset size")
+	flag.Parse()
+
+	tuples, err := workload.Generate(workload.NYCTaxi, *rows, 0, 21)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	initial := *rows / 2
+	b := janus.NewBroker()
+	for _, t := range tuples[:initial] {
+		b.PublishInsert(t)
+	}
+	eng := janus.NewEngine(janus.Config{
+		LeafNodes:       128,
+		SampleRate:      0.01,
+		CatchUpRate:     0.10,
+		AutoRepartition: true,
+		Seed:            21,
+	}, b)
+	if err := eng.AddTemplate(janus.Template{
+		Name:          "trips",
+		PredicateDims: []int{0},
+		AggIndex:      0,
+		Agg:           janus.Sum,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := eng.RegisterSchema("trips", janus.TableSchema{
+		Table:    "trips",
+		PredCols: []string{"pickupTime"},
+		AggCols:  []string{"tripDistance", "fareAmount", "passengerCount"},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Stream the second half in the background while the shell is live.
+	var streamed int
+	var mu sync.Mutex
+	go func() {
+		for _, t := range tuples[initial:] {
+			eng.Insert(t)
+			eng.PumpCatchUp()
+			mu.Lock()
+			streamed++
+			mu.Unlock()
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	fmt.Printf("janusql — %d rows loaded, %d streaming in the background\n", initial, *rows-initial)
+	fmt.Println(`table trips(pickupTime | tripDistance, fareAmount, passengerCount); \help for help`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("janusql> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\help`:
+			fmt.Println("SELECT SUM|COUNT|AVG|MIN|MAX|VARIANCE|STDDEV(col|*) FROM trips")
+			fmt.Println("  [WHERE pickupTime <op> x [AND ...]] [WITH CONFIDENCE 0.xx]")
+			continue
+		case line == `\status`:
+			mu.Lock()
+			n := streamed
+			mu.Unlock()
+			fmt.Printf("streamed %d/%d, catch-up %.0f%%, reinits %d, synopsis %.1f KB\n",
+				n, *rows-initial, eng.CatchUpProgress("trips")*100,
+				eng.Reinits, float64(eng.SynopsisBytes("trips"))/1024)
+			continue
+		}
+		start := time.Now()
+		res, err := eng.QuerySQL(line)
+		lat := time.Since(start)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		if res.Interval.HalfWidth > 0 {
+			fmt.Printf("%.4f  ±%.4f  (95%% CI [%.4f, %.4f], %v)\n",
+				res.Estimate, res.Interval.HalfWidth, res.Interval.Lo(), res.Interval.Hi(), lat)
+		} else {
+			fmt.Printf("%.4f  (%v)\n", res.Estimate, lat)
+		}
+	}
+}

@@ -1,0 +1,456 @@
+package janus
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"janusaqp/internal/core"
+	"janusaqp/internal/data"
+	"janusaqp/internal/geom"
+	"janusaqp/internal/kdindex"
+	"janusaqp/internal/maxvar"
+	"janusaqp/internal/partition"
+)
+
+// oracleEntry adapts a sample tuple to the max-variance index entry type.
+func oracleEntry(p geom.Point, val float64, id int64) kdindex.Entry {
+	return kdindex.Entry{Point: p, Val: val, ID: id}
+}
+
+// Engine manages a collection of DPT synopses — one per query template —
+// maintaining them under the broker's insert/delete streams, driving
+// catch-up processing, and re-optimizing partitionings when triggers fire
+// (Figure 1 of the paper).
+//
+// Engine methods are safe for concurrent use.
+type Engine struct {
+	mu     sync.Mutex
+	cfg    Config
+	broker *Broker
+	rng    *rand.Rand
+	syns   map[string]*synopsis
+
+	// Reinits counts completed re-initializations across all templates.
+	Reinits int
+	// TriggersFired counts trigger evaluations that led to a candidate
+	// partitioning being computed.
+	TriggersFired int
+	// TriggersRejected counts candidates whose improvement fell short of
+	// the β bar and were discarded.
+	TriggersRejected int
+
+	updatesSinceTriggerCheck int
+}
+
+// PartialRepartitions returns the total Appendix E subtree rebuilds across
+// all templates.
+func (e *Engine) PartialRepartitions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	total := 0
+	for _, s := range e.syns {
+		total += s.dpt.PartialRepartitions
+	}
+	return total
+}
+
+type synopsis struct {
+	tmpl   Template
+	dpt    *core.DPT
+	schema *TableSchema // optional SQL schema (see RegisterSchema)
+}
+
+// NewEngine returns an engine over the broker's data. Add templates with
+// AddTemplate before querying.
+func NewEngine(cfg Config, b *Broker) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:    cfg,
+		broker: b,
+		rng:    rand.New(rand.NewSource(cfg.Seed + 1000)),
+		syns:   make(map[string]*synopsis),
+	}
+}
+
+// Broker returns the engine's streaming substrate.
+func (e *Engine) Broker() *Broker { return e.broker }
+
+// AddTemplate builds a synopsis for the template from the data currently in
+// archival storage (initialization, Section 4.3), including its catch-up
+// phase up to the configured rate.
+func (e *Engine) AddTemplate(t Template) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t.Name == "" {
+		return fmt.Errorf("janus: template needs a name")
+	}
+	if _, dup := e.syns[t.Name]; dup {
+		return fmt.Errorf("janus: duplicate template %q", t.Name)
+	}
+	if len(t.PredicateDims) == 0 {
+		return fmt.Errorf("janus: template %q needs at least one predicate attribute", t.Name)
+	}
+	dpt, err := e.buildSynopsis(t)
+	if err != nil {
+		return err
+	}
+	e.syns[t.Name] = &synopsis{tmpl: t, dpt: dpt}
+	return nil
+}
+
+// buildSynopsis runs initialization for one template: sample the archive,
+// optimize the partitioning, populate approximate statistics, and run
+// catch-up to the configured rate. Caller holds e.mu.
+func (e *Engine) buildSynopsis(t Template) (*core.DPT, error) {
+	n := e.broker.Archive().Len()
+	if n == 0 {
+		return nil, fmt.Errorf("janus: cannot initialize template %q from an empty archive", t.Name)
+	}
+	m := int(e.cfg.SampleRate * float64(n))
+	if m < e.cfg.MinSamples {
+		m = e.cfg.MinSamples
+	}
+	pooled := e.broker.Archive().SampleUniform(2*m, e.rng)
+	numVals := e.cfg.NumVals
+	if numVals <= 0 && len(pooled) > 0 {
+		numVals = len(pooled[0].Vals)
+	}
+	cfg := core.Config{
+		PredicateDims:    t.PredicateDims,
+		Dims:             len(t.PredicateDims),
+		NumVals:          numVals,
+		AggIndex:         t.AggIndex,
+		Agg:              t.Agg,
+		K:                e.cfg.LeafNodes,
+		SampleLowerBound: m,
+		Beta:             e.cfg.Beta,
+		Seed:             e.cfg.Seed,
+	}
+	bp := e.optimize(t, cfg, pooled, n)
+	snapshot := e.snapshotArchive()
+	dpt := core.New(cfg, bp, pooled, n, snapshot, e.resampler())
+	dpt.CatchUpTarget(e.cfg.CatchUpRate)
+	return dpt, nil
+}
+
+// optimize computes a partition blueprint for the template from a pooled
+// sample (step 1 of re-initialization).
+func (e *Engine) optimize(t Template, cfg core.Config, pooled []data.Tuple, population int64) *partition.Blueprint {
+	o := maxvar.New(t.Agg, cfg.Dims, cfg.Delta)
+	if population > 0 {
+		o.SetSamplingRate(float64(len(pooled)) / float64(population))
+	}
+	for _, s := range pooled {
+		key := s.Key
+		if cfg.PredicateDims != nil {
+			key = s.Project(cfg.PredicateDims)
+		}
+		o.Insert(oracleEntry(key, s.Val(t.AggIndex), s.ID))
+	}
+	opts := partition.Options{K: cfg.K, Population: population}
+	if cfg.Dims == 1 {
+		return partition.BinarySearch1D(o, opts)
+	}
+	return partition.KD(o, opts)
+}
+
+// snapshotArchive copies the live table for catch-up consumption.
+func (e *Engine) snapshotArchive() []data.Tuple {
+	out := make([]data.Tuple, 0, e.broker.Archive().Len())
+	e.broker.Archive().ForEach(func(t data.Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// resampler returns a Resampler drawing fresh uniform samples from the
+// archive for reservoir re-draws. It carries its own lock and random
+// source: re-draws fire from inside DPT.Delete while the engine mutex is
+// already held, so touching e.mu here would deadlock.
+func (e *Engine) resampler() func(n int) []data.Tuple {
+	var mu sync.Mutex
+	src := rand.New(rand.NewSource(e.cfg.Seed + 7777))
+	return func(n int) []data.Tuple {
+		mu.Lock()
+		seed := src.Int63()
+		mu.Unlock()
+		return e.broker.Archive().SampleUniform(n, rand.New(rand.NewSource(seed)))
+	}
+}
+
+// Insert publishes the tuple to the broker and applies it to every
+// synopsis, evaluating re-partitioning triggers.
+func (e *Engine) Insert(t Tuple) {
+	e.broker.PublishInsert(t)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range e.syns {
+		s.dpt.Insert(t)
+	}
+	e.evaluateTriggersLocked()
+}
+
+// Delete removes the tuple with the given id, reporting false when the
+// archive does not know it.
+func (e *Engine) Delete(id int64) bool {
+	t, ok := e.broker.Archive().Get(id)
+	if !ok {
+		return false
+	}
+	e.broker.PublishDelete(id)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range e.syns {
+		s.dpt.Delete(t)
+	}
+	e.evaluateTriggersLocked()
+	return true
+}
+
+// Query answers q against the named template's synopsis.
+func (e *Engine) Query(template string, q Query) (Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.syns[template]
+	if !ok {
+		return Result{}, fmt.Errorf("janus: unknown template %q", template)
+	}
+	return s.dpt.Answer(q)
+}
+
+// QueryOnKeys answers a query whose predicate ranges over the given
+// *original* key attributes instead of the template's own predicate
+// projection, using uniform estimation over the template's pooled sample
+// (Section 5.5 heuristic for unseen query templates).
+func (e *Engine) QueryOnKeys(template string, q Query, dims []int) (Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.syns[template]
+	if !ok {
+		return Result{}, fmt.Errorf("janus: unknown template %q", template)
+	}
+	return s.dpt.AnswerUniform(q, dims)
+}
+
+// PumpCatchUp folds one batch of catch-up samples into every synopsis that
+// has not reached its target; returns true when any work was done. The
+// demo and the harness call this between stream events, standing in for
+// the paper's background catch-up thread.
+func (e *Engine) PumpCatchUp() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	worked := false
+	for _, s := range e.syns {
+		if s.dpt.CatchUpProgress() < e.cfg.CatchUpRate {
+			if n, _ := s.dpt.CatchUp(e.cfg.CatchUpBatch); n > 0 {
+				worked = true
+			}
+		}
+	}
+	return worked
+}
+
+// ForceCatchUpBatch folds one batch of catch-up samples into the named
+// synopsis regardless of the configured catch-up rate (the user-driven
+// catch-up knob of Section 4.3); it returns false when the snapshot is
+// exhausted or the template is unknown.
+func (e *Engine) ForceCatchUpBatch(template string, batch int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.syns[template]
+	if !ok {
+		return false
+	}
+	n, _ := s.dpt.CatchUp(batch)
+	return n > 0
+}
+
+// CatchUpProgress returns the named synopsis's catch-up progress in [0,1].
+func (e *Engine) CatchUpProgress(template string) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.syns[template]; ok {
+		return s.dpt.CatchUpProgress()
+	}
+	return 0
+}
+
+// SynopsisBytes estimates the named synopsis's in-memory footprint.
+func (e *Engine) SynopsisBytes(template string) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.syns[template]; ok {
+		return s.dpt.MemoryFootprint()
+	}
+	return 0
+}
+
+// evaluateTriggersLocked runs the Section 5.4 decision for any synopsis
+// with a pending trigger: compute a candidate partitioning from the current
+// pooled sample; adopt it (full re-initialization) only when it improves
+// the maximum variance by more than β.
+func (e *Engine) evaluateTriggersLocked() {
+	if !e.cfg.AutoRepartition {
+		return
+	}
+	// Computing a candidate partitioning costs Θ(k·polylog m); rate-limit
+	// evaluations so a burst of skewed updates amortizes one optimization.
+	e.updatesSinceTriggerCheck++
+	if e.updatesSinceTriggerCheck < e.cfg.TriggerCooldown {
+		return
+	}
+	e.updatesSinceTriggerCheck = 0
+	for _, s := range e.syns {
+		fired, _ := s.dpt.TriggerPending()
+		if !fired {
+			continue
+		}
+		e.TriggersFired++
+		if e.cfg.PartialRepartition {
+			// Appendix E: rebuild only the subtree around the leaf whose
+			// trigger fired, keeping every other node's statistics.
+			if err := s.dpt.RepartitionPendingLeaf(e.cfg.Psi); err == nil {
+				s.dpt.ResetTrigger()
+				continue
+			}
+		}
+		s.dpt.ResetTrigger()
+		current := s.dpt.MaxVariance()
+		cand := e.candidateBlueprint(s)
+		candVar := blueprintMaxVariance(s.dpt.Oracle(), cand)
+		if current > 0 && candVar >= current/e.cfg.Beta {
+			// Not enough improvement: keep the partitioning but refresh the
+			// baselines so the same drift does not re-fire immediately.
+			s.dpt.RefreshBaselines()
+			e.TriggersRejected++
+			continue
+		}
+		e.reinitializeLocked(s, cand)
+	}
+}
+
+// candidateBlueprint optimizes a fresh partitioning for the synopsis from
+// its current pooled sample (re-using the synopsis oracle, which tracks the
+// sample exactly).
+func (e *Engine) candidateBlueprint(s *synopsis) *partition.Blueprint {
+	opts := partition.Options{K: e.cfg.LeafNodes, Population: s.dpt.Population()}
+	if s.dpt.Config().Dims == 1 {
+		return partition.BinarySearch1D(s.dpt.Oracle(), opts)
+	}
+	return partition.KD(s.dpt.Oracle(), opts)
+}
+
+func blueprintMaxVariance(o *maxvar.Oracle, bp *partition.Blueprint) float64 {
+	worst := 0.0
+	for _, l := range bp.Leaves {
+		if v := o.MaxVariance(l.Rect); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Reinitialize rebuilds the named synopsis from the current archive state
+// (the full 5-step procedure of Section 4.3, run synchronously), returning
+// the wall-clock optimization + population cost. The old synopsis keeps
+// serving until the swap.
+func (e *Engine) Reinitialize(template string) (time.Duration, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.syns[template]
+	if !ok {
+		return 0, fmt.Errorf("janus: unknown template %q", template)
+	}
+	start := time.Now()
+	e.reinitializeLocked(s, nil)
+	return time.Since(start), nil
+}
+
+// reinitializeLocked swaps in a re-optimized synopsis. cand may carry a
+// pre-computed blueprint (from trigger evaluation) or nil to optimize from
+// a fresh archive sample.
+func (e *Engine) reinitializeLocked(s *synopsis, cand *partition.Blueprint) {
+	n := e.broker.Archive().Len()
+	if n == 0 {
+		return
+	}
+	m := int(e.cfg.SampleRate * float64(n))
+	if m < e.cfg.MinSamples {
+		m = e.cfg.MinSamples
+	}
+	// Step 4's fresh pooled sample: drawn up front so step 2 can populate
+	// approximate statistics from it.
+	pooled := e.broker.Archive().SampleUniform(2*m, e.rng)
+	numVals := s.dpt.Config().NumVals
+	cfg := core.Config{
+		PredicateDims:    s.tmpl.PredicateDims,
+		Dims:             len(s.tmpl.PredicateDims),
+		NumVals:          numVals,
+		AggIndex:         s.tmpl.AggIndex,
+		Agg:              s.tmpl.Agg,
+		K:                e.cfg.LeafNodes,
+		SampleLowerBound: m,
+		Beta:             e.cfg.Beta,
+		Seed:             e.cfg.Seed + int64(e.Reinits) + 1,
+	}
+	bp := cand
+	if bp == nil {
+		bp = e.optimize(s.tmpl, cfg, pooled, n)
+	}
+	snapshot := e.snapshotArchive()
+	dpt := core.New(cfg, bp, pooled, n, snapshot, e.resampler())
+	dpt.CatchUpTarget(e.cfg.CatchUpRate)
+	s.dpt = dpt // step 3: discard the old synopsis
+	e.Reinits++
+}
+
+// ReinitializeAsync runs steps 1 (optimization) of the re-initialization in
+// the background while the engine keeps serving updates and queries from
+// the old synopsis, then performs the brief blocking swap (step 2-3). The
+// returned channel delivers the total duration once the swap completes.
+func (e *Engine) ReinitializeAsync(template string) (<-chan time.Duration, error) {
+	e.mu.Lock()
+	s, ok := e.syns[template]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("janus: unknown template %q", template)
+	}
+	// Snapshot inputs for the optimizer under the lock.
+	n := e.broker.Archive().Len()
+	m := int(e.cfg.SampleRate * float64(n))
+	if m < e.cfg.MinSamples {
+		m = e.cfg.MinSamples
+	}
+	pooled := e.broker.Archive().SampleUniform(2*m, e.rng)
+	cfg := s.dpt.Config()
+	tmpl := s.tmpl
+	e.mu.Unlock()
+
+	done := make(chan time.Duration, 1)
+	go func() {
+		start := time.Now()
+		// Step 1 (in parallel): optimize on the sampled data; the old
+		// synopsis keeps absorbing updates concurrently.
+		bp := e.optimize(tmpl, cfg, pooled, n)
+		// Step 2 (blocking): populate and swap.
+		e.mu.Lock()
+		e.reinitializeLocked(s, bp)
+		e.mu.Unlock()
+		done <- time.Since(start)
+	}()
+	return done, nil
+}
+
+// Templates lists the registered template names.
+func (e *Engine) Templates() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.syns))
+	for name := range e.syns {
+		out = append(out, name)
+	}
+	return out
+}

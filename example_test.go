@@ -1,0 +1,81 @@
+package janus_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	janus "janusaqp"
+)
+
+// Example demonstrates the complete lifecycle: load history, declare a
+// template, stream updates, and ask an approximate query.
+func Example() {
+	rng := rand.New(rand.NewSource(1))
+	b := janus.NewBroker()
+	for i := int64(0); i < 20000; i++ {
+		b.PublishInsert(janus.Tuple{
+			ID:   i,
+			Key:  janus.Point{float64(i % 100)},
+			Vals: []float64{10}, // constant values -> exact checkable output
+		})
+	}
+	eng := janus.NewEngine(janus.Config{
+		LeafNodes: 16, SampleRate: 0.05, CatchUpRate: 1.0, Seed: 1,
+	}, b)
+	if err := eng.AddTemplate(janus.Template{
+		Name: "metrics", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum,
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	eng.Insert(janus.Tuple{ID: 50_000, Key: janus.Point{42}, Vals: []float64{10}})
+	eng.Delete(0)
+
+	res, err := eng.Query("metrics", janus.Query{
+		Func: janus.FuncCount,
+		Rect: janus.Universe(1),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("count ~ %.0f\n", res.Estimate)
+	_ = rng
+	// Output:
+	// count ~ 20000
+}
+
+// ExampleEngine_QuerySQL shows the SQL front-end.
+func ExampleEngine_QuerySQL() {
+	b := janus.NewBroker()
+	for i := int64(0); i < 10000; i++ {
+		b.PublishInsert(janus.Tuple{
+			ID:   i,
+			Key:  janus.Point{float64(i)},
+			Vals: []float64{2},
+		})
+	}
+	eng := janus.NewEngine(janus.Config{
+		LeafNodes: 8, SampleRate: 0.05, CatchUpRate: 1.0, Seed: 1,
+	}, b)
+	if err := eng.AddTemplate(janus.Template{
+		Name: "events", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum,
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := eng.RegisterSchema("events", janus.TableSchema{
+		Table: "events", PredCols: []string{"ts"}, AggCols: []string{"value"},
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := eng.QuerySQL("SELECT SUM(value) FROM events WHERE ts BETWEEN 0 AND 9999")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("sum = %.0f\n", res.Estimate)
+	// Output:
+	// sum = 20000
+}

@@ -1,0 +1,89 @@
+// Quickstart: the minimal end-to-end use of JanusAQP.
+//
+// It loads a small table into the broker, builds one synopsis, streams a
+// few updates, and answers an approximate SUM with its confidence interval.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	janus "janusaqp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+
+	// 1. Load historical data into the broker (the archival store).
+	//    Each tuple: Key = predicate attributes, Vals = aggregation
+	//    attributes, ID unique.
+	b := janus.NewBroker()
+	var id int64
+	for i := 0; i < 50000; i++ {
+		b.PublishInsert(janus.Tuple{
+			ID:   id,
+			Key:  janus.Point{rng.Float64() * 100}, // e.g. a timestamp
+			Vals: []float64{rng.ExpFloat64() * 10}, // e.g. an amount
+		})
+		id++
+	}
+
+	// 2. Build an engine and declare the query template you care about:
+	//    SELECT SUM(amount) FROM D WHERE key BETWEEN lo AND hi.
+	eng := janus.NewEngine(janus.Config{
+		LeafNodes:   128,  // partition-tree leaves
+		SampleRate:  0.01, // 1% pooled stratified sample
+		CatchUpRate: 0.10, // background catch-up folds 10% of the data
+	}, b)
+	if err := eng.AddTemplate(janus.Template{
+		Name:          "amounts",
+		PredicateDims: []int{0},
+		AggIndex:      0,
+		Agg:           janus.Sum,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Stream live updates: inserts and the occasional delete.
+	for i := 0; i < 5000; i++ {
+		eng.Insert(janus.Tuple{
+			ID:   id,
+			Key:  janus.Point{rng.Float64() * 100},
+			Vals: []float64{rng.ExpFloat64() * 10},
+		})
+		id++
+		if i%10 == 0 {
+			eng.Delete(int64(i)) // cancel an old record
+		}
+	}
+
+	// 4. Query. The result carries a 95% confidence interval.
+	res, err := eng.Query("amounts", janus.Query{
+		Func: janus.FuncSum,
+		Rect: janus.NewRect(janus.Point{25}, janus.Point{75}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SUM(amount) over key in [25, 75]:\n")
+	fmt.Printf("  estimate: %.1f\n", res.Estimate)
+	fmt.Printf("  95%% CI:   [%.1f, %.1f]\n", res.Interval.Lo(), res.Interval.Hi())
+	fmt.Printf("  decomposition: %d covered nodes + %d partial leaves\n", res.Covered, res.Partial)
+
+	// Other aggregates reuse the same synopsis.
+	for _, f := range []janus.Func{janus.FuncCount, janus.FuncAvg, janus.FuncMin, janus.FuncMax} {
+		r, err := eng.Query("amounts", janus.Query{
+			Func: f,
+			Rect: janus.NewRect(janus.Point{25}, janus.Point{75}),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-5v = %.2f\n", f, r.Estimate)
+	}
+}

@@ -1,0 +1,139 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"janusaqp/internal/core"
+	"janusaqp/internal/data"
+	"janusaqp/internal/geom"
+	"janusaqp/internal/stats"
+)
+
+// Histogram is a dynamic equi-width 1-D histogram baseline, representing
+// the classical synopses the paper's related-work section contrasts with
+// (Section 2.2): cheap to maintain under arbitrary insertions and
+// deletions — each update touches exactly one bucket — but with a fixed
+// bucket geometry that cannot adapt to drift, and uniform-within-bucket
+// estimates for partial overlaps.
+type Histogram struct {
+	lo, hi, width float64
+	buckets       []histBucket
+	aggIndex      int
+	// outliers absorbs tuples outside the initial range; a real system
+	// would re-bucket, which is exactly the maintenance weakness the paper
+	// identifies in fixed histograms.
+	outliers histBucket
+}
+
+type histBucket struct {
+	count float64
+	sum   float64
+}
+
+// NewHistogram builds a histogram with the given bucket count over the
+// range observed in the initial data, populated with that data.
+func NewHistogram(buckets, aggIndex int, initial []data.Tuple) *Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, t := range initial {
+		x := t.Key[0]
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	h := &Histogram{
+		lo:       lo,
+		hi:       hi,
+		width:    (hi - lo) / float64(buckets),
+		buckets:  make([]histBucket, buckets),
+		aggIndex: aggIndex,
+	}
+	for _, t := range initial {
+		h.Insert(t)
+	}
+	return h
+}
+
+// Name implements System.
+func (h *Histogram) Name() string { return "Histogram" }
+
+func (h *Histogram) bucketOf(x float64) *histBucket {
+	if x < h.lo || x > h.hi {
+		return &h.outliers
+	}
+	i := int((x - h.lo) / h.width)
+	if i >= len(h.buckets) { // x == hi lands on the top edge
+		i = len(h.buckets) - 1
+	}
+	return &h.buckets[i]
+}
+
+// Insert implements System.
+func (h *Histogram) Insert(t data.Tuple) {
+	b := h.bucketOf(t.Key[0])
+	b.count++
+	b.sum += t.Val(h.aggIndex)
+}
+
+// Delete implements System.
+func (h *Histogram) Delete(t data.Tuple) {
+	b := h.bucketOf(t.Key[0])
+	b.count--
+	b.sum -= t.Val(h.aggIndex)
+}
+
+// Answer estimates with uniform interpolation inside partially covered
+// buckets; outlier mass is invisible to range queries (it has no assigned
+// coordinate range), which is the documented failure mode under drift.
+func (h *Histogram) Answer(q core.Query) (core.Result, error) {
+	if q.Rect.Dims() != 1 {
+		return core.Result{}, fmt.Errorf("baselines: histogram supports 1-d predicates only")
+	}
+	var cnt, sum float64
+	for i, b := range h.buckets {
+		if b.count <= 0 {
+			continue
+		}
+		blo := h.lo + float64(i)*h.width
+		bhi := blo + h.width
+		rect := geom.Rect{Min: geom.Point{blo}, Max: geom.Point{bhi}}
+		inter, ok := rect.Intersection(q.Rect)
+		if !ok {
+			continue
+		}
+		frac := inter.Extent(0) / h.width
+		cnt += frac * b.count
+		sum += frac * b.sum
+	}
+	var est float64
+	switch q.Func {
+	case core.FuncSum:
+		est = sum
+	case core.FuncCount:
+		est = cnt
+	case core.FuncAvg:
+		if cnt > 0 {
+			est = sum / cnt
+		}
+	default:
+		return core.Result{}, fmt.Errorf("baselines: histogram does not support %v", q.Func)
+	}
+	// Histograms carry no statistical guarantee.
+	return core.Result{Estimate: est, Interval: stats.Interval{Estimate: est}, Outer: true}, nil
+}
+
+// OutlierCount reports the mass that has drifted outside the bucket range —
+// the quantity that makes fixed histograms decay on moving domains.
+func (h *Histogram) OutlierCount() float64 { return h.outliers.count }

@@ -1,0 +1,102 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"janusaqp/internal/core"
+	"janusaqp/internal/data"
+	"janusaqp/internal/geom"
+	"janusaqp/internal/stats"
+)
+
+func TestHistogramBasicAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tuples := genTuples(rng, 20000, 0)
+	h := NewHistogram(64, 0, tuples)
+	var errs []float64
+	for trial := 0; trial < 100; trial++ {
+		lo := rng.Float64() * 80
+		rect := geom.NewRect(geom.Point{lo}, geom.Point{lo + 15})
+		want := truth(tuples, nil, core.FuncSum, rect)
+		if want == 0 {
+			continue
+		}
+		res, err := h.Answer(core.Query{Func: core.FuncSum, Rect: rect})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, stats.RelativeError(res.Estimate, want))
+	}
+	if med := stats.Median(errs); med > 0.10 {
+		t.Errorf("histogram median error %.3f on uniform data", med)
+	}
+}
+
+func TestHistogramInsertDelete(t *testing.T) {
+	tuples := []data.Tuple{
+		{ID: 1, Key: geom.Point{10}, Vals: []float64{5}},
+		{ID: 2, Key: geom.Point{20}, Vals: []float64{7}},
+	}
+	h := NewHistogram(4, 0, tuples)
+	all := geom.NewRect(geom.Point{0}, geom.Point{100})
+	res, _ := h.Answer(core.Query{Func: core.FuncSum, Rect: all})
+	if res.Estimate != 12 {
+		t.Errorf("SUM = %g, want 12", res.Estimate)
+	}
+	h.Delete(tuples[0])
+	res, _ = h.Answer(core.Query{Func: core.FuncSum, Rect: all})
+	if res.Estimate != 7 {
+		t.Errorf("after delete SUM = %g, want 7", res.Estimate)
+	}
+	h.Insert(data.Tuple{ID: 3, Key: geom.Point{15}, Vals: []float64{3}})
+	res, _ = h.Answer(core.Query{Func: core.FuncCount, Rect: all})
+	if res.Estimate != 2 {
+		t.Errorf("COUNT = %g, want 2", res.Estimate)
+	}
+}
+
+func TestHistogramDriftBlindSpot(t *testing.T) {
+	// Tuples outside the initial range fall into the outlier bucket and
+	// become invisible to range queries — the fixed-geometry weakness the
+	// paper contrasts JanusAQP against.
+	rng := rand.New(rand.NewSource(2))
+	tuples := genTuples(rng, 1000, 0) // keys in [0, 100)
+	h := NewHistogram(32, 0, tuples)
+	for i := 0; i < 500; i++ {
+		h.Insert(data.Tuple{ID: int64(10_000 + i), Key: geom.Point{500 + rng.Float64()}, Vals: []float64{1}})
+	}
+	if h.OutlierCount() != 500 {
+		t.Errorf("OutlierCount = %g, want 500", h.OutlierCount())
+	}
+	res, _ := h.Answer(core.Query{Func: core.FuncCount,
+		Rect: geom.NewRect(geom.Point{400}, geom.Point{600})})
+	if res.Estimate != 0 {
+		t.Errorf("drifted region COUNT = %g; fixed histograms must miss it", res.Estimate)
+	}
+}
+
+func TestHistogramRejections(t *testing.T) {
+	h := NewHistogram(4, 0, nil)
+	if _, err := h.Answer(core.Query{Func: core.FuncMin, Rect: geom.Universe(1)}); err == nil {
+		t.Error("MIN must be rejected")
+	}
+	if _, err := h.Answer(core.Query{Func: core.FuncSum, Rect: geom.Universe(2)}); err == nil {
+		t.Error("2-d predicate must be rejected")
+	}
+}
+
+func TestHistogramDegenerateInit(t *testing.T) {
+	h := NewHistogram(0, 0, nil)
+	res, err := h.Answer(core.Query{Func: core.FuncSum, Rect: geom.Universe(1)})
+	if err != nil || res.Estimate != 0 {
+		t.Errorf("empty histogram: %v %+v", err, res)
+	}
+	// All-identical keys.
+	same := []data.Tuple{{ID: 1, Key: geom.Point{5}, Vals: []float64{2}}, {ID: 2, Key: geom.Point{5}, Vals: []float64{3}}}
+	h2 := NewHistogram(8, 0, same)
+	res, _ = h2.Answer(core.Query{Func: core.FuncSum, Rect: geom.NewRect(geom.Point{0}, geom.Point{10})})
+	if res.Estimate != 5 {
+		t.Errorf("identical-key SUM = %g, want 5", res.Estimate)
+	}
+}

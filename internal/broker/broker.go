@@ -1,0 +1,212 @@
+// Package broker is the in-process stand-in for the Apache Kafka deployment
+// JanusAQP runs on (Section 3.2 and Appendix A of the paper).
+//
+// It preserves exactly the properties the system relies on:
+//
+//   - three ordered topics — insert(tuple), delete(tuple), execute(query) —
+//     with offset-addressable, append-only logs (PSoup-style: both data and
+//     queries are streams);
+//   - batch polling: Poll(offset, max) returns up to max records starting at
+//     an offset, like the Kafka consumer API, with *no* random-access reads
+//     other than by offset — which is what makes uniform sampling from the
+//     log non-trivial and motivates the singleton/sequential samplers of
+//     Appendix A;
+//   - archival storage: the broker retains the full log, and additionally
+//     maintains a live-table Archive supporting uniform random sampling of
+//     the *current* database state, used for reservoir re-draws and
+//     catch-up sampling (Section 2.1 allows offline access to cold storage).
+//
+// Network and API overheads are modeled with a deterministic per-poll cost
+// model instead of real I/O so that the Table 4 sampler experiment is
+// reproducible on any machine; see CostModel.
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"janusaqp/internal/data"
+)
+
+// Kind distinguishes the record types flowing through topics.
+type Kind int
+
+const (
+	// KindInsert carries a new tuple.
+	KindInsert Kind = iota
+	// KindDelete carries the identity of a tuple to remove.
+	KindDelete
+)
+
+// Record is one message in a topic.
+type Record struct {
+	Kind  Kind
+	Tuple data.Tuple
+}
+
+// Topic is an ordered, append-only log of records, safe for concurrent use.
+type Topic struct {
+	mu   sync.RWMutex
+	recs []Record
+}
+
+// Append adds a record to the end of the log and returns its offset.
+func (t *Topic) Append(r Record) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recs = append(t.recs, r)
+	return int64(len(t.recs) - 1)
+}
+
+// Len returns the number of records in the log.
+func (t *Topic) Len() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return int64(len(t.recs))
+}
+
+// Poll returns up to max records starting at offset, mirroring the Kafka
+// consumer poll() API. It returns the batch and the next offset to poll
+// from. Polling past the end returns an empty batch.
+func (t *Topic) Poll(offset int64, max int) ([]Record, int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := int64(len(t.recs))
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= n {
+		return nil, n
+	}
+	end := offset + int64(max)
+	if end > n {
+		end = n
+	}
+	out := make([]Record, end-offset)
+	copy(out, t.recs[offset:end])
+	return out, end
+}
+
+// Broker bundles the three JanusAQP topics plus the live-table archive.
+type Broker struct {
+	Inserts *Topic
+	Deletes *Topic
+	archive *Archive
+}
+
+// New returns an empty broker.
+func New() *Broker {
+	return &Broker{Inserts: &Topic{}, Deletes: &Topic{}, archive: NewArchive()}
+}
+
+// Archive returns the live-table archive tracking the current database
+// state (cold storage in the paper's terminology).
+func (b *Broker) Archive() *Archive { return b.archive }
+
+// PublishInsert appends an insertion to the insert topic and applies it to
+// the archive.
+func (b *Broker) PublishInsert(t data.Tuple) {
+	b.Inserts.Append(Record{Kind: KindInsert, Tuple: t})
+	b.archive.Insert(t)
+}
+
+// PublishDelete appends a deletion to the delete topic and applies it to
+// the archive. It returns false when the tuple is unknown to the archive.
+func (b *Broker) PublishDelete(id int64) bool {
+	b.Deletes.Append(Record{Kind: KindDelete, Tuple: data.Tuple{ID: id}})
+	return b.archive.Delete(id)
+}
+
+// Archive is the current database state with O(1) insertion, deletion, and
+// uniform random sampling — the cold storage that initialization,
+// re-optimization, and catch-up read from.
+type Archive struct {
+	mu    sync.RWMutex
+	items []data.Tuple
+	pos   map[int64]int
+}
+
+// NewArchive returns an empty archive.
+func NewArchive() *Archive {
+	return &Archive{pos: make(map[int64]int)}
+}
+
+// Insert stores t. Inserting a live ID twice panics: stream producers must
+// assign fresh IDs.
+func (a *Archive) Insert(t data.Tuple) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.pos[t.ID]; dup {
+		panic(fmt.Sprintf("broker: duplicate live tuple id %d", t.ID))
+	}
+	a.pos[t.ID] = len(a.items)
+	a.items = append(a.items, t)
+}
+
+// Delete removes the tuple with the given id, reporting whether it existed.
+func (a *Archive) Delete(id int64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	i, ok := a.pos[id]
+	if !ok {
+		return false
+	}
+	last := len(a.items) - 1
+	delete(a.pos, id)
+	if i != last {
+		a.items[i] = a.items[last]
+		a.pos[a.items[i].ID] = i
+	}
+	a.items = a.items[:last]
+	return true
+}
+
+// Get returns the live tuple with the given id.
+func (a *Archive) Get(id int64) (data.Tuple, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	i, ok := a.pos[id]
+	if !ok {
+		return data.Tuple{}, false
+	}
+	return a.items[i], true
+}
+
+// Len returns the live-table cardinality |D|.
+func (a *Archive) Len() int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return int64(len(a.items))
+}
+
+// SampleUniform draws n tuples uniformly at random without replacement
+// (fewer when the table is smaller than n).
+func (a *Archive) SampleUniform(n int, rng *rand.Rand) []data.Tuple {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if n >= len(a.items) {
+		out := make([]data.Tuple, len(a.items))
+		copy(out, a.items)
+		return out
+	}
+	// Partial Fisher–Yates over an index permutation.
+	idx := rng.Perm(len(a.items))[:n]
+	out := make([]data.Tuple, n)
+	for i, j := range idx {
+		out[i] = a.items[j]
+	}
+	return out
+}
+
+// ForEach calls fn on every live tuple until fn returns false. The archive
+// is read-locked for the duration.
+func (a *Archive) ForEach(fn func(data.Tuple) bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, t := range a.items {
+		if !fn(t) {
+			return
+		}
+	}
+}

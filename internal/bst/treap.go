@@ -1,0 +1,322 @@
+// Package bst implements a one-dimensional dynamic order-statistic tree (a
+// randomized treap) with subtree aggregates over an associated value.
+//
+// This is the "simple dynamic search binary tree" of Sections 4.2 and D.2
+// of the JanusAQP paper: it keeps the pooled samples ordered along a single
+// predicate attribute, supports O(log m) insertion and deletion, and
+// answers in O(log m):
+//
+//   - order statistics (the i-th smallest key),
+//   - range aggregates (count, Σa, Σa² of all entries with keys in [lo,hi]),
+//   - rank queries and count-based splits (the key below which exactly c
+//     entries lie), which the binary-search partitioner of Section 5.2 and
+//     the COUNT/SUM max-variance oracle of Appendix D.1 rely on.
+//
+// Entries are identified by (key, id) so duplicate keys are fully
+// supported; id must be unique per live entry.
+package bst
+
+import (
+	"math/rand"
+
+	"janusaqp/internal/stats"
+)
+
+// Entry is one element stored in the tree.
+type Entry struct {
+	Key float64 // ordering coordinate (the predicate attribute)
+	ID  int64   // unique identifier, tie-breaker for equal keys
+	Val float64 // aggregation value contributing to subtree moments
+}
+
+type node struct {
+	e           Entry
+	pri         uint64
+	left, right *node
+	count       int
+	agg         stats.Moments
+}
+
+func (n *node) recompute() {
+	n.count = 1
+	n.agg = stats.Moments{}
+	n.agg.Add(n.e.Val)
+	if n.left != nil {
+		n.count += n.left.count
+		n.agg.Merge(n.left.agg)
+	}
+	if n.right != nil {
+		n.count += n.right.count
+		n.agg.Merge(n.right.agg)
+	}
+}
+
+func count(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.count
+}
+
+func agg(n *node) stats.Moments {
+	if n == nil {
+		return stats.Moments{}
+	}
+	return n.agg
+}
+
+// Tree is a randomized treap. The zero value is not ready to use; create
+// trees with New so that priorities are drawn from a private deterministic
+// source (keeping experiments reproducible).
+type Tree struct {
+	root *node
+	rng  *rand.Rand
+}
+
+// New returns an empty tree whose rebalancing priorities are drawn from the
+// given seed.
+func New(seed int64) *Tree {
+	return &Tree{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Len returns the number of entries in the tree.
+func (t *Tree) Len() int { return count(t.root) }
+
+// less orders entries by (Key, ID).
+func less(a, b Entry) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.ID < b.ID
+}
+
+// Insert adds e to the tree. Inserting an entry with a (Key, ID) pair that
+// is already present results in duplicates; callers maintain ID uniqueness.
+func (t *Tree) Insert(e Entry) {
+	t.root = t.insert(t.root, e)
+}
+
+func (t *Tree) insert(n *node, e Entry) *node {
+	if n == nil {
+		nn := &node{e: e, pri: t.rng.Uint64()}
+		nn.recompute()
+		return nn
+	}
+	if less(e, n.e) {
+		n.left = t.insert(n.left, e)
+		if n.left.pri > n.pri {
+			n = rotateRight(n)
+		}
+	} else {
+		n.right = t.insert(n.right, e)
+		if n.right.pri > n.pri {
+			n = rotateLeft(n)
+		}
+	}
+	n.recompute()
+	return n
+}
+
+// Delete removes the entry with the given key and id. It returns true if an
+// entry was removed.
+func (t *Tree) Delete(key float64, id int64) bool {
+	var removed bool
+	t.root, removed = t.delete(t.root, Entry{Key: key, ID: id})
+	return removed
+}
+
+func (t *Tree) delete(n *node, e Entry) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case less(e, n.e):
+		n.left, removed = t.delete(n.left, e)
+	case less(n.e, e):
+		n.right, removed = t.delete(n.right, e)
+	default:
+		// Found: rotate down until a leaf position, then drop.
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		if n.left.pri > n.right.pri {
+			n = rotateRight(n)
+			n.right, removed = t.delete(n.right, e)
+		} else {
+			n = rotateLeft(n)
+			n.left, removed = t.delete(n.left, e)
+		}
+	}
+	n.recompute()
+	return n, removed
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.recompute()
+	l.recompute()
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.recompute()
+	r.recompute()
+	return r
+}
+
+// Kth returns the entry with the k-th smallest (Key, ID) pair, 0-based.
+// ok is false when k is out of range.
+func (t *Tree) Kth(k int) (Entry, bool) {
+	n := t.root
+	if k < 0 || k >= count(n) {
+		return Entry{}, false
+	}
+	for {
+		lc := count(n.left)
+		switch {
+		case k < lc:
+			n = n.left
+		case k == lc:
+			return n.e, true
+		default:
+			k -= lc + 1
+			n = n.right
+		}
+	}
+}
+
+// Rank returns the number of entries with key strictly less than key.
+func (t *Tree) Rank(key float64) int {
+	r := 0
+	for n := t.root; n != nil; {
+		if n.e.Key < key {
+			r += count(n.left) + 1
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return r
+}
+
+// RankThrough returns the number of entries with key <= key.
+func (t *Tree) RankThrough(key float64) int {
+	r := 0
+	for n := t.root; n != nil; {
+		if n.e.Key <= key {
+			r += count(n.left) + 1
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return r
+}
+
+// RangeMoments returns the aggregate moments (count, Σval, Σval²) of all
+// entries whose keys lie in the closed interval [lo, hi].
+func (t *Tree) RangeMoments(lo, hi float64) stats.Moments {
+	if lo > hi {
+		return stats.Moments{}
+	}
+	m := prefixMoments(t.root, hi, true)
+	m.Unmerge(prefixMoments(t.root, lo, false))
+	return m
+}
+
+// prefixMoments returns the moments of entries with key < x (inclusive=false)
+// or key <= x (inclusive=true).
+func prefixMoments(n *node, x float64, inclusive bool) stats.Moments {
+	var m stats.Moments
+	for n != nil {
+		in := n.e.Key < x || (inclusive && n.e.Key == x)
+		if in {
+			m.Merge(agg(n.left))
+			m.Add(n.e.Val)
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return m
+}
+
+// TotalMoments returns the aggregate moments of the entire tree.
+func (t *Tree) TotalMoments() stats.Moments { return agg(t.root) }
+
+// Min returns the smallest entry; ok is false when the tree is empty.
+func (t *Tree) Min() (Entry, bool) {
+	n := t.root
+	if n == nil {
+		return Entry{}, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.e, true
+}
+
+// Max returns the largest entry; ok is false when the tree is empty.
+func (t *Tree) Max() (Entry, bool) {
+	n := t.root
+	if n == nil {
+		return Entry{}, false
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.e, true
+}
+
+// Ascend calls fn on every entry in key order until fn returns false.
+func (t *Tree) Ascend(fn func(Entry) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend(n *node, fn func(Entry) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.e) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+// AscendRange calls fn on every entry with key in [lo, hi] in key order
+// until fn returns false.
+func (t *Tree) AscendRange(lo, hi float64, fn func(Entry) bool) {
+	ascendRange(t.root, lo, hi, fn)
+}
+
+func ascendRange(n *node, lo, hi float64, fn func(Entry) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.e.Key >= lo {
+		if !ascendRange(n.left, lo, hi, fn) {
+			return false
+		}
+	}
+	if n.e.Key >= lo && n.e.Key <= hi {
+		if !fn(n.e) {
+			return false
+		}
+	}
+	if n.e.Key <= hi {
+		return ascendRange(n.right, lo, hi, fn)
+	}
+	return true
+}

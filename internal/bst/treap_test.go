@@ -1,0 +1,278 @@
+package bst
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertKthOrder(t *testing.T) {
+	tr := New(1)
+	keys := []float64{5, 1, 9, 3, 7}
+	for i, k := range keys {
+		tr.Insert(Entry{Key: k, ID: int64(i), Val: k * 2})
+	}
+	sorted := append([]float64(nil), keys...)
+	sort.Float64s(sorted)
+	for i, want := range sorted {
+		e, ok := tr.Kth(i)
+		if !ok || e.Key != want {
+			t.Errorf("Kth(%d) = %v ok=%v, want key %g", i, e, ok, want)
+		}
+	}
+	if _, ok := tr.Kth(5); ok {
+		t.Error("Kth out of range must fail")
+	}
+	if _, ok := tr.Kth(-1); ok {
+		t.Error("Kth(-1) must fail")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 10; i++ {
+		tr.Insert(Entry{Key: float64(i % 3), ID: int64(i), Val: 1})
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", tr.Len())
+	}
+	if !tr.Delete(1, 4) { // key 1 appears for ids 1,4,7
+		t.Fatal("Delete(1,4) should succeed")
+	}
+	if tr.Delete(1, 4) {
+		t.Fatal("second Delete(1,4) should fail")
+	}
+	if tr.Delete(2, 99) {
+		t.Fatal("Delete of absent id should fail")
+	}
+	if tr.Len() != 9 {
+		t.Errorf("Len = %d, want 9", tr.Len())
+	}
+}
+
+func TestRangeMomentsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New(3)
+	type kv struct{ k, v float64 }
+	var live []kv
+	id := int64(0)
+	for step := 0; step < 3000; step++ {
+		if len(live) > 0 && rng.Float64() < 0.3 {
+			j := rng.Intn(len(live))
+			// Find the id of the j-th live entry by re-scanning inserted log;
+			// simpler: store ids alongside.
+			_ = j
+		}
+		k := math.Floor(rng.Float64()*100) / 2
+		v := rng.NormFloat64() * 5
+		tr.Insert(Entry{Key: k, ID: id, Val: v})
+		id++
+		live = append(live, kv{k, v})
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Float64() * 50
+		hi := lo + rng.Float64()*20
+		got := tr.RangeMoments(lo, hi)
+		var wantN int64
+		var wantSum, wantSq float64
+		for _, e := range live {
+			if e.k >= lo && e.k <= hi {
+				wantN++
+				wantSum += e.v
+				wantSq += e.v * e.v
+			}
+		}
+		if got.N != wantN {
+			t.Fatalf("trial %d: N = %d, want %d", trial, got.N, wantN)
+		}
+		if math.Abs(got.Sum-wantSum) > 1e-6*(1+math.Abs(wantSum)) {
+			t.Fatalf("trial %d: Sum = %g, want %g", trial, got.Sum, wantSum)
+		}
+		if math.Abs(got.SumSq-wantSq) > 1e-6*(1+wantSq) {
+			t.Fatalf("trial %d: SumSq = %g, want %g", trial, got.SumSq, wantSq)
+		}
+	}
+}
+
+func TestRandomInsertDeleteConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New(6)
+	type rec struct {
+		e    Entry
+		live bool
+	}
+	var recs []rec
+	for step := 0; step < 5000; step++ {
+		if rng.Float64() < 0.4 {
+			// delete a random live record
+			liveIdx := []int{}
+			for i, r := range recs {
+				if r.live {
+					liveIdx = append(liveIdx, i)
+				}
+			}
+			if len(liveIdx) == 0 {
+				continue
+			}
+			i := liveIdx[rng.Intn(len(liveIdx))]
+			if !tr.Delete(recs[i].e.Key, recs[i].e.ID) {
+				t.Fatalf("delete of live entry %v failed", recs[i].e)
+			}
+			recs[i].live = false
+		} else {
+			e := Entry{Key: float64(rng.Intn(50)), ID: int64(step), Val: rng.Float64()}
+			tr.Insert(e)
+			recs = append(recs, rec{e, true})
+		}
+	}
+	liveCount := 0
+	var liveSum float64
+	for _, r := range recs {
+		if r.live {
+			liveCount++
+			liveSum += r.e.Val
+		}
+	}
+	if tr.Len() != liveCount {
+		t.Errorf("Len = %d, want %d", tr.Len(), liveCount)
+	}
+	tot := tr.TotalMoments()
+	if math.Abs(tot.Sum-liveSum) > 1e-6*(1+liveSum) {
+		t.Errorf("TotalMoments.Sum = %g, want %g", tot.Sum, liveSum)
+	}
+	// Ascend must visit in nondecreasing key order and count all entries.
+	prev := math.Inf(-1)
+	visited := 0
+	tr.Ascend(func(e Entry) bool {
+		if e.Key < prev {
+			t.Fatalf("Ascend out of order: %g after %g", e.Key, prev)
+		}
+		prev = e.Key
+		visited++
+		return true
+	})
+	if visited != liveCount {
+		t.Errorf("Ascend visited %d, want %d", visited, liveCount)
+	}
+}
+
+func TestRankAndRankThrough(t *testing.T) {
+	tr := New(4)
+	for i, k := range []float64{1, 2, 2, 3, 5} {
+		tr.Insert(Entry{Key: k, ID: int64(i), Val: 1})
+	}
+	if got := tr.Rank(2); got != 1 {
+		t.Errorf("Rank(2) = %d, want 1", got)
+	}
+	if got := tr.RankThrough(2); got != 3 {
+		t.Errorf("RankThrough(2) = %d, want 3", got)
+	}
+	if got := tr.Rank(0); got != 0 {
+		t.Errorf("Rank(0) = %d, want 0", got)
+	}
+	if got := tr.RankThrough(10); got != 5 {
+		t.Errorf("RankThrough(10) = %d, want 5", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New(9)
+	if _, ok := tr.Min(); ok {
+		t.Error("Min of empty tree must fail")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Error("Max of empty tree must fail")
+	}
+	for i, k := range []float64{4, 8, 2, 6} {
+		tr.Insert(Entry{Key: k, ID: int64(i)})
+	}
+	if e, _ := tr.Min(); e.Key != 2 {
+		t.Errorf("Min = %g, want 2", e.Key)
+	}
+	if e, _ := tr.Max(); e.Key != 8 {
+		t.Errorf("Max = %g, want 8", e.Key)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 20; i++ {
+		tr.Insert(Entry{Key: float64(i), ID: int64(i), Val: float64(i)})
+	}
+	var got []float64
+	tr.AscendRange(5, 9, func(e Entry) bool {
+		got = append(got, e.Key)
+		return true
+	})
+	want := []float64{5, 6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("AscendRange returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AscendRange returned %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.AscendRange(0, 19, func(Entry) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestTreapBalanceProperty(t *testing.T) {
+	// Sequential insertion (worst case for unbalanced BSTs) must still give
+	// logarithmic-ish depth. Verify via rank query cost proxy: tree height.
+	tr := New(7)
+	for i := 0; i < 1<<12; i++ {
+		tr.Insert(Entry{Key: float64(i), ID: int64(i), Val: 1})
+	}
+	h := height(tr.root)
+	if h > 60 { // ~4*log2(4096)=48; allow slack
+		t.Errorf("height = %d, too deep for a treap on 4096 sequential keys", h)
+	}
+}
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	l, r := height(n.left), height(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func TestQuickRangeCountMatchesRank(t *testing.T) {
+	f := func(keys []float64, lo, hi float64) bool {
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			return true
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tr := New(12)
+		n := 0
+		for i, k := range keys {
+			if math.IsNaN(k) || math.IsInf(k, 0) {
+				continue
+			}
+			tr.Insert(Entry{Key: k, ID: int64(i), Val: 1})
+			n++
+		}
+		m := tr.RangeMoments(lo, hi)
+		// count via ranks must agree with range aggregate count
+		want := tr.RankThrough(hi) - tr.Rank(lo)
+		return int(m.N) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"janusaqp/internal/data"
+	"janusaqp/internal/geom"
+	"janusaqp/internal/kdindex"
+	"janusaqp/internal/maxvar"
+	"janusaqp/internal/reservoir"
+	"janusaqp/internal/stats"
+)
+
+// newOracleFor builds an empty max-variance oracle matching a config.
+func newOracleFor(cfg Config) *maxvar.Oracle {
+	return maxvar.New(cfg.Agg, cfg.Dims, cfg.Delta)
+}
+
+// oracleEntryFor adapts a pooled tuple to the oracle's entry type.
+func oracleEntryFor(t *DPT, s data.Tuple) kdindex.Entry {
+	return kdindex.Entry{Point: t.project(s), Val: s.Val(t.cfg.AggIndex), ID: s.ID}
+}
+
+// Synopsis persistence: a DPT can be written to a stream and restored in a
+// different process, preserving node statistics, strata, MIN/MAX heap
+// contents, and anchor scaling. The catch-up snapshot is deliberately not
+// persisted — it is cold-storage data by definition; a restored synopsis
+// reports its saved catch-up progress and resumes refinement only after
+// the next re-initialization.
+
+// persistNode is the exported on-disk form of a tree node.
+type persistNode struct {
+	Rect       persistRect
+	Catchup    []stats.Moments
+	Ins        []stats.Moments
+	Del        []stats.Moments
+	MinVals    []float64
+	MaxVals    []float64
+	IsLeaf     bool
+	Stratum    []data.Tuple
+	M0         float64
+	IsAnchor   bool
+	AnchorBase float64
+	LocalSeen  []stats.Moments
+	Left       *persistNode
+	Right      *persistNode
+}
+
+type persistRect struct {
+	Min, Max []float64
+}
+
+// persistDPT is the exported on-disk form of a synopsis.
+type persistDPT struct {
+	Version    int
+	Cfg        Config
+	SnapshotN  int64
+	ExactStats bool
+	Population int64
+	Consumed   int64 // catch-up samples folded (root h), for progress reporting
+	Reservoir  []data.Tuple
+	ResPop     int64
+	Root       *persistNode
+}
+
+const persistVersion = 1
+
+// Encode writes the synopsis to w in gob format.
+func (t *DPT) Encode(w io.Writer) error {
+	p := persistDPT{
+		Version:    persistVersion,
+		Cfg:        t.cfg,
+		SnapshotN:  t.snapshotN,
+		ExactStats: t.exactStats,
+		Population: t.population,
+		Consumed:   t.totalCatchup(),
+		Reservoir:  append([]data.Tuple(nil), t.res.Items()...),
+		ResPop:     t.res.Population(),
+		Root:       exportNode(t.root),
+	}
+	return gob.NewEncoder(w).Encode(&p)
+}
+
+func exportNode(n *node) *persistNode {
+	if n == nil {
+		return nil
+	}
+	p := &persistNode{
+		Rect:       persistRect{Min: n.rect.Min, Max: n.rect.Max},
+		Catchup:    append([]stats.Moments(nil), n.catchup...),
+		Ins:        append([]stats.Moments(nil), n.ins...),
+		Del:        append([]stats.Moments(nil), n.del...),
+		IsLeaf:     n.isLeaf,
+		M0:         n.m0,
+		IsAnchor:   n.isAnchor,
+		AnchorBase: n.anchorBase,
+		LocalSeen:  append([]stats.Moments(nil), n.localSeen...),
+		Left:       exportNode(n.left),
+		Right:      exportNode(n.right),
+	}
+	// Heap contents: persist the retained multiset; re-pushing restores an
+	// equivalent heap.
+	p.MinVals = heapValues(n.minHeap)
+	p.MaxVals = heapValues(n.maxHeap)
+	if n.stratum != nil {
+		p.Stratum = make([]data.Tuple, 0, len(n.stratum))
+		for _, s := range n.stratum {
+			p.Stratum = append(p.Stratum, s)
+		}
+	}
+	return p
+}
+
+func heapValues(h *stats.BoundedHeap) []float64 {
+	return h.Values()
+}
+
+// Decode restores a synopsis previously written with Encode. resample
+// plays the same role as in New (reservoir re-draws); it may be nil.
+func Decode(r io.Reader, resample reservoir.Resampler) (*DPT, error) {
+	var p persistDPT
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: decoding synopsis: %w", err)
+	}
+	if p.Version != persistVersion {
+		return nil, fmt.Errorf("core: unsupported synopsis version %d", p.Version)
+	}
+	if p.Root == nil {
+		return nil, fmt.Errorf("core: synopsis has no tree")
+	}
+	t := &DPT{
+		cfg:        p.Cfg,
+		snapshotN:  p.SnapshotN,
+		exactStats: p.ExactStats,
+		population: p.Population,
+		seen:       make(map[int64]bool),
+	}
+	t.root = t.importNode(p.Root, nil)
+	t.res = reservoir.New(p.Cfg.SampleLowerBound, p.Cfg.Seed+1, resample)
+	t.res.Init(p.Reservoir, p.ResPop)
+	t.oracle = newOracleFor(p.Cfg)
+	t.refreshOracleRate()
+	// Rebuild the oracle from the restored strata (membership was saved).
+	for _, l := range t.leaves {
+		for _, s := range l.stratum {
+			t.oracle.Insert(oracleEntryFor(t, s))
+		}
+	}
+	return t, nil
+}
+
+func (t *DPT) importNode(p *persistNode, parent *node) *node {
+	if p == nil {
+		return nil
+	}
+	n := &node{
+		rect:       geom.Rect{Min: p.Rect.Min, Max: p.Rect.Max},
+		parent:     parent,
+		catchup:    append([]stats.Moments(nil), p.Catchup...),
+		ins:        append([]stats.Moments(nil), p.Ins...),
+		del:        append([]stats.Moments(nil), p.Del...),
+		isLeaf:     p.IsLeaf,
+		m0:         p.M0,
+		isAnchor:   p.IsAnchor,
+		anchorBase: p.AnchorBase,
+		localSeen:  append([]stats.Moments(nil), p.LocalSeen...),
+	}
+	n.minHeap = stats.NewBoundedHeap(stats.KeepMin, t.cfg.HeapK)
+	n.maxHeap = stats.NewBoundedHeap(stats.KeepMax, t.cfg.HeapK)
+	for _, v := range p.MinVals {
+		n.minHeap.Push(v)
+	}
+	for _, v := range p.MaxVals {
+		n.maxHeap.Push(v)
+	}
+	if n.isLeaf {
+		n.stratum = make(map[int64]data.Tuple, len(p.Stratum))
+		for _, s := range p.Stratum {
+			n.stratum[s.ID] = s
+		}
+		t.leaves = append(t.leaves, n)
+	}
+	n.left = t.importNode(p.Left, n)
+	n.right = t.importNode(p.Right, n)
+	return n
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"janusaqp/internal/geom"
+	"janusaqp/internal/stats"
+)
+
+// Func is an aggregation function a query can request.
+type Func int
+
+const (
+	// FuncSum is SUM(A).
+	FuncSum Func = iota
+	// FuncCount is COUNT(*).
+	FuncCount
+	// FuncAvg is AVG(A).
+	FuncAvg
+	// FuncMin is MIN(A).
+	FuncMin
+	// FuncMax is MAX(A).
+	FuncMax
+)
+
+// String returns the SQL name of the function.
+func (f Func) String() string {
+	switch f {
+	case FuncSum:
+		return "SUM"
+	case FuncCount:
+		return "COUNT"
+	case FuncAvg:
+		return "AVG"
+	case FuncMin:
+		return "MIN"
+	case FuncMax:
+		return "MAX"
+	}
+	if name, ok := extendedFuncName(f); ok {
+		return name
+	}
+	return "UNKNOWN"
+}
+
+// Query is an aggregate over a rectangular predicate in the synopsis's
+// predicate space.
+type Query struct {
+	Func Func
+	// AggIndex selects the aggregation attribute; -1 uses the synopsis's
+	// primary attribute.
+	AggIndex int
+	Rect     geom.Rect
+	// Confidence is the CI level (default 0.95 when zero).
+	Confidence float64
+}
+
+// Result is an approximate answer with its confidence interval.
+type Result struct {
+	Estimate float64
+	Interval stats.Interval
+	// Covered and Partial count the R_cover nodes and R_partial leaves the
+	// query decomposed into.
+	Covered, Partial int
+	// Outer reports that a MIN/MAX answer degraded to an outer
+	// approximation because a heap was exhausted by deletions.
+	Outer bool
+}
+
+// classify performs the frontier lookup of Section 2.3.2: it traverses the
+// tree top-down collecting nodes fully covered by the predicate and leaves
+// partially intersecting it.
+func (t *DPT) classify(rect geom.Rect, n *node, cover *[]*node, partial *[]*node) {
+	if !n.rect.Intersects(rect) {
+		return
+	}
+	if rect.ContainsRect(n.rect) {
+		*cover = append(*cover, n)
+		return
+	}
+	if n.isLeaf {
+		*partial = append(*partial, n)
+		return
+	}
+	t.classify(rect, n.left, cover, partial)
+	t.classify(rect, n.right, cover, partial)
+}
+
+// Answer estimates the query from the synopsis alone — the procedure never
+// touches the base data (Section 4.4).
+func (t *DPT) Answer(q Query) (Result, error) {
+	if q.Rect.Dims() != t.cfg.Dims {
+		return Result{}, fmt.Errorf("core: query dimensionality %d, synopsis %d", q.Rect.Dims(), t.cfg.Dims)
+	}
+	aggIdx := q.AggIndex
+	if aggIdx < 0 {
+		aggIdx = t.cfg.AggIndex
+	}
+	if aggIdx >= t.cfg.NumVals {
+		return Result{}, fmt.Errorf("core: aggregation attribute %d out of range (%d tracked)", aggIdx, t.cfg.NumVals)
+	}
+	conf := q.Confidence
+	if conf == 0 {
+		conf = 0.95
+	}
+	z := stats.ZForConfidence(conf)
+
+	var cover, partial []*node
+	t.classify(q.Rect, t.root, &cover, &partial)
+
+	switch q.Func {
+	case FuncSum, FuncCount:
+		est, nuC, nuS := t.estimateSumCount(q.Func, aggIdx, q.Rect, cover, partial)
+		return Result{
+			Estimate: est,
+			Interval: stats.NewInterval(est, nuC, nuS, z),
+			Covered:  len(cover), Partial: len(partial),
+		}, nil
+	case FuncAvg:
+		return t.estimateAvg(aggIdx, q.Rect, cover, partial, z)
+	case FuncMin, FuncMax:
+		return t.estimateMinMax(q.Func, aggIdx, q.Rect, cover, partial)
+	case FuncVariance, FuncStdDev:
+		return t.answerExtended(q, aggIdx, cover, partial)
+	}
+	return Result{}, fmt.Errorf("core: unsupported aggregate %v", q.Func)
+}
+
+// estimateSumCount implements the SUM/COUNT estimators of Section 4.4 and
+// Appendix C: covered nodes contribute catch-up estimates corrected by
+// exact insert/delete deltas; partial leaves contribute stratified-sample
+// estimates.
+func (t *DPT) estimateSumCount(f Func, aggIdx int, rect geom.Rect, cover, partial []*node) (est, nuC, nuS float64) {
+	for _, n := range cover {
+		n0, h, exact := t.catchupScale(n)
+		if f == FuncSum {
+			est += t.baseSum(n, aggIdx) + n.ins[aggIdx].Sum - n.del[aggIdx].Sum
+			if !exact && h > 0 {
+				ni := t.baseCount(n)
+				nuC += stats.CatchupSumVarianceTerm(n.catchup[aggIdx], ni)
+			}
+		} else {
+			est += t.liveCount(n)
+			if !exact && h > 0 {
+				// Multinomial variance of N̂_i = (h_i/h)·N_0; the literal
+				// Appendix C formula vanishes for COUNT over covered nodes
+				// (every sample matches), so the allocation uncertainty is
+				// the honest term to report.
+				p := float64(n.catchup[aggIdx].N) / h
+				nuC += n0 * n0 * p * (1 - p) / h
+			}
+		}
+	}
+	for _, n := range partial {
+		mi := int64(len(n.stratum))
+		if mi == 0 {
+			continue
+		}
+		ni := t.liveCount(n)
+		var matching stats.Moments
+		for _, s := range n.stratum {
+			if rect.Contains(t.project(s)) {
+				if f == FuncSum {
+					matching.Add(s.Val(aggIdx))
+				} else {
+					matching.Add(1)
+				}
+			}
+		}
+		est += stats.SumEstimate(matching.Sum, mi, ni)
+		nuS += stats.ScaledSumVarianceTerm(matching, mi, ni)
+	}
+	return est, nuC, nuS
+}
+
+// estimateAvg answers AVG as the ratio of the SUM and COUNT estimators
+// (identical to the paper's estimator on covered nodes; on partial leaves
+// this is the standard ratio form of the stratified estimate). Confidence
+// intervals use the AVG variance terms of Appendix C with weights
+// w_i = N̂_i/N̂_q.
+func (t *DPT) estimateAvg(aggIdx int, rect geom.Rect, cover, partial []*node, z float64) (Result, error) {
+	sumEst, _, _ := t.estimateSumCount(FuncSum, aggIdx, rect, cover, partial)
+	cntEst, _, _ := t.estimateSumCount(FuncCount, aggIdx, rect, cover, partial)
+	var est float64
+	if cntEst > 0 {
+		est = sumEst / cntEst
+	}
+	// N̂_q: total estimated size of all relevant partitions.
+	var nq float64
+	for _, n := range cover {
+		nq += t.liveCount(n)
+	}
+	for _, n := range partial {
+		nq += t.liveCount(n)
+	}
+	var nuC, nuS float64
+	if nq > 0 {
+		for _, n := range cover {
+			if _, _, exact := t.catchupScale(n); exact {
+				continue
+			}
+			wi := t.liveCount(n) / nq
+			nuC += stats.CatchupAvgVarianceTerm(n.catchup[aggIdx], wi)
+		}
+		for _, n := range partial {
+			mi := int64(len(n.stratum))
+			if mi == 0 {
+				continue
+			}
+			var matching stats.Moments
+			for _, s := range n.stratum {
+				if rect.Contains(t.project(s)) {
+					matching.Add(s.Val(aggIdx))
+				}
+			}
+			wi := t.liveCount(n) / nq
+			nuS += stats.ScaledAvgVarianceTerm(matching, mi, matching.N, wi)
+		}
+	}
+	return Result{
+		Estimate: est,
+		Interval: stats.NewInterval(est, nuC, nuS, z),
+		Covered:  len(cover), Partial: len(partial),
+	}, nil
+}
+
+// estimateMinMax combines heap extremes of covered nodes with matching
+// sample extremes of partial leaves. Deletion-exhausted heaps make the
+// answer an outer approximation (Section 4.1), reported via Result.Outer.
+func (t *DPT) estimateMinMax(f Func, aggIdx int, rect geom.Rect, cover, partial []*node) (Result, error) {
+	if aggIdx != t.cfg.AggIndex {
+		return Result{}, fmt.Errorf("core: MIN/MAX heaps track only the primary attribute %d", t.cfg.AggIndex)
+	}
+	best := math.Inf(1)
+	if f == FuncMax {
+		best = math.Inf(-1)
+	}
+	outer := false
+	seen := false
+	take := func(v float64) {
+		seen = true
+		if f == FuncMin && v < best {
+			best = v
+		}
+		if f == FuncMax && v > best {
+			best = v
+		}
+	}
+	for _, n := range cover {
+		heap := n.minHeap
+		if f == FuncMax {
+			heap = n.maxHeap
+		}
+		if v, ok := heap.Extreme(); ok {
+			take(v)
+			if !heap.Exact() {
+				outer = true
+			}
+		}
+	}
+	for _, n := range partial {
+		for _, s := range n.stratum {
+			if rect.Contains(t.project(s)) {
+				take(s.Val(aggIdx))
+			}
+		}
+	}
+	if !seen {
+		return Result{Covered: len(cover), Partial: len(partial), Outer: true}, nil
+	}
+	return Result{
+		Estimate: best,
+		Interval: stats.Interval{Estimate: best},
+		Covered:  len(cover), Partial: len(partial),
+		Outer: outer || len(partial) > 0, // sample extremes are inner bounds
+	}, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// noteUpdate is called on a leaf after each insert/delete affecting it. It
+// rate-limits the trigger probes of Section 5.4: every TriggerEvery updates
+// it re-checks (a) stratum under-representation and (b) β-drift of the
+// leaf's max-variance relative to its value at construction.
+func (t *DPT) noteUpdate(leaf *node) {
+	leaf.updates++
+	if leaf.updates < t.cfg.TriggerEvery {
+		return
+	}
+	leaf.updates = 0
+	t.checkLeafTriggers(leaf)
+}
+
+func (t *DPT) checkLeafTriggers(leaf *node) {
+	if t.pendingTrigger {
+		return
+	}
+	// Under-representation: |S_i| << log(m)/α means the stratum cannot
+	// support robust estimates (Section 5.4). The paper's "much less than"
+	// is implemented as a factor-4 shortfall.
+	m := t.res.Len()
+	if m > 1 && t.population > 0 {
+		alpha := float64(m) / float64(t.population)
+		want := math.Log(float64(m)) / alpha
+		if float64(len(leaf.stratum)) < want/4 && t.liveCount(leaf) > want {
+			t.pendingTrigger = true
+			t.pendingLeaf = leaf
+			t.triggerReason = fmt.Sprintf("under-represented stratum: %d samples, want ~%.0f", len(leaf.stratum), want)
+			return
+		}
+	}
+	// β-drift: the leaf's current max variance moved outside
+	// [M_i/β, β·M_i].
+	cur := t.oracle.MaxVariance(leaf.rect)
+	beta := t.cfg.Beta
+	if leaf.m0 > 0 {
+		if cur > beta*leaf.m0 || cur < leaf.m0/beta {
+			t.pendingTrigger = true
+			t.pendingLeaf = leaf
+			t.triggerReason = fmt.Sprintf("variance drift: %.3g vs baseline %.3g (beta=%g)", cur, leaf.m0, beta)
+		}
+		return
+	}
+	if cur > 0 && len(leaf.stratum) > 4 {
+		// The leaf had no measurable variance at construction but has some
+		// now; treat any significant mass as drift.
+		t.pendingTrigger = true
+		t.pendingLeaf = leaf
+		t.triggerReason = fmt.Sprintf("variance appeared in flat leaf: %.3g", cur)
+	}
+}
+
+// TriggerPending reports whether a trigger fired since the last reset,
+// along with the reason.
+func (t *DPT) TriggerPending() (bool, string) {
+	return t.pendingTrigger, t.triggerReason
+}
+
+// ResetTrigger clears the pending trigger (called after the engine decided
+// whether to adopt a new partitioning).
+func (t *DPT) ResetTrigger() {
+	t.pendingTrigger = false
+	t.triggerReason = ""
+	t.pendingLeaf = nil
+}
+
+// MaxVariance returns the current maximum leaf variance M(R) over the whole
+// partitioning — the quantity the engine compares against a candidate
+// re-partitioning (adopt the candidate only when it improves by more than
+// β, Section 5.4).
+func (t *DPT) MaxVariance() float64 {
+	worst := 0.0
+	for _, l := range t.leaves {
+		if v := t.oracle.MaxVariance(l.rect); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// RefreshBaselines re-records every leaf's trigger baseline M_i from the
+// current sample (used when the engine decides to keep the partitioning).
+func (t *DPT) RefreshBaselines() {
+	for _, l := range t.leaves {
+		l.m0 = t.oracle.MaxVariance(l.rect)
+	}
+}

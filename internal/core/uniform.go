@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"janusaqp/internal/geom"
+	"janusaqp/internal/stats"
+)
+
+// AnswerUniform answers a query whose predicate ranges over arbitrary
+// *original* key attributes (dims indexes into Tuple.Key), rather than this
+// synopsis's own predicate projection, by plain uniform estimation over the
+// pooled sample — heuristic (ii) of Section 5.5 for queries from templates
+// the tree was not built for. Accuracy and latency match uniform reservoir
+// sampling; re-partitioning on the new attribute restores DPT accuracy.
+func (t *DPT) AnswerUniform(q Query, dims []int) (Result, error) {
+	if q.Rect.Dims() != len(dims) {
+		return Result{}, fmt.Errorf("core: predicate dims %d, rect dims %d", len(dims), q.Rect.Dims())
+	}
+	aggIdx := q.AggIndex
+	if aggIdx < 0 {
+		aggIdx = t.cfg.AggIndex
+	}
+	if aggIdx >= t.cfg.NumVals {
+		return Result{}, fmt.Errorf("core: aggregation attribute %d out of range", aggIdx)
+	}
+	conf := q.Confidence
+	if conf == 0 {
+		conf = 0.95
+	}
+	z := stats.ZForConfidence(conf)
+	m := int64(t.res.Len())
+	n := float64(t.population)
+	var matching, ones stats.Moments
+	for _, s := range t.res.Items() {
+		p := make(geom.Point, len(dims))
+		for i, d := range dims {
+			p[i] = s.Key[d]
+		}
+		if q.Rect.Contains(p) {
+			matching.Add(s.Val(aggIdx))
+			ones.Add(1)
+		}
+	}
+	switch q.Func {
+	case FuncSum:
+		est := stats.SumEstimate(matching.Sum, m, n)
+		nu := stats.ScaledSumVarianceTerm(matching, m, n)
+		return Result{Estimate: est, Interval: stats.NewInterval(est, 0, nu, z)}, nil
+	case FuncCount:
+		est := stats.SumEstimate(ones.Sum, m, n)
+		nu := stats.ScaledSumVarianceTerm(ones, m, n)
+		return Result{Estimate: est, Interval: stats.NewInterval(est, 0, nu, z)}, nil
+	case FuncAvg:
+		est := matching.Mean()
+		nu := stats.ScaledAvgVarianceTerm(matching, m, matching.N, 1)
+		return Result{Estimate: est, Interval: stats.NewInterval(est, 0, nu, z)}, nil
+	}
+	return Result{}, fmt.Errorf("core: uniform fallback does not support %v", q.Func)
+}

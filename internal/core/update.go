@@ -1,0 +1,64 @@
+package core
+
+import "janusaqp/internal/data"
+
+// Insert applies the insertion of tp to the synopsis, following the update
+// path of Figure 3: the reservoir sample is maintained, the leaf statistics
+// are updated, and the change propagates to the root.
+func (t *DPT) Insert(tp data.Tuple) {
+	t.population++
+	p := t.project(tp)
+	// (2)-(4): exact insert deltas and MIN/MAX heaps along the path.
+	primary := tp.Val(t.cfg.AggIndex)
+	for _, n := range t.path(p) {
+		for a := 0; a < t.cfg.NumVals; a++ {
+			n.ins[a].Add(tp.Val(a))
+		}
+		n.minHeap.Push(primary)
+		n.maxHeap.Push(primary)
+		if n.isLeaf {
+			t.noteUpdate(n)
+		}
+	}
+	// (1): reservoir maintenance with stratum bookkeeping.
+	ev := t.res.Insert(tp)
+	if ev.Evicted != nil {
+		t.dropFromStratum(*ev.Evicted)
+	}
+	if ev.Admitted {
+		t.addToStratum(tp)
+	}
+	t.refreshOracleRate()
+}
+
+// Delete applies the deletion of tp (the full tuple, as retrieved from
+// archival storage before removal) to the synopsis.
+func (t *DPT) Delete(tp data.Tuple) {
+	if t.population > 0 {
+		t.population--
+	}
+	p := t.project(tp)
+	primary := tp.Val(t.cfg.AggIndex)
+	for _, n := range t.path(p) {
+		for a := 0; a < t.cfg.NumVals; a++ {
+			n.del[a].Add(tp.Val(a))
+		}
+		n.minHeap.Remove(primary)
+		n.maxHeap.Remove(primary)
+		if n.isLeaf {
+			t.noteUpdate(n)
+		}
+	}
+	ev := t.res.Delete(tp.ID)
+	switch {
+	case ev.Resampled:
+		// The reservoir re-drew itself from archival storage; every stratum
+		// and the oracle must be rebuilt.
+		t.rebuildStrata()
+	case ev.Removed:
+		leaf := t.route(p)
+		delete(leaf.stratum, tp.ID)
+		t.oracle.Delete(tp.ID)
+	}
+	t.refreshOracleRate()
+}

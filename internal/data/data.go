@@ -1,0 +1,48 @@
+// Package data defines the tuple representation shared by every JanusAQP
+// component: the broker transports tuples, the reservoir samples them, the
+// DPT aggregates them, and the workload generators produce them.
+package data
+
+import "janusaqp/internal/geom"
+
+// Tuple is one relational row projected onto the attributes a synopsis
+// cares about: the predicate attributes (Key) addressed by rectangular
+// predicates, and one or more numeric aggregation attributes (Vals).
+type Tuple struct {
+	// ID uniquely identifies the tuple for the lifetime of the database;
+	// deletions reference tuples by ID.
+	ID int64
+	// Key holds the predicate-attribute coordinates c1..cd.
+	Key geom.Point
+	// Vals holds the aggregation attributes. A synopsis aggregates one of
+	// them (its configured aggregation index); keeping all of them lets one
+	// partition tree serve queries over different aggregation attributes
+	// (the heuristic multi-template mode of Section 5.5).
+	Vals []float64
+}
+
+// Val returns the aggregation attribute at index i, or 0 when out of range
+// (a defensive default; workloads always populate their declared columns).
+func (t Tuple) Val(i int) float64 {
+	if i < 0 || i >= len(t.Vals) {
+		return 0
+	}
+	return t.Vals[i]
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := Tuple{ID: t.ID, Key: t.Key.Clone()}
+	c.Vals = append([]float64(nil), t.Vals...)
+	return c
+}
+
+// Project returns the tuple's key projected onto the given dimensions, e.g.
+// a 5-attribute tuple projected onto a 2-attribute synopsis template.
+func (t Tuple) Project(dims []int) geom.Point {
+	p := make(geom.Point, len(dims))
+	for i, d := range dims {
+		p[i] = t.Key[d]
+	}
+	return p
+}

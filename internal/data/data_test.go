@@ -1,0 +1,38 @@
+package data
+
+import (
+	"testing"
+
+	"janusaqp/internal/geom"
+)
+
+func TestVal(t *testing.T) {
+	tp := Tuple{ID: 1, Key: geom.Point{1, 2}, Vals: []float64{10, 20}}
+	if tp.Val(0) != 10 || tp.Val(1) != 20 {
+		t.Error("Val returned wrong attribute")
+	}
+	if tp.Val(-1) != 0 || tp.Val(2) != 0 {
+		t.Error("out-of-range Val must default to 0")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tp := Tuple{ID: 1, Key: geom.Point{1, 2}, Vals: []float64{10}}
+	c := tp.Clone()
+	c.Key[0] = 99
+	c.Vals[0] = 99
+	if tp.Key[0] != 1 || tp.Vals[0] != 10 {
+		t.Error("Clone must not share backing arrays")
+	}
+	if c.ID != tp.ID {
+		t.Error("Clone must preserve ID")
+	}
+}
+
+func TestProject(t *testing.T) {
+	tp := Tuple{Key: geom.Point{10, 20, 30}}
+	p := tp.Project([]int{2, 0})
+	if len(p) != 2 || p[0] != 30 || p[1] != 10 {
+		t.Errorf("Project = %v", p)
+	}
+}

@@ -1,0 +1,283 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"janusaqp/internal/geom"
+	"janusaqp/internal/kdindex"
+	"janusaqp/internal/maxvar"
+)
+
+func oracle1D(agg maxvar.Agg, coords, vals []float64) *maxvar.Oracle {
+	o := maxvar.New(agg, 1, 0.05)
+	for i := range coords {
+		o.Insert(kdindex.Entry{Point: geom.Point{coords[i]}, Val: vals[i], ID: int64(i)})
+	}
+	return o
+}
+
+func uniform1D(rng *rand.Rand, n int) (coords, vals []float64) {
+	for i := 0; i < n; i++ {
+		coords = append(coords, rng.Float64()*1000)
+		vals = append(vals, math.Abs(rng.NormFloat64())*5+1)
+	}
+	return
+}
+
+// checkTiling verifies that the leaves partition the whole line: every probe
+// point lands in exactly one leaf, and the hierarchy is consistent (children
+// inside parents, leaves reachable).
+func checkTiling(t *testing.T, bp *Blueprint, dims int, rng *rand.Rand) {
+	t.Helper()
+	for trial := 0; trial < 500; trial++ {
+		p := make(geom.Point, dims)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 500
+		}
+		hits := 0
+		for _, l := range bp.Leaves {
+			if l.Rect.Contains(p) {
+				hits++
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("point %v contained in %d leaves, want exactly 1", p, hits)
+		}
+	}
+	// Hierarchy: walk from root; count leaves.
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		if n.IsLeaf() {
+			return 1
+		}
+		if n.Left == nil || n.Right == nil {
+			t.Fatal("internal node with a single child")
+		}
+		return walk(n.Left) + walk(n.Right)
+	}
+	if got := walk(bp.Root); got != len(bp.Leaves) {
+		t.Fatalf("hierarchy has %d leaves, blueprint lists %d", got, len(bp.Leaves))
+	}
+}
+
+func TestBinarySearch1DProducesValidPartitioning(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	coords, vals := uniform1D(rng, 1000)
+	for _, agg := range []maxvar.Agg{maxvar.Count, maxvar.Sum, maxvar.Avg} {
+		o := oracle1D(agg, coords, vals)
+		bp := BinarySearch1D(o, Options{K: 16, Population: 100000})
+		if bp.NumLeaves() > 16 {
+			t.Errorf("%v: %d leaves exceed k=16", agg, bp.NumLeaves())
+		}
+		if bp.NumLeaves() < 2 {
+			t.Errorf("%v: degenerate partitioning with %d leaves", agg, bp.NumLeaves())
+		}
+		checkTiling(t, bp, 1, rng)
+	}
+}
+
+func TestBinarySearchNearOptimal(t *testing.T) {
+	// The BS partitioning's max error must be within the paper's factor of
+	// the DP optimum: 2·rho·sqrt(2) for SUM with rho=2 gives ~5.7; allow 8
+	// for oracle noise.
+	rng := rand.New(rand.NewSource(2))
+	coords, vals := uniform1D(rng, 400)
+	o := oracle1D(maxvar.Sum, coords, vals)
+	bs := BinarySearch1D(o, Options{K: 8})
+	dp := DP1D(o, Options{K: 8})
+	if dp.MaxError <= 0 {
+		t.Fatal("DP produced zero max error on non-degenerate data")
+	}
+	ratio := bs.MaxError / dp.MaxError
+	if ratio > 8 {
+		t.Errorf("BS error %g vs DP optimum %g: ratio %.2f exceeds the approximation bound",
+			bs.MaxError, dp.MaxError, ratio)
+	}
+}
+
+func TestDPBeatsOrMatchesEqualDepth(t *testing.T) {
+	// On skewed data, minimax DP must be at least as good as equal depth.
+	rng := rand.New(rand.NewSource(3))
+	var coords, vals []float64
+	for i := 0; i < 300; i++ {
+		coords = append(coords, rng.Float64()*100)
+		vals = append(vals, 1)
+	}
+	for i := 0; i < 100; i++ {
+		coords = append(coords, 200+rng.Float64()*10)
+		vals = append(vals, 500+rng.Float64()*100)
+	}
+	o := oracle1D(maxvar.Sum, coords, vals)
+	dp := DP1D(o, Options{K: 8})
+	ed := EqualDepth1D(o, Options{K: 8})
+	if dp.MaxError > ed.MaxError*(1+1e-9) {
+		t.Errorf("DP max error %g worse than equal-depth %g", dp.MaxError, ed.MaxError)
+	}
+}
+
+func TestEqualDepthBalancesCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	coords, vals := uniform1D(rng, 1024)
+	o := oracle1D(maxvar.Count, coords, vals)
+	bp := EqualDepth1D(o, Options{K: 8})
+	if bp.NumLeaves() != 8 {
+		t.Fatalf("leaves = %d, want 8", bp.NumLeaves())
+	}
+	for _, l := range bp.Leaves {
+		n := o.Index().CountInRange(l.Rect)
+		if n < 100 || n > 156 {
+			t.Errorf("equal-depth bucket holds %d samples, want ~128", n)
+		}
+	}
+	checkTiling(t, bp, 1, rng)
+}
+
+func TestKDPartitioner(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, d := range []int{2, 3, 5} {
+		o := maxvar.New(maxvar.Sum, d, 0.05)
+		for i := 0; i < 2000; i++ {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = rng.Float64() * 100
+			}
+			o.Insert(kdindex.Entry{Point: p, Val: rng.Float64()*10 + 1, ID: int64(i)})
+		}
+		bp := KD(o, Options{K: 32})
+		if bp.NumLeaves() != 32 {
+			t.Errorf("d=%d: leaves = %d, want 32", d, bp.NumLeaves())
+		}
+		checkTiling(t, bp, d, rng)
+		// Each leaf should hold a reasonable share of samples (median splits
+		// keep things from collapsing).
+		for _, l := range bp.Leaves {
+			if n := o.Index().CountInRange(l.Rect); n == 0 {
+				t.Errorf("d=%d: empty leaf %v", d, l.Rect)
+			}
+		}
+	}
+}
+
+func TestKDSplitsHighVarianceRegionsFirst(t *testing.T) {
+	// Two clusters: one low-variance, one high-variance. With a limited
+	// budget of leaves, most splits must land in the high-variance region.
+	o := maxvar.New(maxvar.Sum, 1, 0.05)
+	id := int64(0)
+	for i := 0; i < 500; i++ {
+		o.Insert(kdindex.Entry{Point: geom.Point{float64(i) / 10}, Val: 1, ID: id})
+		id++
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		o.Insert(kdindex.Entry{Point: geom.Point{100 + float64(i)/10}, Val: rng.Float64() * 1000, ID: id})
+		id++
+	}
+	bp := KD(o, Options{K: 16})
+	left, right := 0, 0
+	for _, l := range bp.Leaves {
+		mid := (math.Max(l.Rect.Min[0], 0) + math.Min(l.Rect.Max[0], 200)) / 2
+		if mid < 75 {
+			left++
+		} else {
+			right++
+		}
+	}
+	if right <= left {
+		t.Errorf("high-variance region got %d leaves vs %d for flat region; splitting criterion broken", right, left)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	// Empty oracle.
+	o := maxvar.New(maxvar.Sum, 1, 0.05)
+	bp := BinarySearch1D(o, Options{K: 8})
+	if bp.NumLeaves() != 1 {
+		t.Errorf("empty data: %d leaves, want 1", bp.NumLeaves())
+	}
+	bp = KD(o, Options{K: 8})
+	if bp.NumLeaves() != 1 {
+		t.Errorf("empty KD: %d leaves, want 1", bp.NumLeaves())
+	}
+	// All-identical samples: no valid split exists.
+	for i := 0; i < 50; i++ {
+		o.Insert(kdindex.Entry{Point: geom.Point{7}, Val: 3, ID: int64(i)})
+	}
+	bp = KD(o, Options{K: 8})
+	if bp.NumLeaves() != 1 {
+		t.Errorf("identical samples: %d leaves, want 1 (no split possible)", bp.NumLeaves())
+	}
+	bp = BinarySearch1D(o, Options{K: 4})
+	checkTiling(t, bp, 1, rand.New(rand.NewSource(7)))
+	// K <= 1.
+	rng := rand.New(rand.NewSource(8))
+	coords, vals := uniform1D(rng, 100)
+	o2 := oracle1D(maxvar.Sum, coords, vals)
+	if bp := BinarySearch1D(o2, Options{K: 1}); bp.NumLeaves() != 1 {
+		t.Errorf("K=1: %d leaves", bp.NumLeaves())
+	}
+}
+
+func TestDuplicateCoordinateBoundaries(t *testing.T) {
+	// Heavy duplication: boundaries must not split equal coordinates.
+	var coords, vals []float64
+	for i := 0; i < 600; i++ {
+		coords = append(coords, float64(i%6))
+		vals = append(vals, 1+float64(i%3))
+	}
+	for _, mk := range []func(*maxvar.Oracle, Options) *Blueprint{BinarySearch1D, DP1D, EqualDepth1D} {
+		o := oracle1D(maxvar.Sum, coords, vals)
+		bp := mk(o, Options{K: 4})
+		total := int64(0)
+		for _, l := range bp.Leaves {
+			total += o.Index().CountInRange(l.Rect)
+		}
+		if total != 600 {
+			t.Errorf("leaves cover %d samples, want 600", total)
+		}
+		checkTiling(t, bp, 1, rand.New(rand.NewSource(9)))
+	}
+}
+
+func TestErrorGrid(t *testing.T) {
+	g := errorGrid(1, 100, 2)
+	if g[0] != 0 {
+		t.Error("grid must start at 0")
+	}
+	for i := 2; i < len(g); i++ {
+		if math.Abs(g[i]/g[i-1]-2) > 1e-9 {
+			t.Errorf("grid not geometric at %d: %g -> %g", i, g[i-1], g[i])
+		}
+	}
+	if g[len(g)-1] < 100 {
+		t.Errorf("grid top %g below requested hi", g[len(g)-1])
+	}
+	// Degenerate parameters fall back safely.
+	g = errorGrid(-1, -2, 0)
+	if len(g) < 2 {
+		t.Error("degenerate grid should still contain values")
+	}
+}
+
+func TestBSPartitionCountFavorsEqualCounts(t *testing.T) {
+	// For COUNT the optimum is equal-sized buckets; the BS result's bucket
+	// counts must be within a small factor of m/k.
+	rng := rand.New(rand.NewSource(10))
+	coords, _ := uniform1D(rng, 2048)
+	vals := make([]float64, len(coords))
+	for i := range vals {
+		vals[i] = 1
+	}
+	o := oracle1D(maxvar.Count, coords, vals)
+	bp := BinarySearch1D(o, Options{K: 8})
+	for _, l := range bp.Leaves {
+		n := o.Index().CountInRange(l.Rect)
+		if n > 2048 {
+			t.Errorf("bucket with %d samples on COUNT partitioning", n)
+		}
+	}
+	if bp.NumLeaves() < 4 {
+		t.Errorf("COUNT partitioning produced only %d leaves for k=8", bp.NumLeaves())
+	}
+}

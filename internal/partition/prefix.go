@@ -1,0 +1,89 @@
+package partition
+
+import (
+	"math"
+
+	"janusaqp/internal/maxvar"
+)
+
+// prefix1D evaluates per-bucket max-variance errors over the *sorted* 1-D
+// sample order in O(1) (COUNT/SUM) or O(window) (AVG) using prefix sums,
+// matching the definitions the oracle evaluates through its index. DP1D
+// uses it because the PASS dynamic program probes Θ(m²) buckets and paying
+// a tree walk for each would make the baseline unrunnable, not just slow.
+type prefix1D struct {
+	agg   maxvar.Agg
+	alpha float64
+	delta float64
+	sum   []float64 // sum[i]   = Σ vals[0:i]
+	sumsq []float64 // sumsq[i] = Σ vals[0:i]²
+}
+
+func newPrefix1D(o *maxvar.Oracle, vals []float64) *prefix1D {
+	p := &prefix1D{
+		agg:   o.Agg(),
+		alpha: o.SamplingRate(),
+		delta: o.Delta(),
+		sum:   make([]float64, len(vals)+1),
+		sumsq: make([]float64, len(vals)+1),
+	}
+	for i, v := range vals {
+		p.sum[i+1] = p.sum[i] + v
+		p.sumsq[i+1] = p.sumsq[i] + v*v
+	}
+	return p
+}
+
+// maxErr returns the longest-CI approximation for the bucket covering the
+// sorted sample indexes [i, j] inclusive.
+func (p *prefix1D) maxErr(i, j int) float64 {
+	m := int64(j - i + 1)
+	if m < 2 {
+		return 0
+	}
+	mf := float64(m)
+	ni := mf / p.alpha
+	switch p.agg {
+	case maxvar.Count:
+		c := float64(m / 2)
+		return math.Sqrt(ni * ni / (mf * mf * mf) * c * (mf - c))
+	case maxvar.Sum:
+		// Larger-Σa² half of the count-median split.
+		mid := i + int(m/2) - 1
+		lsq := p.sumsq[mid+1] - p.sumsq[i]
+		rsq := p.sumsq[j+1] - p.sumsq[mid+1]
+		var qs, qsq float64
+		if lsq >= rsq {
+			qs, qsq = p.sum[mid+1]-p.sum[i], lsq
+		} else {
+			qs, qsq = p.sum[j+1]-p.sum[mid+1], rsq
+		}
+		raw := mf*qsq - qs*qs
+		if raw < 0 {
+			raw = 0
+		}
+		return math.Sqrt(ni * ni / (mf * mf * mf) * raw)
+	case maxvar.Avg:
+		// Sliding window of the support-floor size maximizing Σa².
+		target := int(p.delta * mf)
+		if target < 1 {
+			target = 1
+		}
+		best := 0.0
+		for s := i; s+target-1 <= j; s++ {
+			e := s + target - 1
+			qsq := p.sumsq[e+1] - p.sumsq[s]
+			qs := p.sum[e+1] - p.sum[s]
+			raw := mf*qsq - qs*qs
+			if raw < 0 {
+				raw = 0
+			}
+			c := float64(target)
+			if v := raw / (mf * c * c); v > best {
+				best = v
+			}
+		}
+		return math.Sqrt(best)
+	}
+	return 0
+}

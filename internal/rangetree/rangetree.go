@@ -1,0 +1,284 @@
+// Package rangetree implements a dynamic two-dimensional range tree with
+// COUNT/Σa/Σa² aggregates, the structure named by Appendix D.1 of the
+// JanusAQP paper.
+//
+// The static structure is a classic nested range tree: a balanced hierarchy
+// over the x-order where every node stores its subtree's points sorted by
+// y with prefix aggregates, answering rectangle aggregate queries in
+// O(log² m). Dynamization uses the Bentley–Saxe logarithmic method that the
+// paper cites ([5, 13, 34]): the tree is a collection of O(log m) static
+// structures of doubling sizes; insertion merges the smallest structures,
+// and deletion exploits that COUNT/Σa/Σa² are group (invertible)
+// aggregates — deleted points live in a second logarithmic structure whose
+// aggregates are subtracted at query time, with a global rebuild once the
+// deletion side reaches half the insertion side.
+package rangetree
+
+import (
+	"fmt"
+	"sort"
+
+	"janusaqp/internal/geom"
+	"janusaqp/internal/stats"
+)
+
+// Point is a weighted 2-d point.
+type Point struct {
+	X, Y float64
+	Val  float64
+	ID   int64
+}
+
+// --- static nested range tree -------------------------------------------
+
+// staticTree is an immutable nested range tree over a fixed point set.
+type staticTree struct {
+	// xs holds the points sorted by (X, ID). The hierarchy over x is an
+	// implicit perfectly balanced segment tree over this order.
+	xs []Point
+	// nodes[i] is the y-sorted point list of implicit node i with prefix
+	// aggregates; node 1 is the root covering xs[0:len].
+	ys     [][]yentry
+	levels int
+}
+
+type yentry struct {
+	y float64
+	// prefix aggregates over this node's y-order, inclusive.
+	cum stats.Moments
+}
+
+func buildStatic(pts []Point) *staticTree {
+	if len(pts) == 0 {
+		return &staticTree{}
+	}
+	xs := make([]Point, len(pts))
+	copy(xs, pts)
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].X != xs[j].X {
+			return xs[i].X < xs[j].X
+		}
+		return xs[i].ID < xs[j].ID
+	})
+	size := 1
+	for size < len(xs) {
+		size *= 2
+	}
+	t := &staticTree{xs: xs, ys: make([][]yentry, 2*size)}
+	t.buildNode(1, 0, len(xs))
+	return t
+}
+
+// buildNode materializes the y-sorted list of the node covering xs[lo:hi].
+func (t *staticTree) buildNode(node, lo, hi int) {
+	if hi-lo <= 0 {
+		return
+	}
+	if hi-lo == 1 {
+		p := t.xs[lo]
+		var m stats.Moments
+		m.Add(p.Val)
+		t.ys[node] = []yentry{{y: p.Y, cum: m}}
+		return
+	}
+	mid := (lo + hi) / 2
+	t.buildNode(2*node, lo, mid)
+	t.buildNode(2*node+1, mid, hi)
+	left, right := t.ys[2*node], t.ys[2*node+1]
+	merged := make([]yentry, 0, len(left)+len(right))
+	var cum stats.Moments
+	i, j := 0, 0
+	// Children store prefix-cumulative aggregates; recover per-point values
+	// by differencing, then merge the two y-orders.
+	leftVals := perPoint(left)
+	rightVals := perPoint(right)
+	for i < len(leftVals) || j < len(rightVals) {
+		var take pointVal
+		if j >= len(rightVals) || (i < len(leftVals) && leftVals[i].y <= rightVals[j].y) {
+			take = leftVals[i]
+			i++
+		} else {
+			take = rightVals[j]
+			j++
+		}
+		cum.Add(take.val)
+		merged = append(merged, yentry{y: take.y, cum: cum})
+	}
+	t.ys[node] = merged
+}
+
+type pointVal struct {
+	y, val float64
+}
+
+func perPoint(entries []yentry) []pointVal {
+	out := make([]pointVal, len(entries))
+	var prev stats.Moments
+	for i, e := range entries {
+		cur := e.cum
+		cur.Unmerge(prev)
+		out[i] = pointVal{y: e.y, val: cur.Sum}
+		prev = e.cum
+	}
+	return out
+}
+
+// yRange returns the aggregate over points of this node with y in [ylo,yhi].
+func yRange(entries []yentry, ylo, yhi float64) stats.Moments {
+	if len(entries) == 0 || ylo > yhi {
+		return stats.Moments{}
+	}
+	// first index with y >= ylo
+	lo := sort.Search(len(entries), func(i int) bool { return entries[i].y >= ylo })
+	// first index with y > yhi
+	hi := sort.Search(len(entries), func(i int) bool { return entries[i].y > yhi })
+	if hi <= lo {
+		return stats.Moments{}
+	}
+	m := entries[hi-1].cum
+	if lo > 0 {
+		m.Unmerge(entries[lo-1].cum)
+	}
+	return m
+}
+
+// query returns aggregates over points with x in [xlo,xhi], y in [ylo,yhi].
+func (t *staticTree) query(xlo, xhi, ylo, yhi float64) stats.Moments {
+	var m stats.Moments
+	if len(t.xs) == 0 {
+		return m
+	}
+	// x-range as index range over the sorted order.
+	lo := sort.Search(len(t.xs), func(i int) bool { return t.xs[i].X >= xlo })
+	hi := sort.Search(len(t.xs), func(i int) bool { return t.xs[i].X > xhi })
+	if hi <= lo {
+		return m
+	}
+	t.queryNode(1, 0, len(t.xs), lo, hi, ylo, yhi, &m)
+	return m
+}
+
+func (t *staticTree) queryNode(node, nlo, nhi, qlo, qhi int, ylo, yhi float64, m *stats.Moments) {
+	if qhi <= nlo || nhi <= qlo || nhi <= nlo {
+		return
+	}
+	if qlo <= nlo && nhi <= qhi {
+		m.Merge(yRange(t.ys[node], ylo, yhi))
+		return
+	}
+	mid := (nlo + nhi) / 2
+	t.queryNode(2*node, nlo, mid, qlo, qhi, ylo, yhi, m)
+	t.queryNode(2*node+1, mid, nhi, qlo, qhi, ylo, yhi, m)
+}
+
+func (t *staticTree) len() int { return len(t.xs) }
+
+// --- Bentley–Saxe logarithmic method --------------------------------------
+
+// side is one logarithmic collection of static trees.
+type side struct {
+	trees []*staticTree // trees[i] has size 0 or 2^i (loosely; merged greedily)
+	n     int
+}
+
+func (s *side) insert(p Point) {
+	carry := []Point{p}
+	level := 0
+	for {
+		if level == len(s.trees) {
+			s.trees = append(s.trees, nil)
+		}
+		if s.trees[level] == nil {
+			s.trees[level] = buildStatic(carry)
+			break
+		}
+		carry = append(carry, s.trees[level].xs...)
+		s.trees[level] = nil
+		level++
+	}
+	s.n++
+}
+
+func (s *side) query(xlo, xhi, ylo, yhi float64) stats.Moments {
+	var m stats.Moments
+	for _, t := range s.trees {
+		if t != nil {
+			m.Merge(t.query(xlo, xhi, ylo, yhi))
+		}
+	}
+	return m
+}
+
+func (s *side) collect() []Point {
+	var out []Point
+	for _, t := range s.trees {
+		if t != nil {
+			out = append(out, t.xs...)
+		}
+	}
+	return out
+}
+
+// Tree is the dynamic 2-d range tree. The zero value is ready to use.
+type Tree struct {
+	adds side
+	dels side
+	live map[int64]Point
+}
+
+// New returns an empty dynamic range tree.
+func New() *Tree { return &Tree{live: make(map[int64]Point)} }
+
+// Len returns the number of live points.
+func (t *Tree) Len() int { return len(t.live) }
+
+// Insert adds p. IDs must be unique among live points.
+func (t *Tree) Insert(p Point) {
+	if _, dup := t.live[p.ID]; dup {
+		panic(fmt.Sprintf("rangetree: duplicate live id %d", p.ID))
+	}
+	t.live[p.ID] = p
+	t.adds.insert(p)
+}
+
+// Delete removes the live point with the given id; it returns false when
+// absent. When the deletion side grows past half the insertion side the
+// whole structure is rebuilt from the live set.
+func (t *Tree) Delete(id int64) bool {
+	p, ok := t.live[id]
+	if !ok {
+		return false
+	}
+	delete(t.live, id)
+	t.dels.insert(p)
+	if t.dels.n*2 > t.adds.n && t.adds.n > 8 {
+		t.rebuild()
+	}
+	return true
+}
+
+func (t *Tree) rebuild() {
+	pts := make([]Point, 0, len(t.live))
+	for _, p := range t.live {
+		pts = append(pts, p)
+	}
+	t.adds = side{}
+	t.dels = side{}
+	for _, p := range pts {
+		t.adds.insert(p)
+	}
+}
+
+// RangeMoments returns (count, Σval, Σval²) of live points inside rect,
+// which must be 2-dimensional.
+func (t *Tree) RangeMoments(rect geom.Rect) stats.Moments {
+	if rect.Dims() != 2 {
+		panic("rangetree: rectangle must be 2-dimensional")
+	}
+	m := t.adds.query(rect.Min[0], rect.Max[0], rect.Min[1], rect.Max[1])
+	m.Unmerge(t.dels.query(rect.Min[0], rect.Max[0], rect.Min[1], rect.Max[1]))
+	if m.N < 0 {
+		m = stats.Moments{} // defensive: cancellation should never go negative
+	}
+	return m
+}

@@ -1,0 +1,165 @@
+package rangetree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"janusaqp/internal/geom"
+	"janusaqp/internal/kdindex"
+)
+
+func TestStaticQueryMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var pts []Point
+	for i := 0; i < 700; i++ {
+		pts = append(pts, Point{
+			X: math.Floor(rng.Float64() * 50), Y: math.Floor(rng.Float64() * 50),
+			Val: rng.NormFloat64() * 4, ID: int64(i),
+		})
+	}
+	st := buildStatic(pts)
+	for trial := 0; trial < 150; trial++ {
+		xlo, xhi := rng.Float64()*50, rng.Float64()*50
+		if xlo > xhi {
+			xlo, xhi = xhi, xlo
+		}
+		ylo, yhi := rng.Float64()*50, rng.Float64()*50
+		if ylo > yhi {
+			ylo, yhi = yhi, ylo
+		}
+		got := st.query(xlo, xhi, ylo, yhi)
+		var wantN int64
+		var wantSum, wantSq float64
+		for _, p := range pts {
+			if p.X >= xlo && p.X <= xhi && p.Y >= ylo && p.Y <= yhi {
+				wantN++
+				wantSum += p.Val
+				wantSq += p.Val * p.Val
+			}
+		}
+		if got.N != wantN {
+			t.Fatalf("trial %d: N=%d want %d", trial, got.N, wantN)
+		}
+		if math.Abs(got.Sum-wantSum) > 1e-6*(1+math.Abs(wantSum)) {
+			t.Fatalf("trial %d: Sum=%g want %g", trial, got.Sum, wantSum)
+		}
+		if math.Abs(got.SumSq-wantSq) > 1e-6*(1+wantSq) {
+			t.Fatalf("trial %d: SumSq=%g want %g", trial, got.SumSq, wantSq)
+		}
+	}
+}
+
+func TestDynamicAgainstKDIndex(t *testing.T) {
+	// Cross-check the nested range tree against the k-d aggregate index
+	// under a mixed insert/delete stream.
+	rng := rand.New(rand.NewSource(2))
+	rt := New()
+	kd := kdindex.New(2)
+	type rec struct {
+		p    Point
+		live bool
+	}
+	var recs []rec
+	for step := 0; step < 3000; step++ {
+		if rng.Float64() < 0.35 && len(recs) > 0 {
+			i := rng.Intn(len(recs))
+			if recs[i].live {
+				if !rt.Delete(recs[i].p.ID) {
+					t.Fatalf("rangetree delete %d failed", recs[i].p.ID)
+				}
+				kd.Delete(recs[i].p.ID)
+				recs[i].live = false
+			}
+			continue
+		}
+		p := Point{
+			X: math.Floor(rng.Float64() * 40), Y: math.Floor(rng.Float64() * 40),
+			Val: rng.NormFloat64(), ID: int64(step),
+		}
+		rt.Insert(p)
+		kd.Insert(kdindex.Entry{Point: geom.Point{p.X, p.Y}, Val: p.Val, ID: p.ID})
+		recs = append(recs, rec{p, true})
+	}
+	if rt.Len() != kd.Len() {
+		t.Fatalf("Len mismatch: rangetree %d, kdindex %d", rt.Len(), kd.Len())
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Float64()*40, rng.Float64()*40
+		c, d := rng.Float64()*40, rng.Float64()*40
+		rect := geom.NewRect(
+			geom.Point{math.Min(a, b), math.Min(c, d)},
+			geom.Point{math.Max(a, b), math.Max(c, d)},
+		)
+		got := rt.RangeMoments(rect)
+		want := kd.RangeMoments(rect)
+		if got.N != want.N {
+			t.Fatalf("trial %d rect %v: N=%d want %d", trial, rect, got.N, want.N)
+		}
+		if math.Abs(got.Sum-want.Sum) > 1e-6*(1+math.Abs(want.Sum)) {
+			t.Fatalf("trial %d: Sum=%g want %g", trial, got.Sum, want.Sum)
+		}
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	rt := New()
+	if rt.Delete(99) {
+		t.Error("delete of absent id should fail")
+	}
+	rt.Insert(Point{X: 1, Y: 1, Val: 1, ID: 1})
+	if !rt.Delete(1) {
+		t.Error("delete of live id should succeed")
+	}
+	if rt.Delete(1) {
+		t.Error("double delete should fail")
+	}
+}
+
+func TestDuplicateIDPanics(t *testing.T) {
+	rt := New()
+	rt.Insert(Point{ID: 5})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate live ID")
+		}
+	}()
+	rt.Insert(Point{ID: 5})
+}
+
+func TestRebuildOnHeavyDeletion(t *testing.T) {
+	rt := New()
+	for i := 0; i < 1000; i++ {
+		rt.Insert(Point{X: float64(i), Y: float64(i % 17), Val: 1, ID: int64(i)})
+	}
+	for i := 0; i < 900; i++ {
+		rt.Delete(int64(i))
+	}
+	// The rebuild threshold keeps the deletion side at no more than half
+	// the insertion side, bounding wasted space and query work.
+	if rt.dels.n*2 > rt.adds.n {
+		t.Errorf("dels side %d exceeds half of adds side %d", rt.dels.n, rt.adds.n)
+	}
+	got := rt.RangeMoments(geom.NewRect(geom.Point{0, 0}, geom.Point{2000, 20}))
+	if got.N != 100 {
+		t.Errorf("live count = %d, want 100", got.N)
+	}
+}
+
+func TestEmptyTreeQueries(t *testing.T) {
+	rt := New()
+	m := rt.RangeMoments(geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1}))
+	if m.N != 0 || m.Sum != 0 {
+		t.Errorf("empty tree query = %+v", m)
+	}
+}
+
+func TestNonTwoDimensionalRectPanics(t *testing.T) {
+	rt := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 3-d rect")
+		}
+	}()
+	rt.RangeMoments(geom.Universe(3))
+}

@@ -1,0 +1,352 @@
+// Package sqlparse implements the small SQL dialect of JanusAQP query
+// templates (Section 3.1 of the paper):
+//
+//	SELECT SUM(A) FROM D WHERE Rectangle(D.c1, ..., D.cd)
+//
+// concretely, statements of the form
+//
+//	SELECT <AGG>(<column>|*) FROM <table>
+//	  [WHERE <predicate> [AND <predicate>]...]
+//	  [WITH CONFIDENCE <level>]
+//
+// where each predicate constrains one column with <, <=, >, >=, =, or
+// BETWEEN x AND y, and AGG is one of SUM, COUNT, AVG, MIN, MAX, VARIANCE,
+// STDDEV. Conjunctions over the predicate columns compile to the
+// rectangular region the synopsis answers.
+package sqlparse
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"janusaqp/internal/core"
+	"janusaqp/internal/geom"
+)
+
+// Statement is a parsed query.
+type Statement struct {
+	Func       string // SUM, COUNT, AVG, MIN, MAX, VARIANCE, STDDEV
+	Column     string // aggregated column; "*" allowed for COUNT
+	Table      string
+	Where      []Constraint
+	Confidence float64 // 0 means default
+}
+
+// Constraint bounds one column. Op is one of "<", "<=", ">", ">=", "=",
+// "between" (which uses both Lo and Hi).
+type Constraint struct {
+	Column string
+	Op     string
+	Lo, Hi float64
+}
+
+// --- lexer -----------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokSymbol
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			l.pos++
+		case c == '(' || c == ')' || c == ',' || c == '*':
+			l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: l.pos})
+			l.pos++
+		case c == '<' || c == '>':
+			text := string(c)
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				text += "="
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: text, pos: l.pos})
+			l.pos++
+		case c == '=':
+			l.toks = append(l.toks, token{kind: tokSymbol, text: "=", pos: l.pos})
+			l.pos++
+		case c == '-' || c == '+' || c == '.' || (c >= '0' && c <= '9'):
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && (isNumChar(l.src[l.pos])) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlparse: bad number %q at %d", text, start)
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: text, num: v, pos: start})
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: len(l.src)})
+	return l.toks, nil
+}
+
+func isNumChar(c byte) bool {
+	return (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+'
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentChar(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.' }
+
+// --- parser ----------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("sqlparse: expected %s at position %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("sqlparse: expected %q at position %d, got %q", sym, t.pos, t.text)
+	}
+	return nil
+}
+
+var aggFuncs = map[string]bool{
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+	"VARIANCE": true, "STDDEV": true,
+}
+
+// Parse parses one statement.
+func Parse(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	fn := p.next()
+	if fn.kind != tokIdent || !aggFuncs[strings.ToUpper(fn.text)] {
+		return nil, fmt.Errorf("sqlparse: expected an aggregate function, got %q", fn.text)
+	}
+	st := &Statement{Func: strings.ToUpper(fn.text)}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	col := p.next()
+	switch {
+	case col.kind == tokIdent:
+		st.Column = col.text
+	case col.kind == tokSymbol && col.text == "*":
+		if st.Func != "COUNT" {
+			return nil, fmt.Errorf("sqlparse: %s(*) is not valid; only COUNT(*)", st.Func)
+		}
+		st.Column = "*"
+	default:
+		return nil, fmt.Errorf("sqlparse: expected a column inside %s(...)", st.Func)
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tbl := p.next()
+	if tbl.kind != tokIdent {
+		return nil, fmt.Errorf("sqlparse: expected a table name, got %q", tbl.text)
+	}
+	st.Table = tbl.text
+
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "WHERE") {
+		p.next()
+		for {
+			c, err := p.parseConstraint()
+			if err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, c)
+			if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "AND") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "WITH") {
+		p.next()
+		if err := p.expectKeyword("CONFIDENCE"); err != nil {
+			return nil, err
+		}
+		lvl := p.next()
+		if lvl.kind != tokNumber || lvl.num <= 0 || lvl.num >= 1 {
+			return nil, fmt.Errorf("sqlparse: confidence level must be a number in (0,1)")
+		}
+		st.Confidence = lvl.num
+	}
+	if t := p.next(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sqlparse: trailing input at position %d: %q", t.pos, t.text)
+	}
+	return st, nil
+}
+
+func (p *parser) parseConstraint() (Constraint, error) {
+	col := p.next()
+	if col.kind != tokIdent {
+		return Constraint{}, fmt.Errorf("sqlparse: expected a column in WHERE, got %q", col.text)
+	}
+	op := p.next()
+	if op.kind == tokIdent && strings.EqualFold(op.text, "BETWEEN") {
+		lo := p.next()
+		if lo.kind != tokNumber {
+			return Constraint{}, fmt.Errorf("sqlparse: BETWEEN needs a numeric lower bound")
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return Constraint{}, err
+		}
+		hi := p.next()
+		if hi.kind != tokNumber {
+			return Constraint{}, fmt.Errorf("sqlparse: BETWEEN needs a numeric upper bound")
+		}
+		if lo.num > hi.num {
+			return Constraint{}, fmt.Errorf("sqlparse: BETWEEN bounds inverted (%g > %g)", lo.num, hi.num)
+		}
+		return Constraint{Column: col.text, Op: "between", Lo: lo.num, Hi: hi.num}, nil
+	}
+	if op.kind != tokSymbol {
+		return Constraint{}, fmt.Errorf("sqlparse: expected a comparison after %q", col.text)
+	}
+	val := p.next()
+	if val.kind != tokNumber {
+		return Constraint{}, fmt.Errorf("sqlparse: expected a number after %q %s", col.text, op.text)
+	}
+	switch op.text {
+	case "<", "<=":
+		return Constraint{Column: col.text, Op: op.text, Hi: val.num}, nil
+	case ">", ">=":
+		return Constraint{Column: col.text, Op: op.text, Lo: val.num}, nil
+	case "=":
+		return Constraint{Column: col.text, Op: "=", Lo: val.num, Hi: val.num}, nil
+	}
+	return Constraint{}, fmt.Errorf("sqlparse: unsupported operator %q", op.text)
+}
+
+// --- compiler ----------------------------------------------------------------
+
+// Schema describes a table for compilation: the predicate columns of the
+// synopsis template (in template order) and the aggregation columns (in
+// Vals order).
+type Schema struct {
+	Table    string
+	PredCols []string
+	AggCols  []string
+}
+
+// Compile turns a parsed statement into a core.Query for a synopsis with
+// the given schema. All WHERE columns must be predicate columns; the
+// aggregated column must be an aggregation column (or * for COUNT).
+func Compile(st *Statement, sc Schema) (core.Query, error) {
+	if !strings.EqualFold(st.Table, sc.Table) {
+		return core.Query{}, fmt.Errorf("sqlparse: unknown table %q (schema is for %q)", st.Table, sc.Table)
+	}
+	var fn core.Func
+	switch st.Func {
+	case "SUM":
+		fn = core.FuncSum
+	case "COUNT":
+		fn = core.FuncCount
+	case "AVG":
+		fn = core.FuncAvg
+	case "MIN":
+		fn = core.FuncMin
+	case "MAX":
+		fn = core.FuncMax
+	case "VARIANCE":
+		fn = core.FuncVariance
+	case "STDDEV":
+		fn = core.FuncStdDev
+	}
+	aggIdx := -1
+	if st.Column != "*" {
+		found := false
+		for i, c := range sc.AggCols {
+			if strings.EqualFold(c, st.Column) {
+				aggIdx = i
+				found = true
+				break
+			}
+		}
+		if !found {
+			return core.Query{}, fmt.Errorf("sqlparse: %q is not an aggregation column (have %v)", st.Column, sc.AggCols)
+		}
+	} else if fn != core.FuncCount {
+		return core.Query{}, fmt.Errorf("sqlparse: * is only valid in COUNT")
+	}
+	rect := geom.Universe(len(sc.PredCols))
+	for _, c := range st.Where {
+		dim := -1
+		for i, pc := range sc.PredCols {
+			if strings.EqualFold(pc, c.Column) {
+				dim = i
+				break
+			}
+		}
+		if dim < 0 {
+			return core.Query{}, fmt.Errorf("sqlparse: %q is not a predicate column of this template (have %v)", c.Column, sc.PredCols)
+		}
+		switch c.Op {
+		case "between", "=":
+			rect.Min[dim] = math.Max(rect.Min[dim], c.Lo)
+			rect.Max[dim] = math.Min(rect.Max[dim], c.Hi)
+		case "<":
+			rect.Max[dim] = math.Min(rect.Max[dim], math.Nextafter(c.Hi, math.Inf(-1)))
+		case "<=":
+			rect.Max[dim] = math.Min(rect.Max[dim], c.Hi)
+		case ">":
+			rect.Min[dim] = math.Max(rect.Min[dim], math.Nextafter(c.Lo, math.Inf(1)))
+		case ">=":
+			rect.Min[dim] = math.Max(rect.Min[dim], c.Lo)
+		}
+		if rect.Min[dim] > rect.Max[dim] {
+			return core.Query{}, fmt.Errorf("sqlparse: contradictory constraints on %q", c.Column)
+		}
+	}
+	return core.Query{Func: fn, AggIndex: aggIdx, Rect: rect, Confidence: st.Confidence}, nil
+}

@@ -1,0 +1,181 @@
+package sqlparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"janusaqp/internal/core"
+)
+
+func schema() Schema {
+	return Schema{
+		Table:    "trips",
+		PredCols: []string{"pickup", "dropoff"},
+		AggCols:  []string{"distance", "fare"},
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	st, err := Parse("SELECT SUM(distance) FROM trips WHERE pickup BETWEEN 10 AND 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Func != "SUM" || st.Column != "distance" || st.Table != "trips" {
+		t.Errorf("parsed %+v", st)
+	}
+	if len(st.Where) != 1 || st.Where[0].Op != "between" || st.Where[0].Lo != 10 || st.Where[0].Hi != 20 {
+		t.Errorf("where = %+v", st.Where)
+	}
+}
+
+func TestParseAllAggregates(t *testing.T) {
+	for _, fn := range []string{"SUM", "COUNT", "AVG", "MIN", "MAX", "VARIANCE", "STDDEV"} {
+		if _, err := Parse("SELECT " + fn + "(fare) FROM trips"); err != nil {
+			t.Errorf("%s: %v", fn, err)
+		}
+	}
+	if _, err := Parse("SELECT COUNT(*) FROM trips"); err != nil {
+		t.Errorf("COUNT(*): %v", err)
+	}
+	if _, err := Parse("SELECT SUM(*) FROM trips"); err == nil {
+		t.Error("SUM(*) must be rejected")
+	}
+}
+
+func TestParseCaseInsensitive(t *testing.T) {
+	st, err := Parse("select avg(fare) from trips where pickup >= 5 and dropoff < 9.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Func != "AVG" || len(st.Where) != 2 {
+		t.Errorf("parsed %+v", st)
+	}
+}
+
+func TestParseConfidence(t *testing.T) {
+	st, err := Parse("SELECT SUM(fare) FROM trips WITH CONFIDENCE 0.99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Confidence != 0.99 {
+		t.Errorf("confidence = %g", st.Confidence)
+	}
+	if _, err := Parse("SELECT SUM(fare) FROM trips WITH CONFIDENCE 2"); err == nil {
+		t.Error("confidence outside (0,1) must be rejected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DELETE FROM trips",
+		"SELECT FROM trips",
+		"SELECT MEDIAN(x) FROM trips",
+		"SELECT SUM(x FROM trips",
+		"SELECT SUM(x) trips",
+		"SELECT SUM(x) FROM trips WHERE",
+		"SELECT SUM(x) FROM trips WHERE a !! 3",
+		"SELECT SUM(x) FROM trips WHERE a BETWEEN 5 AND 2",
+		"SELECT SUM(x) FROM trips WHERE a BETWEEN b AND 2",
+		"SELECT SUM(x) FROM trips garbage",
+		"SELECT SUM(x) FROM trips WHERE a < banana",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestCompileRect(t *testing.T) {
+	st, err := Parse("SELECT SUM(distance) FROM trips WHERE pickup BETWEEN 10 AND 20 AND dropoff <= 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Compile(st, schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Func != core.FuncSum || q.AggIndex != 0 {
+		t.Errorf("compiled %+v", q)
+	}
+	if q.Rect.Min[0] != 10 || q.Rect.Max[0] != 20 {
+		t.Errorf("pickup bounds = [%g, %g]", q.Rect.Min[0], q.Rect.Max[0])
+	}
+	if !math.IsInf(q.Rect.Min[1], -1) || q.Rect.Max[1] != 50 {
+		t.Errorf("dropoff bounds = [%g, %g]", q.Rect.Min[1], q.Rect.Max[1])
+	}
+}
+
+func TestCompileStrictInequalities(t *testing.T) {
+	st, _ := Parse("SELECT COUNT(*) FROM trips WHERE pickup > 5 AND pickup < 10")
+	q, err := Compile(st, schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strict bounds are nudged by one ULP so the closed rectangle excludes
+	// the endpoints.
+	if !(q.Rect.Min[0] > 5) || !(q.Rect.Max[0] < 10) {
+		t.Errorf("strict bounds not exclusive: [%v, %v]", q.Rect.Min[0], q.Rect.Max[0])
+	}
+}
+
+func TestCompileEquality(t *testing.T) {
+	st, _ := Parse("SELECT COUNT(*) FROM trips WHERE pickup = 7")
+	q, err := Compile(st, schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Rect.Min[0] != 7 || q.Rect.Max[0] != 7 {
+		t.Errorf("equality rect = [%g, %g]", q.Rect.Min[0], q.Rect.Max[0])
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	sc := schema()
+	cases := []string{
+		"SELECT SUM(distance) FROM nope",                                  // wrong table
+		"SELECT SUM(pickup) FROM trips",                                   // not an agg column
+		"SELECT SUM(distance) FROM trips WHERE fare < 3",                  // not a predicate column
+		"SELECT SUM(distance) FROM trips WHERE pickup < 3 AND pickup > 9", // contradiction
+	}
+	for _, src := range cases {
+		st, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Compile(st, sc); err == nil {
+			t.Errorf("expected compile error for %q", src)
+		}
+	}
+}
+
+func TestCompileExtendedFuncs(t *testing.T) {
+	st, _ := Parse("SELECT STDDEV(fare) FROM trips")
+	q, err := Compile(st, schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Func != core.FuncStdDev || q.AggIndex != 1 {
+		t.Errorf("compiled %+v", q)
+	}
+}
+
+func TestCompileCountStar(t *testing.T) {
+	st, _ := Parse("SELECT COUNT(*) FROM trips")
+	q, err := Compile(st, schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Func != core.FuncCount || q.AggIndex != -1 {
+		t.Errorf("compiled %+v", q)
+	}
+}
+
+func TestLexUnexpectedCharacter(t *testing.T) {
+	if _, err := Parse("SELECT SUM(x) FROM t WHERE a < 3; DROP TABLE t"); err == nil ||
+		!strings.Contains(err.Error(), "unexpected character") {
+		t.Errorf("expected lex error, got %v", err)
+	}
+}

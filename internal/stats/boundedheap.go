@@ -1,0 +1,145 @@
+package stats
+
+import "container/heap"
+
+// BoundedHeap keeps the k most extreme values seen so far, supporting the
+// MIN/MAX maintenance protocol of Section 4.1: insertions push a value and
+// evict the least extreme one beyond capacity k; deletions remove a value if
+// present, but never below one remaining element (the paper stops removing
+// at a single element, at which point the reported extreme becomes an outer
+// approximation).
+//
+// A BoundedHeap with kind=KeepMin tracks candidate minima (its Extreme is
+// the smallest retained value); kind=KeepMax tracks candidate maxima.
+type BoundedHeap struct {
+	kind  HeapKind
+	cap   int
+	items innerHeap
+	count map[float64]int // multiset membership for O(1) Contains
+	exact bool            // true while no eviction has discarded information
+}
+
+// HeapKind selects whether a BoundedHeap retains the smallest or the
+// largest values.
+type HeapKind int
+
+const (
+	// KeepMin retains the k smallest values; Extreme() is the minimum.
+	KeepMin HeapKind = iota
+	// KeepMax retains the k largest values; Extreme() is the maximum.
+	KeepMax
+)
+
+// NewBoundedHeap returns a heap retaining at most k values. k must be >= 1.
+func NewBoundedHeap(kind HeapKind, k int) *BoundedHeap {
+	if k < 1 {
+		panic("stats: bounded heap capacity must be >= 1")
+	}
+	return &BoundedHeap{
+		kind:  kind,
+		cap:   k,
+		items: innerHeap{kind: kind},
+		count: make(map[float64]int),
+		exact: true,
+	}
+}
+
+// Len returns the number of retained values.
+func (b *BoundedHeap) Len() int { return len(b.items.vals) }
+
+// Exact reports whether Extreme() is still guaranteed to equal the true
+// extreme of all values ever inserted minus those deleted. It turns false
+// once a deletion empties the retained set down to the last element while
+// information had already been evicted.
+func (b *BoundedHeap) Exact() bool { return b.exact }
+
+// Push inserts v, evicting the least extreme retained value if capacity is
+// exceeded.
+func (b *BoundedHeap) Push(v float64) {
+	heap.Push(&b.items, v)
+	b.count[v]++
+	if len(b.items.vals) > b.cap {
+		evicted := heap.Pop(&b.items).(float64)
+		b.decCount(evicted)
+	}
+}
+
+// Remove deletes one occurrence of v if it is retained. Following the
+// paper, removal stops when only one value remains: the heap never empties,
+// and from that moment the reported extreme is an outer approximation.
+// It returns true if a value was removed.
+func (b *BoundedHeap) Remove(v float64) bool {
+	if b.count[v] == 0 {
+		return false
+	}
+	if len(b.items.vals) <= 1 {
+		// Keep the last element; the estimate degrades to an outer bound.
+		b.exact = false
+		return false
+	}
+	for i, x := range b.items.vals {
+		if x == v {
+			heap.Remove(&b.items, i)
+			b.decCount(v)
+			return true
+		}
+	}
+	return false
+}
+
+// Extreme returns the current extreme value: the minimum of the retained
+// set for KeepMin, the maximum for KeepMax. ok is false when empty.
+func (b *BoundedHeap) Extreme() (v float64, ok bool) {
+	if len(b.items.vals) == 0 {
+		return 0, false
+	}
+	// The heap root is the *least* extreme retained value (the eviction
+	// candidate); the true extreme is at the other end. Scan for it: the
+	// retained set is at most k elements, and k is small (default 16).
+	v = b.items.vals[0]
+	for _, x := range b.items.vals[1:] {
+		if (b.kind == KeepMin && x < v) || (b.kind == KeepMax && x > v) {
+			v = x
+		}
+	}
+	return v, true
+}
+
+func (b *BoundedHeap) decCount(v float64) {
+	if b.count[v] <= 1 {
+		delete(b.count, v)
+	} else {
+		b.count[v]--
+	}
+}
+
+// innerHeap orders values so that the root is the eviction candidate: for
+// KeepMin the root is the largest retained value, for KeepMax the smallest.
+type innerHeap struct {
+	kind HeapKind
+	vals []float64
+}
+
+func (h innerHeap) Len() int { return len(h.vals) }
+func (h innerHeap) Less(i, j int) bool {
+	if h.kind == KeepMin {
+		return h.vals[i] > h.vals[j]
+	}
+	return h.vals[i] < h.vals[j]
+}
+func (h innerHeap) Swap(i, j int) { h.vals[i], h.vals[j] = h.vals[j], h.vals[i] }
+func (h *innerHeap) Push(x any)   { h.vals = append(h.vals, x.(float64)) }
+func (h *innerHeap) Pop() any {
+	old := h.vals
+	n := len(old)
+	v := old[n-1]
+	h.vals = old[:n-1]
+	return v
+}
+
+// Values returns a copy of the retained multiset (in no particular order),
+// used for persistence: re-pushing the values into a fresh heap of the same
+// capacity restores an equivalent heap.
+func (b *BoundedHeap) Values() []float64 {
+	return append([]float64(nil), b.items.vals...)
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBoundedHeapTracksMin(t *testing.T) {
+	h := NewBoundedHeap(KeepMin, 3)
+	for _, v := range []float64{5, 2, 8, 1, 9, 3} {
+		h.Push(v)
+	}
+	if got, ok := h.Extreme(); !ok || got != 1 {
+		t.Fatalf("Extreme = %g ok=%v, want 1", got, ok)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	// Retained should be the 3 smallest: 1, 2, 3. Deleting 1 exposes 2.
+	if !h.Remove(1) {
+		t.Fatal("Remove(1) should succeed")
+	}
+	if got, _ := h.Extreme(); got != 2 {
+		t.Errorf("after removing min, Extreme = %g, want 2", got)
+	}
+	// 5 was evicted, so Remove(5) is a no-op.
+	if h.Remove(5) {
+		t.Error("Remove of evicted value should fail")
+	}
+}
+
+func TestBoundedHeapTracksMax(t *testing.T) {
+	h := NewBoundedHeap(KeepMax, 2)
+	for _, v := range []float64{5, 2, 8, 1, 9, 3} {
+		h.Push(v)
+	}
+	if got, _ := h.Extreme(); got != 9 {
+		t.Fatalf("Extreme = %g, want 9", got)
+	}
+	h.Remove(9)
+	if got, _ := h.Extreme(); got != 8 {
+		t.Errorf("after removing max, Extreme = %g, want 8", got)
+	}
+}
+
+func TestBoundedHeapNeverEmpties(t *testing.T) {
+	h := NewBoundedHeap(KeepMin, 4)
+	h.Push(7)
+	h.Push(3)
+	h.Remove(3)
+	// Only one element left; further removes are refused.
+	if h.Remove(7) {
+		t.Error("last element must not be removable")
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d, want 1", h.Len())
+	}
+	if got, ok := h.Extreme(); !ok || got != 7 {
+		t.Errorf("Extreme = %g, want 7 (outer approximation)", got)
+	}
+	if h.Exact() {
+		t.Error("heap should report inexact after refusing a removal")
+	}
+}
+
+func TestBoundedHeapDuplicates(t *testing.T) {
+	h := NewBoundedHeap(KeepMin, 5)
+	h.Push(2)
+	h.Push(2)
+	h.Push(2)
+	if !h.Remove(2) || !h.Remove(2) {
+		t.Fatal("duplicates must be individually removable")
+	}
+	if got, _ := h.Extreme(); got != 2 {
+		t.Errorf("Extreme = %g, want 2", got)
+	}
+}
+
+func TestBoundedHeapMatchesSortUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewBoundedHeap(KeepMin, 16)
+	var live []float64
+	for i := 0; i < 2000; i++ {
+		if len(live) > 0 && rng.Float64() < 0.3 {
+			j := rng.Intn(len(live))
+			h.Remove(live[j])
+			live = append(live[:j], live[j+1:]...)
+		} else {
+			v := float64(rng.Intn(1000))
+			h.Push(v)
+			live = append(live, v)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		sorted := append([]float64(nil), live...)
+		sort.Float64s(sorted)
+		trueMin := sorted[0]
+		got, ok := h.Extreme()
+		if !ok {
+			t.Fatalf("step %d: heap empty while %d live values", i, len(live))
+		}
+		// While the heap is exact it must match the true minimum exactly;
+		// once inexact it must be an outer approximation (<= any live min
+		// is not guaranteed; the paper's guarantee is estimate <= true MIN
+		// is *lost*, becoming estimate >= true MIN bound from retained).
+		if h.Exact() && len(live) <= 16 && got != trueMin {
+			t.Fatalf("step %d: Extreme = %g, true min = %g", i, got, trueMin)
+		}
+	}
+}
+
+func TestBoundedHeapPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k=0")
+		}
+	}()
+	NewBoundedHeap(KeepMin, 0)
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"janusaqp/internal/data"
+	"janusaqp/internal/geom"
+)
+
+// CSVSpec maps columns of a CSV file onto tuple attributes, so the real
+// Intel Wireless / NYC Taxi / NASDAQ ETF exports (or any numeric table)
+// can replace the synthetic generators.
+type CSVSpec struct {
+	// KeyCols are the 0-based column indexes becoming predicate attributes,
+	// in template order.
+	KeyCols []int
+	// ValCols are the column indexes becoming aggregation attributes.
+	ValCols []int
+	// HasHeader skips the first record.
+	HasHeader bool
+	// StartID numbers the loaded tuples sequentially from this ID.
+	StartID int64
+	// SkipBad drops rows with unparseable numbers instead of failing.
+	SkipBad bool
+}
+
+// LoadCSV reads tuples from r according to the spec.
+func LoadCSV(r io.Reader, spec CSVSpec) ([]data.Tuple, error) {
+	if len(spec.KeyCols) == 0 {
+		return nil, fmt.Errorf("workload: CSVSpec needs at least one key column")
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1
+	var out []data.Tuple
+	id := spec.StartID
+	first := true
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: csv line %d: %w", line+1, err)
+		}
+		line++
+		if first && spec.HasHeader {
+			first = false
+			continue
+		}
+		first = false
+		t, err := rowToTuple(rec, spec, id)
+		if err != nil {
+			if spec.SkipBad {
+				continue
+			}
+			return nil, fmt.Errorf("workload: csv line %d: %w", line, err)
+		}
+		out = append(out, t)
+		id++
+	}
+	return out, nil
+}
+
+func rowToTuple(rec []string, spec CSVSpec, id int64) (data.Tuple, error) {
+	key := make(geom.Point, len(spec.KeyCols))
+	for i, c := range spec.KeyCols {
+		v, err := field(rec, c)
+		if err != nil {
+			return data.Tuple{}, err
+		}
+		key[i] = v
+	}
+	vals := make([]float64, len(spec.ValCols))
+	for i, c := range spec.ValCols {
+		v, err := field(rec, c)
+		if err != nil {
+			return data.Tuple{}, err
+		}
+		vals[i] = v
+	}
+	return data.Tuple{ID: id, Key: key, Vals: vals}, nil
+}
+
+func field(rec []string, col int) (float64, error) {
+	if col < 0 || col >= len(rec) {
+		return 0, fmt.Errorf("column %d out of range (%d fields)", col, len(rec))
+	}
+	v, err := strconv.ParseFloat(rec[col], 64)
+	if err != nil {
+		return 0, fmt.Errorf("column %d: %q is not numeric", col, rec[col])
+	}
+	return v, nil
+}

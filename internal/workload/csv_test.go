@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadCSV(t *testing.T) {
+	src := "time,light,temp\n1,100,20.5\n2,200,21\n3,300,21.5\n"
+	tuples, err := LoadCSV(strings.NewReader(src), CSVSpec{
+		KeyCols: []int{0}, ValCols: []int{1, 2}, HasHeader: true, StartID: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 3 {
+		t.Fatalf("loaded %d rows", len(tuples))
+	}
+	if tuples[0].ID != 50 || tuples[2].ID != 52 {
+		t.Error("IDs not sequential from StartID")
+	}
+	if tuples[1].Key[0] != 2 || tuples[1].Vals[0] != 200 || tuples[1].Vals[1] != 21 {
+		t.Errorf("row 1 = %+v", tuples[1])
+	}
+}
+
+func TestLoadCSVNoHeader(t *testing.T) {
+	tuples, err := LoadCSV(strings.NewReader("5,9\n6,10\n"), CSVSpec{
+		KeyCols: []int{0}, ValCols: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 || tuples[0].Key[0] != 5 {
+		t.Errorf("tuples = %+v", tuples)
+	}
+}
+
+func TestLoadCSVBadRows(t *testing.T) {
+	src := "1,10\nbad,20\n3,30\n"
+	if _, err := LoadCSV(strings.NewReader(src), CSVSpec{KeyCols: []int{0}, ValCols: []int{1}}); err == nil {
+		t.Error("bad number must fail without SkipBad")
+	}
+	tuples, err := LoadCSV(strings.NewReader(src), CSVSpec{
+		KeyCols: []int{0}, ValCols: []int{1}, SkipBad: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		t.Errorf("SkipBad kept %d rows, want 2", len(tuples))
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	if _, err := LoadCSV(strings.NewReader("1,2\n"), CSVSpec{}); err == nil {
+		t.Error("spec without key columns must fail")
+	}
+	if _, err := LoadCSV(strings.NewReader("1\n"), CSVSpec{KeyCols: []int{0}, ValCols: []int{5}}); err == nil {
+		t.Error("out-of-range column must fail")
+	}
+}

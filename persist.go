@@ -1,0 +1,42 @@
+package janus
+
+import (
+	"fmt"
+	"io"
+
+	"janusaqp/internal/core"
+)
+
+// SaveTemplate writes the named synopsis to w so a later process can
+// restore it with LoadTemplate instead of paying a full re-initialization.
+// The broker's archival data is not included — it is cold storage.
+func (e *Engine) SaveTemplate(template string, w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.syns[template]
+	if !ok {
+		return fmt.Errorf("janus: unknown template %q", template)
+	}
+	return s.dpt.Encode(w)
+}
+
+// LoadTemplate restores a synopsis saved with SaveTemplate, registering it
+// under the template's declared name. The restored synopsis serves queries
+// immediately; its statistics resume refinement at the next
+// re-initialization.
+func (e *Engine) LoadTemplate(t Template, r io.Reader) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t.Name == "" {
+		return fmt.Errorf("janus: template needs a name")
+	}
+	if _, dup := e.syns[t.Name]; dup {
+		return fmt.Errorf("janus: duplicate template %q", t.Name)
+	}
+	dpt, err := core.Decode(r, e.resampler())
+	if err != nil {
+		return err
+	}
+	e.syns[t.Name] = &synopsis{tmpl: t, dpt: dpt}
+	return nil
+}

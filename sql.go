@@ -1,0 +1,79 @@
+package janus
+
+import (
+	"fmt"
+
+	"janusaqp/internal/sqlparse"
+)
+
+// TableSchema names a template's columns for the SQL interface: PredCols
+// matches the template's PredicateDims order and AggCols matches the
+// tuples' Vals order.
+type TableSchema = sqlparse.Schema
+
+// RegisterSchema attaches a SQL schema to a template so QuerySQL can
+// resolve column names. The schema's Table is the name used in FROM.
+func (e *Engine) RegisterSchema(template string, sc TableSchema) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.syns[template]
+	if !ok {
+		return fmt.Errorf("janus: unknown template %q", template)
+	}
+	if len(sc.PredCols) != len(s.tmpl.PredicateDims) {
+		return fmt.Errorf("janus: schema has %d predicate columns, template %d",
+			len(sc.PredCols), len(s.tmpl.PredicateDims))
+	}
+	s.schema = &sc
+	return nil
+}
+
+// QuerySQL parses and answers one SQL statement against the registered
+// schemas, providing the approximate SQL interface the paper's motivating
+// applications describe:
+//
+//	res, err := eng.QuerySQL("SELECT SUM(distance) FROM trips WHERE pickup BETWEEN 0 AND 3600")
+func (e *Engine) QuerySQL(sql string) (Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	e.mu.Lock()
+	var target *synopsis
+	var name string
+	for n, s := range e.syns {
+		if s.schema != nil && equalFold(s.schema.Table, st.Table) {
+			target = s
+			name = n
+			break
+		}
+	}
+	e.mu.Unlock()
+	if target == nil {
+		return Result{}, fmt.Errorf("janus: no template registered for table %q", st.Table)
+	}
+	q, err := sqlparse.Compile(st, *target.schema)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Query(name, q)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

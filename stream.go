@@ -1,0 +1,47 @@
+package janus
+
+// PSoup-style stream consumption (Section 3.2): both data and queries are
+// streams; an engine can be fed from an *external* broker's topics rather
+// than through direct method calls, applying records strictly in arrival
+// order so that query results reflect exactly the updates that preceded
+// them.
+
+// SyncState tracks how far an engine has consumed an external broker's
+// topics. The zero value starts from the beginning of both logs.
+type SyncState struct {
+	InsertOffset int64
+	DeleteOffset int64
+}
+
+// Sync applies all records currently available on the source broker's
+// insert and delete topics, in per-topic arrival order, starting at the
+// offsets in state. It advances state and returns the number of records
+// applied. Call it in a loop (optionally interleaved with PumpCatchUp and
+// queries) to follow a live stream.
+func (e *Engine) Sync(source *Broker, state *SyncState) int {
+	applied := 0
+	const batch = 4096
+	for {
+		recs, next := source.Inserts.Poll(state.InsertOffset, batch)
+		if len(recs) == 0 {
+			break
+		}
+		state.InsertOffset = next
+		for _, r := range recs {
+			e.Insert(r.Tuple)
+			applied++
+		}
+	}
+	for {
+		recs, next := source.Deletes.Poll(state.DeleteOffset, batch)
+		if len(recs) == 0 {
+			break
+		}
+		state.DeleteOffset = next
+		for _, r := range recs {
+			e.Delete(r.Tuple.ID)
+			applied++
+		}
+	}
+	return applied
+}
