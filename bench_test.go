@@ -15,6 +15,8 @@ package janus_test
 
 import (
 	"io"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	janus "janusaqp"
@@ -171,3 +173,180 @@ func BenchmarkReinitialize(b *testing.B) {
 		}
 	}
 }
+
+// --- concurrent serving benchmarks ------------------------------------------
+//
+// The serving-subsystem trajectory benchmark: 8 goroutines drive a 90/10
+// query/insert mix against an engine with 2 templates. The Sharded variant
+// uses the engine's per-synopsis read-write locking directly; the
+// GlobalLock variant funnels every call through one mutex, reproducing the
+// pre-janusd locking discipline as the baseline to beat.
+
+func benchConcurrentEngine(b *testing.B) (*janus.Engine, []janus.Tuple) {
+	b.Helper()
+	tuples, err := workload.Generate(workload.NYCTaxi, 50000, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	br := janus.NewBroker()
+	for _, t := range tuples {
+		br.PublishInsert(t)
+	}
+	eng := janus.NewEngine(janus.Config{LeafNodes: 128, SampleRate: 0.01, CatchUpRate: 0.10, Seed: 1}, br)
+	if err := eng.AddTemplate(janus.Template{
+		Name: "trips", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.AddTemplate(janus.Template{
+		Name: "fares", PredicateDims: []int{2}, AggIndex: 1, Agg: janus.Sum,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return eng, tuples
+}
+
+func benchmarkConcurrentMixed(b *testing.B, globalLock bool) {
+	eng, tuples := benchConcurrentEngine(b)
+	queriesByTmpl := map[string][]janus.Query{
+		"trips": workload.NewQueryGen(4, tuples, []int{0}).Workload(256, janus.FuncSum),
+		"fares": workload.NewQueryGen(5, tuples, []int{2}).Workload(256, janus.FuncSum),
+	}
+	const workers = 8
+	ops := b.N/workers + 1
+	// Pre-generate each worker's insert stream with a disjoint ID range.
+	freshByWorker := make([][]janus.Tuple, workers)
+	for w := 0; w < workers; w++ {
+		fresh, err := workload.Generate(workload.NYCTaxi, ops/10+1, int64(w+1)*100_000_000, int64(w+2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		freshByWorker[w] = fresh
+	}
+	var gmu sync.Mutex // the single-global-mutex baseline
+	var failed atomic.Bool
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tmpl := "trips"
+			if w%2 == 1 {
+				tmpl = "fares"
+			}
+			queries := queriesByTmpl[tmpl]
+			fresh := freshByWorker[w]
+			inserts := 0
+			for i := 0; i < ops; i++ {
+				if i%10 == 9 {
+					t := fresh[inserts]
+					inserts++
+					if globalLock {
+						gmu.Lock()
+						eng.Insert(t)
+						gmu.Unlock()
+					} else {
+						eng.Insert(t)
+					}
+					continue
+				}
+				q := queries[i%len(queries)]
+				var err error
+				if globalLock {
+					gmu.Lock()
+					_, err = eng.Query(tmpl, q)
+					gmu.Unlock()
+				} else {
+					_, err = eng.Query(tmpl, q)
+				}
+				if err != nil {
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if failed.Load() {
+		b.Fatal("query failed during concurrent mix")
+	}
+}
+
+// BenchmarkConcurrentMixedSharded measures mixed 90/10 query/insert
+// throughput with the sharded per-synopsis locking (2 templates, 8
+// goroutines).
+func BenchmarkConcurrentMixedSharded(b *testing.B) { benchmarkConcurrentMixed(b, false) }
+
+// BenchmarkConcurrentMixedGlobalLock is the same workload with every
+// engine call serialized through one mutex — the seed's locking regime.
+func BenchmarkConcurrentMixedGlobalLock(b *testing.B) { benchmarkConcurrentMixed(b, true) }
+
+// benchmarkReadsDuringReinit measures read throughput while a background
+// goroutine re-initializes a synopsis in a loop — the serving-availability
+// property the sharded locking buys: re-initialization only write-locks
+// the synopsis for the final pointer swap, so queries keep flowing, where
+// the global-mutex regime parks every query behind the full rebuild.
+func benchmarkReadsDuringReinit(b *testing.B, globalLock bool) {
+	eng, tuples := benchConcurrentEngine(b)
+	queries := workload.NewQueryGen(4, tuples, []int{0}).Workload(256, janus.FuncSum)
+	var gmu sync.Mutex
+	var stop atomic.Bool
+	var reinits atomic.Int64
+	var wg, maint sync.WaitGroup
+
+	maint.Add(1)
+	go func() {
+		defer maint.Done()
+		for !stop.Load() {
+			if globalLock {
+				gmu.Lock()
+			}
+			if _, err := eng.Reinitialize("fares"); err != nil {
+				b.Error(err)
+			}
+			if globalLock {
+				gmu.Unlock()
+			}
+			reinits.Add(1)
+		}
+	}()
+
+	const readers = 8
+	ops := b.N/readers + 1
+	b.ResetTimer()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				q := queries[(i+r)%len(queries)]
+				if globalLock {
+					gmu.Lock()
+				}
+				_, err := eng.Query("trips", q)
+				if globalLock {
+					gmu.Unlock()
+				}
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	b.StopTimer()
+	stop.Store(true)
+	maint.Wait()
+	b.ReportMetric(float64(reinits.Load()), "reinits")
+}
+
+// BenchmarkReadsDuringReinitSharded: 8 readers on one template while
+// another template re-initializes continuously, sharded locking.
+func BenchmarkReadsDuringReinitSharded(b *testing.B) { benchmarkReadsDuringReinit(b, false) }
+
+// BenchmarkReadsDuringReinitGlobalLock: same with the single-mutex regime.
+func BenchmarkReadsDuringReinitGlobalLock(b *testing.B) { benchmarkReadsDuringReinit(b, true) }

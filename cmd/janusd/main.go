@@ -1,0 +1,135 @@
+// Command janusd serves a JanusAQP engine over HTTP — the network daemon
+// form of the interactive DAQP service the paper motivates: dashboards
+// issue approximate queries against /v1/query while producers stream
+// inserts and deletes through /v1/insert and /v1/delete, and a background
+// goroutine keeps folding catch-up samples (the paper's catch-up thread).
+//
+// It boots from a synthetic dataset so there is something to query
+// immediately:
+//
+//	janusd -addr :8080 -dataset taxi -rows 200000
+//
+// then answers, e.g.:
+//
+//	curl -s localhost:8080/v1/query -d '{"sql":"SELECT SUM(tripDistance) FROM trips WHERE pickupTime BETWEEN 0 AND 43200"}'
+//	curl -s localhost:8080/v1/insert -d '{"tuples":[{"id":900001,"key":[1234],"vals":[3.1,12.5,1]}]}'
+//	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
+//
+// See /v1/templates for the registered schema.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	janus "janusaqp"
+	"janusaqp/internal/server"
+	"janusaqp/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataset := flag.String("dataset", workload.NYCTaxi, "bootstrap dataset (taxi, intel, etf)")
+	rows := flag.Int("rows", 200000, "bootstrap dataset size")
+	seed := flag.Int64("seed", 42, "random seed")
+	leafNodes := flag.Int("leaves", 128, "DPT leaf partitions k")
+	sampleRate := flag.Float64("sample-rate", 0.01, "pooled sample fraction")
+	catchUpRate := flag.Float64("catchup-rate", 0.10, "catch-up goal as a fraction of the base population")
+	catchUpEvery := flag.Duration("catchup-interval", 25*time.Millisecond, "background catch-up pump interval (0 disables)")
+	autoRepartition := flag.Bool("auto-repartition", true, "enable trigger-driven re-partitioning")
+	stream := flag.Float64("stream", 0, "fraction of rows held back and streamed through a followed broker after boot, in [0,1)")
+	flag.Parse()
+
+	if err := run(*addr, *dataset, *rows, *seed, *leafNodes, *sampleRate, *catchUpRate, *catchUpEvery, *autoRepartition, *stream); err != nil {
+		fmt.Fprintln(os.Stderr, "janusd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataset string, rows int, seed int64, leafNodes int, sampleRate, catchUpRate float64, catchUpEvery time.Duration, autoRepartition bool, stream float64) error {
+	if stream < 0 || stream >= 1 {
+		return fmt.Errorf("-stream must be in [0,1), got %g", stream)
+	}
+	tuples, err := workload.Generate(dataset, rows, 0, seed)
+	if err != nil {
+		return err
+	}
+	initial := rows - int(stream*float64(rows))
+	b := janus.NewBroker()
+	for _, t := range tuples[:initial] {
+		b.PublishInsert(t)
+	}
+	eng := janus.NewEngine(janus.Config{
+		LeafNodes:       leafNodes,
+		SampleRate:      sampleRate,
+		CatchUpRate:     catchUpRate,
+		AutoRepartition: autoRepartition,
+		Seed:            seed,
+	}, b)
+	if err := eng.AddTemplate(janus.Template{
+		Name:          "trips",
+		PredicateDims: []int{0},
+		AggIndex:      0,
+		Agg:           janus.Sum,
+	}); err != nil {
+		return err
+	}
+	if err := eng.RegisterSchema("trips", janus.TableSchema{
+		Table:    "trips",
+		PredCols: []string{"pickupTime"},
+		AggCols:  []string{"tripDistance", "fareAmount", "passengerCount"},
+	}); err != nil {
+		return err
+	}
+
+	opts := server.Options{CatchUpInterval: catchUpEvery}
+	if initial < rows {
+		// PSoup-style streaming ingest: the held-back rows arrive on a
+		// separate producer broker that the server follows, exercising the
+		// same path an embedder uses to tail an external stream.
+		source := janus.NewBroker()
+		opts.Follow = source
+		go func() {
+			for _, t := range tuples[initial:] {
+				source.PublishInsert(t)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+	srv := server.New(eng, opts)
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("janusd: serving %d rows of %s on %s (%d streaming in)\n", initial, dataset, addr, rows-initial)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Printf("janusd: received %s, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

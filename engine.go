@@ -1,6 +1,7 @@
 package janus
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -14,6 +15,10 @@ import (
 	"janusaqp/internal/partition"
 )
 
+// ErrUnknownTemplate reports a call naming a template the engine does not
+// have. Match with errors.Is; the wrapping error carries the name.
+var ErrUnknownTemplate = errors.New("unknown template")
+
 // oracleEntry adapts a sample tuple to the max-variance index entry type.
 func oracleEntry(p geom.Point, val float64, id int64) kdindex.Entry {
 	return kdindex.Entry{Point: p, Val: val, ID: id}
@@ -24,13 +29,41 @@ func oracleEntry(p geom.Point, val float64, id int64) kdindex.Entry {
 // catch-up processing, and re-optimizing partitionings when triggers fire
 // (Figure 1 of the paper).
 //
-// Engine methods are safe for concurrent use.
+// Engine methods are safe for concurrent use. Locking is sharded so that
+// the engine serves parallel read traffic (the serving workload of
+// Section 3.2, dashboards issuing continuous approximate queries):
+//
+//   - reg guards the template registry (the syns map) only;
+//   - each synopsis carries its own RWMutex: queries on different
+//     templates proceed fully in parallel, read-only queries on the same
+//     template share an RLock, and only maintenance writes (stream
+//     application, catch-up folding, re-initialization swaps) take the
+//     per-synopsis write lock;
+//   - upd is the update lock: every mutation of broker archive state and
+//     synopsis contents runs under it, so a broker publish and its
+//     application to the synopses are one atomic step. Without it a
+//     racing re-initialization could sample the archive *after* a publish
+//     but *before* the corresponding synopsis application and double-count
+//     the in-flight tuple.
+//
+// Lock ordering is upd → reg → synopsis.mu; read paths take reg and the
+// synopsis lock only, so queries never contend on upd.
 type Engine struct {
-	mu     sync.Mutex
 	cfg    Config
 	broker *Broker
-	rng    *rand.Rand
-	syns   map[string]*synopsis
+
+	reg  sync.RWMutex
+	syns map[string]*synopsis
+
+	// upd serializes all state mutations: Insert/Delete, catch-up pumps,
+	// trigger evaluation, re-initialization swaps, and template builds.
+	// rng and updatesSinceTriggerCheck are guarded by it.
+	upd sync.Mutex
+	rng *rand.Rand
+
+	// statsMu guards the exported counters below, separately from upd so
+	// Stats() never parks behind a long re-initialization.
+	statsMu sync.Mutex
 
 	// Reinits counts completed re-initializations across all templates.
 	Reinits int
@@ -44,21 +77,14 @@ type Engine struct {
 	updatesSinceTriggerCheck int
 }
 
-// PartialRepartitions returns the total Appendix E subtree rebuilds across
-// all templates.
-func (e *Engine) PartialRepartitions() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	total := 0
-	for _, s := range e.syns {
-		total += s.dpt.PartialRepartitions
-	}
-	return total
-}
-
 type synopsis struct {
-	tmpl   Template
-	dpt    *core.DPT
+	mu   sync.RWMutex // guards dpt (pointer and contents)
+	tmpl Template
+	dpt  *core.DPT
+	// schema is guarded by the engine's reg lock, not mu: QuerySQL scans
+	// every synopsis's schema to resolve a table name, and taking each
+	// synopsis lock in turn would park SQL queries behind write-locked
+	// maintenance on unrelated templates.
 	schema *TableSchema // optional SQL schema (see RegisterSchema)
 }
 
@@ -77,32 +103,68 @@ func NewEngine(cfg Config, b *Broker) *Engine {
 // Broker returns the engine's streaming substrate.
 func (e *Engine) Broker() *Broker { return e.broker }
 
+// lookup returns the named synopsis.
+func (e *Engine) lookup(name string) (*synopsis, bool) {
+	e.reg.RLock()
+	defer e.reg.RUnlock()
+	s, ok := e.syns[name]
+	return s, ok
+}
+
+// snapshotSyns copies the current synopsis set out of the registry so
+// paths that do not hold upd can iterate without holding reg.
+func (e *Engine) snapshotSyns() []*synopsis {
+	e.reg.RLock()
+	defer e.reg.RUnlock()
+	out := make([]*synopsis, 0, len(e.syns))
+	for _, s := range e.syns {
+		out = append(out, s)
+	}
+	return out
+}
+
+// forEachSynUpdLocked iterates the registry under its read lock without
+// copying. Caller holds e.upd: every registry writer also takes upd first,
+// so the map is quiescent, no reg writer can be pending, and holding
+// reg.RLock for the duration (even across a re-initialization) cannot
+// block concurrent readers.
+func (e *Engine) forEachSynUpdLocked(fn func(*synopsis)) {
+	e.reg.RLock()
+	defer e.reg.RUnlock()
+	for _, s := range e.syns {
+		fn(s)
+	}
+}
+
 // AddTemplate builds a synopsis for the template from the data currently in
 // archival storage (initialization, Section 4.3), including its catch-up
 // phase up to the configured rate.
 func (e *Engine) AddTemplate(t Template) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if t.Name == "" {
 		return fmt.Errorf("janus: template needs a name")
 	}
-	if _, dup := e.syns[t.Name]; dup {
-		return fmt.Errorf("janus: duplicate template %q", t.Name)
-	}
 	if len(t.PredicateDims) == 0 {
 		return fmt.Errorf("janus: template %q needs at least one predicate attribute", t.Name)
+	}
+	e.upd.Lock()
+	defer e.upd.Unlock()
+	if _, dup := e.lookup(t.Name); dup {
+		return fmt.Errorf("janus: duplicate template %q", t.Name)
 	}
 	dpt, err := e.buildSynopsis(t)
 	if err != nil {
 		return err
 	}
+	e.reg.Lock()
 	e.syns[t.Name] = &synopsis{tmpl: t, dpt: dpt}
+	e.reg.Unlock()
 	return nil
 }
 
 // buildSynopsis runs initialization for one template: sample the archive,
 // optimize the partitioning, populate approximate statistics, and run
-// catch-up to the configured rate. Caller holds e.mu.
+// catch-up to the configured rate. Caller holds e.upd, so the archive is
+// quiescent for the duration.
 func (e *Engine) buildSynopsis(t Template) (*core.DPT, error) {
 	n := e.broker.Archive().Len()
 	if n == 0 {
@@ -168,8 +230,8 @@ func (e *Engine) snapshotArchive() []data.Tuple {
 
 // resampler returns a Resampler drawing fresh uniform samples from the
 // archive for reservoir re-draws. It carries its own lock and random
-// source: re-draws fire from inside DPT.Delete while the engine mutex is
-// already held, so touching e.mu here would deadlock.
+// source: re-draws fire from inside DPT.Delete while the engine update
+// lock is already held, so touching e.upd here would deadlock.
 func (e *Engine) resampler() func(n int) []data.Tuple {
 	var mu sync.Mutex
 	src := rand.New(rand.NewSource(e.cfg.Seed + 7777))
@@ -182,42 +244,73 @@ func (e *Engine) resampler() func(n int) []data.Tuple {
 }
 
 // Insert publishes the tuple to the broker and applies it to every
-// synopsis, evaluating re-partitioning triggers.
+// synopsis, evaluating re-partitioning triggers. Publish and application
+// are one atomic step under the update lock (see the Engine doc comment).
 func (e *Engine) Insert(t Tuple) {
+	e.upd.Lock()
+	defer e.upd.Unlock()
+	// Validate against every template before touching any state: a panic
+	// mid-application would otherwise leave the tuple in the archive and
+	// topic but only some synopses — a divergence a recovering supervisor
+	// (janusd) would then keep serving. Vals arity matters as much as key
+	// arity: Tuple.Val silently reads out-of-range columns as 0, which
+	// would skew every aggregate over the missing attributes forever.
+	e.forEachSynUpdLocked(func(s *synopsis) {
+		for _, d := range s.tmpl.PredicateDims {
+			if d >= len(t.Key) {
+				panic(fmt.Sprintf("janus: tuple %d has %d key attributes; template %q projects dimension %d",
+					t.ID, len(t.Key), s.tmpl.Name, d))
+			}
+		}
+		if nv := s.dpt.Config().NumVals; len(t.Vals) < nv {
+			panic(fmt.Sprintf("janus: tuple %d has %d aggregation attributes; template %q tracks %d",
+				t.ID, len(t.Vals), s.tmpl.Name, nv))
+		}
+	})
 	e.broker.PublishInsert(t)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, s := range e.syns {
-		s.dpt.Insert(t)
-	}
-	e.evaluateTriggersLocked()
+	e.forEachSynUpdLocked(func(s *synopsis) {
+		s.apply(func(dpt *core.DPT) { dpt.Insert(t) })
+	})
+	e.evaluateTriggersUpdLocked()
+}
+
+// apply runs one mutation under the synopsis write lock. The deferred
+// unlock matters: a panic escaping the DPT (e.g. a malformed tuple) must
+// not leak the lock, or every later reader and writer would wedge — the
+// serving daemon recovers such panics and keeps running.
+func (s *synopsis) apply(fn func(*core.DPT)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.dpt)
 }
 
 // Delete removes the tuple with the given id, reporting false when the
 // archive does not know it.
 func (e *Engine) Delete(id int64) bool {
+	e.upd.Lock()
+	defer e.upd.Unlock()
 	t, ok := e.broker.Archive().Get(id)
 	if !ok {
 		return false
 	}
 	e.broker.PublishDelete(id)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, s := range e.syns {
-		s.dpt.Delete(t)
-	}
-	e.evaluateTriggersLocked()
+	e.forEachSynUpdLocked(func(s *synopsis) {
+		s.apply(func(dpt *core.DPT) { dpt.Delete(t) })
+	})
+	e.evaluateTriggersUpdLocked()
 	return true
 }
 
-// Query answers q against the named template's synopsis.
+// Query answers q against the named template's synopsis. Concurrent
+// queries on the same template share its read lock; queries on different
+// templates do not contend at all.
 func (e *Engine) Query(template string, q Query) (Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, ok := e.syns[template]
+	s, ok := e.lookup(template)
 	if !ok {
-		return Result{}, fmt.Errorf("janus: unknown template %q", template)
+		return Result{}, fmt.Errorf("janus: %w %q", ErrUnknownTemplate, template)
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.dpt.Answer(q)
 }
 
@@ -226,30 +319,32 @@ func (e *Engine) Query(template string, q Query) (Result, error) {
 // projection, using uniform estimation over the template's pooled sample
 // (Section 5.5 heuristic for unseen query templates).
 func (e *Engine) QueryOnKeys(template string, q Query, dims []int) (Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, ok := e.syns[template]
+	s, ok := e.lookup(template)
 	if !ok {
-		return Result{}, fmt.Errorf("janus: unknown template %q", template)
+		return Result{}, fmt.Errorf("janus: %w %q", ErrUnknownTemplate, template)
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.dpt.AnswerUniform(q, dims)
 }
 
 // PumpCatchUp folds one batch of catch-up samples into every synopsis that
 // has not reached its target; returns true when any work was done. The
-// demo and the harness call this between stream events, standing in for
-// the paper's background catch-up thread.
+// daemon runs this from a background goroutine (the paper's catch-up
+// thread); library callers may interleave it with stream events instead.
 func (e *Engine) PumpCatchUp() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.upd.Lock()
+	defer e.upd.Unlock()
 	worked := false
-	for _, s := range e.syns {
-		if s.dpt.CatchUpProgress() < e.cfg.CatchUpRate {
-			if n, _ := s.dpt.CatchUp(e.cfg.CatchUpBatch); n > 0 {
-				worked = true
+	e.forEachSynUpdLocked(func(s *synopsis) {
+		s.apply(func(dpt *core.DPT) {
+			if dpt.CatchUpProgress() < e.cfg.CatchUpRate {
+				if n, _ := dpt.CatchUp(e.cfg.CatchUpBatch); n > 0 {
+					worked = true
+				}
 			}
-		}
-	}
+		})
+	})
 	return worked
 }
 
@@ -258,41 +353,112 @@ func (e *Engine) PumpCatchUp() bool {
 // catch-up knob of Section 4.3); it returns false when the snapshot is
 // exhausted or the template is unknown.
 func (e *Engine) ForceCatchUpBatch(template string, batch int) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, ok := e.syns[template]
+	e.upd.Lock()
+	defer e.upd.Unlock()
+	s, ok := e.lookup(template)
 	if !ok {
 		return false
 	}
-	n, _ := s.dpt.CatchUp(batch)
-	return n > 0
+	worked := false
+	s.apply(func(dpt *core.DPT) {
+		n, _ := dpt.CatchUp(batch)
+		worked = n > 0
+	})
+	return worked
 }
 
 // CatchUpProgress returns the named synopsis's catch-up progress in [0,1].
 func (e *Engine) CatchUpProgress(template string) float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if s, ok := e.syns[template]; ok {
-		return s.dpt.CatchUpProgress()
+	s, ok := e.lookup(template)
+	if !ok {
+		return 0
 	}
-	return 0
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dpt.CatchUpProgress()
 }
 
 // SynopsisBytes estimates the named synopsis's in-memory footprint.
 func (e *Engine) SynopsisBytes(template string) int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if s, ok := e.syns[template]; ok {
-		return s.dpt.MemoryFootprint()
+	s, ok := e.lookup(template)
+	if !ok {
+		return 0
 	}
-	return 0
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dpt.MemoryFootprint()
 }
 
-// evaluateTriggersLocked runs the Section 5.4 decision for any synopsis
+// PartialRepartitions returns the total Appendix E subtree rebuilds across
+// all templates.
+func (e *Engine) PartialRepartitions() int {
+	total := 0
+	for _, s := range e.snapshotSyns() {
+		s.mu.RLock()
+		total += s.dpt.PartialRepartitions
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// TemplateStats is a point-in-time snapshot of one synopsis's state.
+type TemplateStats struct {
+	Name            string  `json:"name"`
+	CatchUpProgress float64 `json:"catchUpProgress"`
+	SynopsisBytes   int64   `json:"synopsisBytes"`
+	Leaves          int     `json:"leaves"`
+	SampleSize      int     `json:"sampleSize"`
+	Population      int64   `json:"population"`
+}
+
+// EngineStats is a point-in-time snapshot of engine-wide counters, safe to
+// collect while concurrent traffic runs (the /v1/stats payload of janusd).
+type EngineStats struct {
+	Reinits             int             `json:"reinits"`
+	TriggersFired       int             `json:"triggersFired"`
+	TriggersRejected    int             `json:"triggersRejected"`
+	PartialRepartitions int             `json:"partialRepartitions"`
+	ArchiveRows         int64           `json:"archiveRows"`
+	Templates           []TemplateStats `json:"templates"`
+}
+
+// Stats snapshots the engine counters and per-template state under the
+// appropriate locks — never upd, so it stays responsive while a
+// re-initialization runs. Prefer it over reading the exported counter
+// fields directly whenever updates may be running concurrently.
+func (e *Engine) Stats() EngineStats {
+	e.statsMu.Lock()
+	st := EngineStats{
+		Reinits:          e.Reinits,
+		TriggersFired:    e.TriggersFired,
+		TriggersRejected: e.TriggersRejected,
+	}
+	e.statsMu.Unlock()
+	st.ArchiveRows = e.broker.Archive().Len()
+	for _, s := range e.snapshotSyns() {
+		s.mu.RLock()
+		st.PartialRepartitions += s.dpt.PartialRepartitions
+		st.Templates = append(st.Templates, TemplateStats{
+			Name:            s.tmpl.Name,
+			CatchUpProgress: s.dpt.CatchUpProgress(),
+			SynopsisBytes:   s.dpt.MemoryFootprint(),
+			Leaves:          s.dpt.NumLeaves(),
+			SampleSize:      s.dpt.SampleSize(),
+			Population:      s.dpt.Population(),
+		})
+		s.mu.RUnlock()
+	}
+	return st
+}
+
+// evaluateTriggersUpdLocked runs the Section 5.4 decision for any synopsis
 // with a pending trigger: compute a candidate partitioning from the current
 // pooled sample; adopt it (full re-initialization) only when it improves
-// the maximum variance by more than β.
-func (e *Engine) evaluateTriggersLocked() {
+// the maximum variance by more than β. Caller holds e.upd, which excludes
+// every other mutator; per-synopsis write locks are taken only around the
+// actual mutations so concurrent queries keep flowing during candidate
+// optimization.
+func (e *Engine) evaluateTriggersUpdLocked() {
 	if !e.cfg.AutoRepartition {
 		return
 	}
@@ -303,33 +469,38 @@ func (e *Engine) evaluateTriggersLocked() {
 		return
 	}
 	e.updatesSinceTriggerCheck = 0
-	for _, s := range e.syns {
+	e.forEachSynUpdLocked(func(s *synopsis) {
 		fired, _ := s.dpt.TriggerPending()
 		if !fired {
-			continue
+			return
 		}
-		e.TriggersFired++
+		e.bumpCounter(&e.TriggersFired)
 		if e.cfg.PartialRepartition {
 			// Appendix E: rebuild only the subtree around the leaf whose
 			// trigger fired, keeping every other node's statistics.
-			if err := s.dpt.RepartitionPendingLeaf(e.cfg.Psi); err == nil {
-				s.dpt.ResetTrigger()
-				continue
+			var err error
+			s.apply(func(dpt *core.DPT) {
+				if err = dpt.RepartitionPendingLeaf(e.cfg.Psi); err == nil {
+					dpt.ResetTrigger()
+				}
+			})
+			if err == nil {
+				return
 			}
 		}
-		s.dpt.ResetTrigger()
+		s.apply(func(dpt *core.DPT) { dpt.ResetTrigger() })
 		current := s.dpt.MaxVariance()
 		cand := e.candidateBlueprint(s)
 		candVar := blueprintMaxVariance(s.dpt.Oracle(), cand)
 		if current > 0 && candVar >= current/e.cfg.Beta {
 			// Not enough improvement: keep the partitioning but refresh the
 			// baselines so the same drift does not re-fire immediately.
-			s.dpt.RefreshBaselines()
-			e.TriggersRejected++
-			continue
+			s.apply(func(dpt *core.DPT) { dpt.RefreshBaselines() })
+			e.bumpCounter(&e.TriggersRejected)
+			return
 		}
-		e.reinitializeLocked(s, cand)
-	}
+		e.reinitializeUpdLocked(s, cand)
+	})
 }
 
 // candidateBlueprint optimizes a fresh partitioning for the synopsis from
@@ -358,21 +529,22 @@ func blueprintMaxVariance(o *maxvar.Oracle, bp *partition.Blueprint) float64 {
 // the wall-clock optimization + population cost. The old synopsis keeps
 // serving until the swap.
 func (e *Engine) Reinitialize(template string) (time.Duration, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, ok := e.syns[template]
+	e.upd.Lock()
+	defer e.upd.Unlock()
+	s, ok := e.lookup(template)
 	if !ok {
-		return 0, fmt.Errorf("janus: unknown template %q", template)
+		return 0, fmt.Errorf("janus: %w %q", ErrUnknownTemplate, template)
 	}
 	start := time.Now()
-	e.reinitializeLocked(s, nil)
+	e.reinitializeUpdLocked(s, nil)
 	return time.Since(start), nil
 }
 
-// reinitializeLocked swaps in a re-optimized synopsis. cand may carry a
+// reinitializeUpdLocked swaps in a re-optimized synopsis. cand may carry a
 // pre-computed blueprint (from trigger evaluation) or nil to optimize from
-// a fresh archive sample.
-func (e *Engine) reinitializeLocked(s *synopsis, cand *partition.Blueprint) {
+// a fresh archive sample. Caller holds e.upd; the old synopsis keeps
+// answering queries until the brief write-locked pointer swap.
+func (e *Engine) reinitializeUpdLocked(s *synopsis, cand *partition.Blueprint) {
 	n := e.broker.Archive().Len()
 	if n == 0 {
 		return
@@ -403,22 +575,31 @@ func (e *Engine) reinitializeLocked(s *synopsis, cand *partition.Blueprint) {
 	snapshot := e.snapshotArchive()
 	dpt := core.New(cfg, bp, pooled, n, snapshot, e.resampler())
 	dpt.CatchUpTarget(e.cfg.CatchUpRate)
+	s.mu.Lock()
 	s.dpt = dpt // step 3: discard the old synopsis
-	e.Reinits++
+	s.mu.Unlock()
+	e.bumpCounter(&e.Reinits)
 }
 
-// ReinitializeAsync runs steps 1 (optimization) of the re-initialization in
+// bumpCounter increments one of the exported counters under statsMu.
+func (e *Engine) bumpCounter(c *int) {
+	e.statsMu.Lock()
+	*c++
+	e.statsMu.Unlock()
+}
+
+// ReinitializeAsync runs step 1 (optimization) of the re-initialization in
 // the background while the engine keeps serving updates and queries from
 // the old synopsis, then performs the brief blocking swap (step 2-3). The
 // returned channel delivers the total duration once the swap completes.
 func (e *Engine) ReinitializeAsync(template string) (<-chan time.Duration, error) {
-	e.mu.Lock()
-	s, ok := e.syns[template]
+	e.upd.Lock()
+	s, ok := e.lookup(template)
 	if !ok {
-		e.mu.Unlock()
-		return nil, fmt.Errorf("janus: unknown template %q", template)
+		e.upd.Unlock()
+		return nil, fmt.Errorf("janus: %w %q", ErrUnknownTemplate, template)
 	}
-	// Snapshot inputs for the optimizer under the lock.
+	// Snapshot inputs for the optimizer under the update lock.
 	n := e.broker.Archive().Len()
 	m := int(e.cfg.SampleRate * float64(n))
 	if m < e.cfg.MinSamples {
@@ -427,7 +608,7 @@ func (e *Engine) ReinitializeAsync(template string) (<-chan time.Duration, error
 	pooled := e.broker.Archive().SampleUniform(2*m, e.rng)
 	cfg := s.dpt.Config()
 	tmpl := s.tmpl
-	e.mu.Unlock()
+	e.upd.Unlock()
 
 	done := make(chan time.Duration, 1)
 	go func() {
@@ -436,18 +617,40 @@ func (e *Engine) ReinitializeAsync(template string) (<-chan time.Duration, error
 		// synopsis keeps absorbing updates concurrently.
 		bp := e.optimize(tmpl, cfg, pooled, n)
 		// Step 2 (blocking): populate and swap.
-		e.mu.Lock()
-		e.reinitializeLocked(s, bp)
-		e.mu.Unlock()
+		e.upd.Lock()
+		e.reinitializeUpdLocked(s, bp)
+		e.upd.Unlock()
 		done <- time.Since(start)
 	}()
 	return done, nil
 }
 
+// Template returns the declaration of the named template.
+func (e *Engine) Template(name string) (Template, bool) {
+	s, ok := e.lookup(name)
+	if !ok {
+		return Template{}, false
+	}
+	return s.tmpl, true
+}
+
+// NumVals returns how many aggregation attributes the named template's
+// synopsis tracks — the arity ingested tuples' Vals must cover so that no
+// tracked column silently reads as zero.
+func (e *Engine) NumVals(template string) int {
+	s, ok := e.lookup(template)
+	if !ok {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dpt.Config().NumVals
+}
+
 // Templates lists the registered template names.
 func (e *Engine) Templates() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.reg.RLock()
+	defer e.reg.RUnlock()
 	out := make([]string, 0, len(e.syns))
 	for name := range e.syns {
 		out = append(out, name)

@@ -1,0 +1,3 @@
+module janusaqp
+
+go 1.24

@@ -104,11 +104,14 @@ func New() *Broker {
 // state (cold storage in the paper's terminology).
 func (b *Broker) Archive() *Archive { return b.archive }
 
-// PublishInsert appends an insertion to the insert topic and applies it to
-// the archive.
+// PublishInsert applies the tuple to the archive and then appends it to
+// the insert topic. Archive first: Insert panics on a duplicate live ID,
+// and appending before validating would leave a phantom record in the
+// topic that no synopsis or archive ever applied — stream followers
+// (Engine.Sync) would replay it even though the publish failed.
 func (b *Broker) PublishInsert(t data.Tuple) {
-	b.Inserts.Append(Record{Kind: KindInsert, Tuple: t})
 	b.archive.Insert(t)
+	b.Inserts.Append(Record{Kind: KindInsert, Tuple: t})
 }
 
 // PublishDelete appends a deletion to the delete topic and applies it to

@@ -1,0 +1,226 @@
+// Package metrics is a small, dependency-free instrumentation library for
+// the janusd serving subsystem: monotonic counters and cumulative latency
+// histograms, exposed in the Prometheus text format so any standard
+// scraper can consume GET /metrics.
+//
+// All types are safe for concurrent use; the hot-path operations (Counter.Inc,
+// Histogram.Observe) are lock-free atomics so instrumentation never
+// serializes the sharded engine read path it measures.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// DefBuckets are the default latency buckets in seconds, spanning 100µs to
+// ~10s — wide enough for both sub-millisecond synopsis queries and full
+// re-initializations.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a cumulative histogram over fixed upper bounds, mirroring
+// the Prometheus histogram type (per-bucket counts plus a running sum).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // one per bound, plus +Inf at the end
+	sum    atomicFloat
+}
+
+// NewHistogram returns a histogram over the given upper bounds (ascending,
+// in seconds). Nil bounds select DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	bounds = append([]float64(nil), bounds...)
+	sort.Float64s(bounds)
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the owning bucket, the standard Prometheus histogram_quantile
+// estimate. It returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if c == 0 {
+				return b
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + frac*(b-lo)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// atomicFloat is a float64 accumulated with CAS on its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		cur := math.Float64frombits(old)
+		if f.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Registry names and exposes a set of metrics.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+	help       map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.help[name] = help
+	return c
+}
+
+// Histogram returns the named histogram, creating it with DefBuckets on
+// first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h := NewHistogram(nil)
+	r.histograms[name] = h
+	r.help[name] = help
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by name for stable output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	cnames := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		cnames = append(cnames, n)
+	}
+	hnames := make([]string, 0, len(r.histograms))
+	for n := range r.histograms {
+		hnames = append(hnames, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(cnames)
+	sort.Strings(hnames)
+
+	var b strings.Builder
+	for _, n := range cnames {
+		r.mu.Lock()
+		c, help := r.counters[n], r.help[n]
+		r.mu.Unlock()
+		if help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", n, help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s counter\n", n)
+		fmt.Fprintf(&b, "%s %d\n", n, c.Value())
+	}
+	for _, n := range hnames {
+		r.mu.Lock()
+		h, help := r.histograms[n], r.help[n]
+		r.mu.Unlock()
+		if help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", n, help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"%g\"} %d\n", n, bound, cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(&b, "%s_sum %g\n", n, h.Sum())
+		fmt.Fprintf(&b, "%s_count %d\n", n, cum)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value() = %d, want 8000", got)
+	}
+}
+
+func TestHistogramCountSum(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count() = %d, want 4", got)
+	}
+	if got := h.Sum(); math.Abs(got-5.555) > 1e-9 {
+		t.Fatalf("Sum() = %g, want 5.555", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%4) + 0.5)
+	}
+	med := h.Quantile(0.5)
+	if med < 1 || med > 3 {
+		t.Fatalf("Quantile(0.5) = %g, want in [1,3]", med)
+	}
+	if q := h.Quantile(0.5); q == 0 {
+		t.Fatal("Quantile returned 0 with observations present")
+	}
+	empty := NewHistogram(nil)
+	if q := empty.Quantile(0.99); q != 0 {
+		t.Fatalf("empty Quantile = %g, want 0", q)
+	}
+}
+
+func TestRegistryReusesMetrics(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("reqs_total", "requests")
+	c2 := r.Counter("reqs_total", "requests")
+	if c1 != c2 {
+		t.Fatal("Counter() returned distinct instances for one name")
+	}
+	h1 := r.Histogram("latency_seconds", "latency")
+	h2 := r.Histogram("latency_seconds", "latency")
+	if h1 != h2 {
+		t.Fatal("Histogram() returned distinct instances for one name")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("janusd_requests_total", "total requests").Add(7)
+	h := r.Histogram("janusd_latency_seconds", "request latency")
+	h.Observe(0.0003)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE janusd_requests_total counter",
+		"janusd_requests_total 7",
+		"# TYPE janusd_latency_seconds histogram",
+		`janusd_latency_seconds_bucket{le="+Inf"} 2`,
+		"janusd_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be non-decreasing.
+	last := -1
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "janusd_latency_seconds_bucket") {
+			n, err := strconv.Atoi(line[strings.LastIndexByte(line, ' ')+1:])
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			if n < last {
+				t.Fatalf("bucket counts decreased: %q after %d", line, last)
+			}
+			last = n
+		}
+	}
+}

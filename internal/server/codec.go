@@ -1,0 +1,146 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	janus "janusaqp"
+)
+
+// QueryRequest is the POST /v1/query payload. Set SQL for the approximate
+// SQL interface, or Template + Func (+ Min/Max bounds) for a structured
+// query against one synopsis.
+type QueryRequest struct {
+	// SQL is a full statement, e.g.
+	// "SELECT SUM(fareAmount) FROM trips WHERE pickupTime BETWEEN 0 AND 3600".
+	SQL string `json:"sql,omitempty"`
+
+	// Template names the synopsis a structured query runs against.
+	Template string `json:"template,omitempty"`
+	// Func is SUM, COUNT, AVG, MIN, or MAX (case-insensitive).
+	Func string `json:"func,omitempty"`
+	// AggIndex selects the aggregation attribute; nil uses the synopsis's
+	// primary attribute.
+	AggIndex *int `json:"aggIndex,omitempty"`
+	// Min and Max bound the rectangular predicate, one value per predicate
+	// dimension of the template. Both empty means the full universe.
+	Min []float64 `json:"min,omitempty"`
+	Max []float64 `json:"max,omitempty"`
+	// Confidence is the CI level in (0,1); 0 selects the 0.95 default.
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// QueryResponse carries an approximate answer and its confidence interval.
+type QueryResponse struct {
+	Estimate  float64 `json:"estimate"`
+	Lo        float64 `json:"lo"`
+	Hi        float64 `json:"hi"`
+	HalfWidth float64 `json:"halfWidth"`
+	Covered   int     `json:"covered"`
+	Partial   int     `json:"partial"`
+	Outer     bool    `json:"outer,omitempty"`
+}
+
+// WireTuple is one row in an ingestion batch.
+type WireTuple struct {
+	ID   int64     `json:"id"`
+	Key  []float64 `json:"key"`
+	Vals []float64 `json:"vals"`
+}
+
+// InsertRequest is the POST /v1/insert payload: a batch of new rows.
+type InsertRequest struct {
+	Tuples []WireTuple `json:"tuples"`
+}
+
+// InsertResponse reports how many rows were applied.
+type InsertResponse struct {
+	Inserted int `json:"inserted"`
+}
+
+// DeleteRequest is the POST /v1/delete payload: a batch of row IDs.
+type DeleteRequest struct {
+	IDs []int64 `json:"ids"`
+}
+
+// DeleteResponse reports the applied deletions; Missing lists IDs the
+// archive did not know.
+type DeleteResponse struct {
+	Deleted int     `json:"deleted"`
+	Missing []int64 `json:"missing,omitempty"`
+}
+
+// TemplateInfo describes one registered template.
+type TemplateInfo struct {
+	Name          string `json:"name"`
+	PredicateDims []int  `json:"predicateDims"`
+	AggIndex      int    `json:"aggIndex"`
+}
+
+// TemplatesResponse is the GET /v1/templates payload.
+type TemplatesResponse struct {
+	Templates []TemplateInfo `json:"templates"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func toResponse(r janus.Result) QueryResponse {
+	return QueryResponse{
+		Estimate:  r.Estimate,
+		Lo:        r.Interval.Lo(),
+		Hi:        r.Interval.Hi(),
+		HalfWidth: r.Interval.HalfWidth,
+		Covered:   r.Covered,
+		Partial:   r.Partial,
+		Outer:     r.Outer,
+	}
+}
+
+func parseFunc(name string) (janus.Func, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "SUM":
+		return janus.FuncSum, nil
+	case "COUNT":
+		return janus.FuncCount, nil
+	case "AVG":
+		return janus.FuncAvg, nil
+	case "MIN":
+		return janus.FuncMin, nil
+	case "MAX":
+		return janus.FuncMax, nil
+	}
+	return 0, fmt.Errorf("unknown aggregate function %q (want SUM, COUNT, AVG, MIN, or MAX)", name)
+}
+
+// compileStructured turns a structured QueryRequest into an engine query
+// for a template with the given number of predicate dimensions.
+func compileStructured(req QueryRequest, dims int) (janus.Query, error) {
+	fn, err := parseFunc(req.Func)
+	if err != nil {
+		return janus.Query{}, err
+	}
+	if req.Confidence < 0 || req.Confidence >= 1 {
+		return janus.Query{}, fmt.Errorf("confidence must be in (0,1), got %g", req.Confidence)
+	}
+	rect := janus.Universe(dims)
+	if len(req.Min) > 0 || len(req.Max) > 0 {
+		if len(req.Min) != dims || len(req.Max) != dims {
+			return janus.Query{}, fmt.Errorf("predicate bounds need %d values per side, got min=%d max=%d",
+				dims, len(req.Min), len(req.Max))
+		}
+		for i := range req.Min {
+			if req.Min[i] > req.Max[i] {
+				return janus.Query{}, fmt.Errorf("inverted bounds on dimension %d (%g > %g)", i, req.Min[i], req.Max[i])
+			}
+		}
+		rect = janus.NewRect(append(janus.Point(nil), req.Min...), append(janus.Point(nil), req.Max...))
+	}
+	aggIdx := -1
+	if req.AggIndex != nil {
+		aggIdx = *req.AggIndex
+	}
+	return janus.Query{Func: fn, AggIndex: aggIdx, Rect: rect, Confidence: req.Confidence}, nil
+}

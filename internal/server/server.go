@@ -1,0 +1,371 @@
+// Package server exposes a JanusAQP engine over HTTP/JSON — the network
+// face of the interactive DAQP service the paper motivates (dashboards and
+// monitors issuing continuous approximate queries while updates stream in).
+//
+// Endpoints:
+//
+//	POST /v1/query     structured or SQL approximate queries
+//	POST /v1/insert    batched row ingestion
+//	POST /v1/delete    batched row deletion
+//	GET  /v1/templates registered query templates
+//	GET  /v1/stats     engine counters and per-template synopsis state
+//	GET  /metrics      Prometheus text exposition
+//
+// The server leans on the engine's sharded locking: query handlers only
+// take per-synopsis read locks, so concurrent requests on different
+// templates — and read-only requests on the same template — proceed in
+// parallel.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	janus "janusaqp"
+	"janusaqp/internal/metrics"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CatchUpInterval is the cadence of the background catch-up pump; the
+	// paper's catch-up thread. Zero disables the pump (tests drive
+	// PumpCatchUp directly).
+	CatchUpInterval time.Duration
+	// Follow, when non-nil, makes the server tail an external broker's
+	// topics via Engine.Follow in a background goroutine.
+	Follow *janus.Broker
+	// FollowInterval is the idle poll interval of the follow loop
+	// (default 10ms).
+	FollowInterval time.Duration
+	// MaxBodyBytes caps request bodies (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+// Server serves one engine over HTTP. Create with New, expose with
+// Handler, stop background goroutines with Close.
+type Server struct {
+	eng *janus.Engine
+	mux *http.ServeMux
+	reg *metrics.Registry
+
+	queryLatency  *metrics.Histogram
+	insertLatency *metrics.Histogram
+	deleteLatency *metrics.Histogram
+
+	queryRequests  *metrics.Counter
+	insertRequests *metrics.Counter
+	deleteRequests *metrics.Counter
+	rowsInserted   *metrics.Counter
+	rowsDeleted    *metrics.Counter
+	errors         *metrics.Counter
+
+	maxBody int64
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New returns a server over the engine and starts any background loops the
+// options request.
+func New(eng *janus.Engine, opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 32 << 20
+	}
+	reg := metrics.NewRegistry()
+	s := &Server{
+		eng:     eng,
+		mux:     http.NewServeMux(),
+		reg:     reg,
+		maxBody: opts.MaxBodyBytes,
+		queryLatency: reg.Histogram("janusd_query_latency_seconds",
+			"End-to-end /v1/query handling latency."),
+		insertLatency: reg.Histogram("janusd_insert_latency_seconds",
+			"End-to-end /v1/insert handling latency."),
+		deleteLatency: reg.Histogram("janusd_delete_latency_seconds",
+			"End-to-end /v1/delete handling latency."),
+		// Counters are resolved once here: the hot path must only touch
+		// lock-free atomics, never the registry mutex.
+		queryRequests:  reg.Counter("janusd_query_requests_total", "Total /v1/query requests."),
+		insertRequests: reg.Counter("janusd_insert_requests_total", "Total /v1/insert requests."),
+		deleteRequests: reg.Counter("janusd_delete_requests_total", "Total /v1/delete requests."),
+		rowsInserted:   reg.Counter("janusd_rows_inserted_total", "Total rows applied via /v1/insert."),
+		rowsDeleted:    reg.Counter("janusd_rows_deleted_total", "Total rows removed via /v1/delete."),
+		errors:         reg.Counter("janusd_errors_total", "Total requests answered with a non-2xx status."),
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
+	s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/templates", s.handleTemplates)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	if opts.CatchUpInterval > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(opts.CatchUpInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					eng.PumpCatchUp()
+				}
+			}
+		}()
+	}
+	if opts.Follow != nil {
+		s.wg.Add(1)
+		followPanics := reg.Counter("janusd_follow_panics_total",
+			"Panics recovered in the broker-follow loop (bad stream records).")
+		go func() {
+			defer s.wg.Done()
+			var state janus.SyncState
+			// A malformed stream record (duplicate ID, short key) panics out
+			// of Engine.Follow with every engine lock already released; one
+			// bad record must not take the daemon down, so recover and
+			// resume from the advanced offsets.
+			for ctx.Err() == nil {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							followPanics.Inc()
+						}
+					}()
+					eng.Follow(ctx, opts.Follow, &state, opts.FollowInterval)
+				}()
+			}
+		}()
+	}
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics registry so embedders can attach
+// their own counters.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Close stops the background catch-up pump and follow loops and waits for
+// them to exit.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// --- plumbing ---------------------------------------------------------------
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errors.Inc()
+	s.writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return false
+	}
+	if dec.More() {
+		s.writeError(w, http.StatusBadRequest, "request body has trailing data")
+		return false
+	}
+	return true
+}
+
+// statusForEngineErr maps engine errors onto HTTP statuses: unknown
+// templates/tables are 404, everything else a client error.
+func statusForEngineErr(err error) int {
+	if errors.Is(err, janus.ErrUnknownTemplate) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// --- handlers ---------------------------------------------------------------
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.queryLatency.ObserveSince(start)
+	s.queryRequests.Inc()
+
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	var (
+		res janus.Result
+		err error
+	)
+	switch {
+	case req.SQL != "" && req.Template != "":
+		s.writeError(w, http.StatusBadRequest, "set either sql or template, not both")
+		return
+	case req.SQL != "":
+		res, err = s.eng.QuerySQL(req.SQL)
+	case req.Template != "":
+		tmpl, ok := s.eng.Template(req.Template)
+		if !ok {
+			s.writeError(w, http.StatusNotFound, "unknown template %q", req.Template)
+			return
+		}
+		var q janus.Query
+		q, err = compileStructured(req, len(tmpl.PredicateDims))
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		res, err = s.eng.Query(req.Template, q)
+	default:
+		s.writeError(w, http.StatusBadRequest, "request needs sql or template")
+		return
+	}
+	if err != nil {
+		s.writeError(w, statusForEngineErr(err), "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, toResponse(res))
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.insertLatency.ObserveSince(start)
+	s.insertRequests.Inc()
+
+	var req InsertRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Tuples) == 0 {
+		s.writeError(w, http.StatusBadRequest, "insert batch is empty")
+		return
+	}
+	// Every registered template projects the key onto its predicate dims
+	// and aggregates one of the vals; a short key would panic deep inside
+	// the synopsis, and a short vals would be silently ingested as zeros
+	// (Tuple.Val defaults out-of-range reads to 0), permanently skewing
+	// SUM/AVG — reject both here.
+	minKeyDims, minVals := 0, 0
+	for _, name := range s.eng.Templates() {
+		if t, ok := s.eng.Template(name); ok {
+			for _, d := range t.PredicateDims {
+				if d+1 > minKeyDims {
+					minKeyDims = d + 1
+				}
+			}
+		}
+		// The synopsis tracks NumVals aggregation columns (not just the
+		// template's focus AggIndex) — SQL can aggregate any of them.
+		if nv := s.eng.NumVals(name); nv > minVals {
+			minVals = nv
+		}
+	}
+	for _, t := range req.Tuples {
+		if len(t.Key) == 0 {
+			s.writeError(w, http.StatusBadRequest, "tuple %d has no key attributes", t.ID)
+			return
+		}
+		if len(t.Key) < minKeyDims {
+			s.writeError(w, http.StatusBadRequest,
+				"tuple %d has %d key attributes; registered templates need %d", t.ID, len(t.Key), minKeyDims)
+			return
+		}
+		if len(t.Vals) < minVals {
+			s.writeError(w, http.StatusBadRequest,
+				"tuple %d has %d aggregation attributes; registered templates need %d", t.ID, len(t.Vals), minVals)
+			return
+		}
+	}
+	inserted, err := s.applyInserts(req.Tuples)
+	s.rowsInserted.Add(uint64(inserted))
+	if err != nil {
+		// A duplicate live ID violates the stream contract (producers must
+		// assign fresh IDs); earlier tuples in the batch are already applied.
+		s.writeError(w, http.StatusConflict, "%v (applied %d of %d)", err, inserted, len(req.Tuples))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, InsertResponse{Inserted: inserted})
+}
+
+// applyInserts feeds the batch to the engine, converting the archive's
+// duplicate-ID panic into an error so one bad row cannot take the daemon
+// down.
+func (s *Server) applyInserts(tuples []WireTuple) (n int, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("%v", rec)
+		}
+	}()
+	for _, t := range tuples {
+		s.eng.Insert(janus.Tuple{ID: t.ID, Key: janus.Point(t.Key), Vals: t.Vals})
+		n++
+	}
+	return n, nil
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.deleteLatency.ObserveSince(start)
+	s.deleteRequests.Inc()
+
+	var req DeleteRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.IDs) == 0 {
+		s.writeError(w, http.StatusBadRequest, "delete batch is empty")
+		return
+	}
+	resp := DeleteResponse{}
+	for _, id := range req.IDs {
+		if s.eng.Delete(id) {
+			resp.Deleted++
+		} else {
+			resp.Missing = append(resp.Missing, id)
+		}
+	}
+	s.rowsDeleted.Add(uint64(resp.Deleted))
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTemplates(w http.ResponseWriter, r *http.Request) {
+	resp := TemplatesResponse{Templates: []TemplateInfo{}}
+	for _, name := range s.eng.Templates() {
+		t, ok := s.eng.Template(name)
+		if !ok {
+			continue
+		}
+		resp.Templates = append(resp.Templates, TemplateInfo{
+			Name:          t.Name,
+			PredicateDims: t.PredicateDims,
+			AggIndex:      t.AggIndex,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}

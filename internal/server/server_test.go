@@ -1,0 +1,422 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	janus "janusaqp"
+	"janusaqp/internal/workload"
+)
+
+// newTestEngine boots an engine over rows taxi tuples with the "trips"
+// template (predicate pickupTime) and its SQL schema registered, mirroring
+// the janusd bootstrap.
+func newTestEngine(t testing.TB, rows int) (*janus.Engine, []janus.Tuple) {
+	t.Helper()
+	tuples, err := workload.Generate(workload.NYCTaxi, rows, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := janus.NewBroker()
+	for _, tp := range tuples {
+		b.PublishInsert(tp)
+	}
+	eng := janus.NewEngine(janus.Config{LeafNodes: 64, SampleRate: 0.02, CatchUpRate: 0.10, Seed: 7}, b)
+	if err := eng.AddTemplate(janus.Template{
+		Name: "trips", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterSchema("trips", janus.TableSchema{
+		Table:    "trips",
+		PredCols: []string{"pickupTime"},
+		AggCols:  []string{"tripDistance", "fareAmount", "passengerCount"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return eng, tuples
+}
+
+func postJSON(t testing.TB, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func decodeInto(t testing.TB, raw []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(raw, v); err != nil {
+		t.Fatalf("decoding %s: %v", raw, err)
+	}
+}
+
+// TestIntegrationSQLOverHTTP is the acceptance-criteria test: start the
+// daemon's handler on a live listener, load data, issue a SQL query over
+// HTTP, and require the returned confidence interval to cover the exact
+// answer.
+func TestIntegrationSQLOverHTTP(t *testing.T) {
+	eng, tuples := newTestEngine(t, 20000)
+	srv := New(eng, Options{CatchUpInterval: time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Let the background pump finish catch-up so covered-node estimates
+	// tighten, as a long-running daemon's would.
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.CatchUpProgress("trips") < 0.10 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	lo, hi := 0.0, tuples[len(tuples)/2].Key[0] // first half of the timeline
+	var truth float64
+	for _, tp := range tuples {
+		if tp.Key[0] >= lo && tp.Key[0] <= hi {
+			truth += tp.Vals[0]
+		}
+	}
+
+	sql := fmt.Sprintf(
+		"SELECT SUM(tripDistance) FROM trips WHERE pickupTime BETWEEN %g AND %g WITH CONFIDENCE 0.999",
+		lo, hi)
+	resp, raw := postJSON(t, ts.URL+"/v1/query", QueryRequest{SQL: sql})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var qr QueryResponse
+	decodeInto(t, raw, &qr)
+	if qr.Lo > truth || truth > qr.Hi {
+		t.Fatalf("interval [%g, %g] does not cover exact answer %g (estimate %g)",
+			qr.Lo, qr.Hi, truth, qr.Estimate)
+	}
+	if qr.Estimate <= 0 {
+		t.Fatalf("estimate %g, want positive", qr.Estimate)
+	}
+}
+
+func TestStructuredQueryInsertDelete(t *testing.T) {
+	eng, tuples := newTestEngine(t, 10000)
+	srv := New(eng, Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Baseline COUNT(*) over the whole universe.
+	count := func() QueryResponse {
+		resp, raw := postJSON(t, ts.URL+"/v1/query", QueryRequest{Template: "trips", Func: "count"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("count status %d: %s", resp.StatusCode, raw)
+		}
+		var qr QueryResponse
+		decodeInto(t, raw, &qr)
+		return qr
+	}
+	before := count()
+	if before.Lo > float64(len(tuples)) || float64(len(tuples)) > before.Hi {
+		t.Fatalf("count interval [%g, %g] misses %d", before.Lo, before.Hi, len(tuples))
+	}
+
+	// Batched insert of 500 fresh rows.
+	batch := InsertRequest{}
+	fresh, err := workload.Generate(workload.NYCTaxi, 500, 5_000_000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range fresh {
+		batch.Tuples = append(batch.Tuples, WireTuple{ID: tp.ID, Key: tp.Key, Vals: tp.Vals})
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/insert", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, raw)
+	}
+	var ir InsertResponse
+	decodeInto(t, raw, &ir)
+	if ir.Inserted != 500 {
+		t.Fatalf("Inserted = %d, want 500", ir.Inserted)
+	}
+
+	after := count()
+	want := float64(len(tuples) + 500)
+	if after.Lo > want || want > after.Hi {
+		t.Fatalf("count interval [%g, %g] misses %g after insert", after.Lo, after.Hi, want)
+	}
+
+	// Batched delete: 2 live IDs and one unknown.
+	resp, raw = postJSON(t, ts.URL+"/v1/delete", DeleteRequest{IDs: []int64{fresh[0].ID, fresh[1].ID, 99_999_999}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d: %s", resp.StatusCode, raw)
+	}
+	var dr DeleteResponse
+	decodeInto(t, raw, &dr)
+	if dr.Deleted != 2 || len(dr.Missing) != 1 || dr.Missing[0] != 99_999_999 {
+		t.Fatalf("delete response = %+v, want 2 deleted, missing [99999999]", dr)
+	}
+}
+
+func TestTemplatesStatsMetricsEndpoints(t *testing.T) {
+	eng, _ := newTestEngine(t, 5000)
+	srv := New(eng, Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A query so the latency histogram has at least one observation.
+	postJSON(t, ts.URL+"/v1/query", QueryRequest{Template: "trips", Func: "SUM"})
+
+	resp, err := http.Get(ts.URL + "/v1/templates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var tr TemplatesResponse
+	decodeInto(t, raw, &tr)
+	if len(tr.Templates) != 1 || tr.Templates[0].Name != "trips" {
+		t.Fatalf("templates = %+v, want [trips]", tr)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st janus.EngineStats
+	decodeInto(t, raw, &st)
+	if st.ArchiveRows != 5000 {
+		t.Fatalf("ArchiveRows = %d, want 5000", st.ArchiveRows)
+	}
+	if len(st.Templates) != 1 || st.Templates[0].SynopsisBytes <= 0 {
+		t.Fatalf("template stats = %+v, want one entry with positive synopsis bytes", st.Templates)
+	}
+
+	// Regression: stats must not leak a synopsis read lock — a write
+	// immediately after /v1/stats has to succeed (it wedged forever when
+	// Stats forgot to RUnlock).
+	insDone := make(chan struct{})
+	go func() {
+		defer close(insDone)
+		resp, raw := postJSON(t, ts.URL+"/v1/insert",
+			InsertRequest{Tuples: []WireTuple{{ID: 7_000_001, Key: []float64{1, 2, 3}, Vals: []float64{1, 1, 1}}}})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("insert after stats: status %d: %s", resp.StatusCode, raw)
+		}
+	}()
+	select {
+	case <-insDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("insert after /v1/stats wedged: leaked synopsis lock")
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	for _, want := range []string{
+		"janusd_query_requests_total 1",
+		"# TYPE janusd_query_latency_seconds histogram",
+		"janusd_query_latency_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	eng, _ := newTestEngine(t, 5000)
+	srv := New(eng, Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (int, string) {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+		wantErr          string
+	}{
+		{"malformed json", "/v1/query", `{"sql":`, http.StatusBadRequest, "malformed request body"},
+		{"unknown field", "/v1/query", `{"quack":1}`, http.StatusBadRequest, "malformed request body"},
+		{"neither sql nor template", "/v1/query", `{}`, http.StatusBadRequest, "needs sql or template"},
+		{"both sql and template", "/v1/query", `{"sql":"SELECT COUNT(*) FROM trips","template":"trips"}`, http.StatusBadRequest, "not both"},
+		{"unknown template", "/v1/query", `{"template":"nope","func":"SUM"}`, http.StatusNotFound, "unknown template"},
+		{"unknown table", "/v1/query", `{"sql":"SELECT COUNT(*) FROM nope"}`, http.StatusNotFound, "no template registered"},
+		{"malformed sql", "/v1/query", `{"sql":"SELEC COUNT(*) FROM trips"}`, http.StatusBadRequest, "sqlparse"},
+		{"bad aggregate", "/v1/query", `{"template":"trips","func":"MEDIAN"}`, http.StatusBadRequest, "unknown aggregate function"},
+		{"bad bounds arity", "/v1/query", `{"template":"trips","func":"SUM","min":[0,1],"max":[2,3]}`, http.StatusBadRequest, "predicate bounds"},
+		{"inverted bounds", "/v1/query", `{"template":"trips","func":"SUM","min":[5],"max":[1]}`, http.StatusBadRequest, "inverted bounds"},
+		{"bad confidence", "/v1/query", `{"template":"trips","func":"SUM","confidence":2}`, http.StatusBadRequest, "confidence"},
+		{"non-predicate column", "/v1/query", `{"sql":"SELECT SUM(tripDistance) FROM trips WHERE nope < 5"}`, http.StatusBadRequest, "not a predicate column"},
+		{"empty insert", "/v1/insert", `{"tuples":[]}`, http.StatusBadRequest, "empty"},
+		{"keyless tuple", "/v1/insert", `{"tuples":[{"id":1,"vals":[1]}]}`, http.StatusBadRequest, "no key attributes"},
+		{"short vals", "/v1/insert", `{"tuples":[{"id":1000001,"key":[1,2,3],"vals":[1]}]}`, http.StatusBadRequest, "aggregation attributes"},
+		{"duplicate id", "/v1/insert", `{"tuples":[{"id":3,"key":[1,2,3],"vals":[1,1,1]}]}`, http.StatusConflict, "duplicate"},
+		{"empty delete", "/v1/delete", `{"ids":[]}`, http.StatusBadRequest, "empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := post(tc.path, tc.body)
+			if status != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", status, tc.wantStatus, body)
+			}
+			var er ErrorResponse
+			decodeInto(t, []byte(body), &er)
+			if !strings.Contains(er.Error, tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", er.Error, tc.wantErr)
+			}
+		})
+	}
+
+	// Method mismatches are rejected by the mux.
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/query status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestInsertShortKeyRejected: a tuple whose key does not cover every
+// registered template's predicate dims must be rejected up front — fed to
+// the engine it would panic inside the synopsis projection and (recovered)
+// leave the daemon serving a corrupt half-applied batch.
+func TestInsertShortKeyRejected(t *testing.T) {
+	eng, _ := newTestEngine(t, 5000)
+	if err := eng.AddTemplate(janus.Template{
+		Name: "fares", PredicateDims: []int{2}, AggIndex: 1, Agg: janus.Sum,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, raw := postJSON(t, ts.URL+"/v1/insert",
+		InsertRequest{Tuples: []WireTuple{{ID: 42_000_000, Key: []float64{1}, Vals: []float64{1, 1, 1}}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short-key insert status = %d, want 400 (body %s)", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "key attributes") {
+		t.Fatalf("error does not mention key arity: %s", raw)
+	}
+	// The engine must still accept well-formed traffic afterwards.
+	resp, raw = postJSON(t, ts.URL+"/v1/insert",
+		InsertRequest{Tuples: []WireTuple{{ID: 42_000_001, Key: []float64{1, 2, 3}, Vals: []float64{1, 1, 1}}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("well-formed insert after rejection: status %d: %s", resp.StatusCode, raw)
+	}
+}
+
+// TestConcurrentQueryInsert drives mixed /v1/query and /v1/insert traffic
+// against a live server across two templates. Run under -race it checks
+// the sharded engine locking end to end.
+func TestConcurrentQueryInsert(t *testing.T) {
+	eng, _ := newTestEngine(t, 8000)
+	if err := eng.AddTemplate(janus.Template{
+		Name: "fares", PredicateDims: []int{2}, AggIndex: 1, Agg: janus.Sum,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Options{CatchUpInterval: time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const (
+		readers        = 6
+		writers        = 2
+		opsPerReader   = 60
+		rowsPerWriter  = 300
+		writeBatchSize = 20
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+writers)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tmpl := "trips"
+			if r%2 == 1 {
+				tmpl = "fares"
+			}
+			for i := 0; i < opsPerReader; i++ {
+				resp, raw := postJSON(t, ts.URL+"/v1/query", QueryRequest{Template: tmpl, Func: "SUM"})
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("reader %d: status %d: %s", r, resp.StatusCode, raw)
+					return
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fresh, err := workload.Generate(workload.NYCTaxi, rowsPerWriter, int64(10_000_000*(w+1)), int64(w+13))
+			if err != nil {
+				errc <- err
+				return
+			}
+			for i := 0; i < len(fresh); i += writeBatchSize {
+				batch := InsertRequest{}
+				for _, tp := range fresh[i : i+writeBatchSize] {
+					batch.Tuples = append(batch.Tuples, WireTuple{ID: tp.ID, Key: tp.Key, Vals: tp.Vals})
+				}
+				resp, raw := postJSON(t, ts.URL+"/v1/insert", batch)
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("writer %d: status %d: %s", w, resp.StatusCode, raw)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// All writes landed: exact row count is visible in the stats snapshot.
+	st := eng.Stats()
+	want := int64(8000 + writers*rowsPerWriter)
+	if st.ArchiveRows != want {
+		t.Fatalf("ArchiveRows = %d, want %d", st.ArchiveRows, want)
+	}
+}

@@ -11,12 +11,12 @@ import (
 // restore it with LoadTemplate instead of paying a full re-initialization.
 // The broker's archival data is not included — it is cold storage.
 func (e *Engine) SaveTemplate(template string, w io.Writer) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, ok := e.syns[template]
+	s, ok := e.lookup(template)
 	if !ok {
-		return fmt.Errorf("janus: unknown template %q", template)
+		return fmt.Errorf("janus: %w %q", ErrUnknownTemplate, template)
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.dpt.Encode(w)
 }
 
@@ -25,18 +25,20 @@ func (e *Engine) SaveTemplate(template string, w io.Writer) error {
 // immediately; its statistics resume refinement at the next
 // re-initialization.
 func (e *Engine) LoadTemplate(t Template, r io.Reader) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if t.Name == "" {
 		return fmt.Errorf("janus: template needs a name")
 	}
-	if _, dup := e.syns[t.Name]; dup {
+	e.upd.Lock()
+	defer e.upd.Unlock()
+	if _, dup := e.lookup(t.Name); dup {
 		return fmt.Errorf("janus: duplicate template %q", t.Name)
 	}
 	dpt, err := core.Decode(r, e.resampler())
 	if err != nil {
 		return err
 	}
+	e.reg.Lock()
 	e.syns[t.Name] = &synopsis{tmpl: t, dpt: dpt}
+	e.reg.Unlock()
 	return nil
 }

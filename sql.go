@@ -2,6 +2,7 @@ package janus
 
 import (
 	"fmt"
+	"strings"
 
 	"janusaqp/internal/sqlparse"
 )
@@ -14,16 +15,21 @@ type TableSchema = sqlparse.Schema
 // RegisterSchema attaches a SQL schema to a template so QuerySQL can
 // resolve column names. The schema's Table is the name used in FROM.
 func (e *Engine) RegisterSchema(template string, sc TableSchema) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, ok := e.syns[template]
+	s, ok := e.lookup(template)
 	if !ok {
-		return fmt.Errorf("janus: unknown template %q", template)
+		return fmt.Errorf("janus: %w %q", ErrUnknownTemplate, template)
 	}
 	if len(sc.PredCols) != len(s.tmpl.PredicateDims) {
 		return fmt.Errorf("janus: schema has %d predicate columns, template %d",
 			len(sc.PredCols), len(s.tmpl.PredicateDims))
 	}
+	// upd before reg.Lock, preserving the engine's lock order: a bare
+	// reg.Lock could go pending under forEachSynUpdLocked's long-held read
+	// lock and park every new reader behind it.
+	e.upd.Lock()
+	defer e.upd.Unlock()
+	e.reg.Lock()
+	defer e.reg.Unlock()
 	s.schema = &sc
 	return nil
 }
@@ -38,42 +44,27 @@ func (e *Engine) QuerySQL(sql string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	e.mu.Lock()
-	var target *synopsis
-	var name string
+	var (
+		name   string
+		schema TableSchema
+		found  bool
+	)
+	e.reg.RLock()
 	for n, s := range e.syns {
-		if s.schema != nil && equalFold(s.schema.Table, st.Table) {
-			target = s
+		if s.schema != nil && strings.EqualFold(s.schema.Table, st.Table) {
 			name = n
+			schema = *s.schema
+			found = true
 			break
 		}
 	}
-	e.mu.Unlock()
-	if target == nil {
-		return Result{}, fmt.Errorf("janus: no template registered for table %q", st.Table)
+	e.reg.RUnlock()
+	if !found {
+		return Result{}, fmt.Errorf("janus: no template registered for table %q: %w", st.Table, ErrUnknownTemplate)
 	}
-	q, err := sqlparse.Compile(st, *target.schema)
+	q, err := sqlparse.Compile(st, schema)
 	if err != nil {
 		return Result{}, err
 	}
 	return e.Query(name, q)
-}
-
-func equalFold(a, b string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := 0; i < len(a); i++ {
-		ca, cb := a[i], b[i]
-		if 'A' <= ca && ca <= 'Z' {
-			ca += 'a' - 'A'
-		}
-		if 'A' <= cb && cb <= 'Z' {
-			cb += 'a' - 'A'
-		}
-		if ca != cb {
-			return false
-		}
-	}
-	return true
 }

@@ -1,5 +1,10 @@
 package janus
 
+import (
+	"context"
+	"time"
+)
+
 // PSoup-style stream consumption (Section 3.2): both data and queries are
 // streams; an engine can be fed from an *external* broker's topics rather
 // than through direct method calls, applying records strictly in arrival
@@ -18,30 +23,76 @@ type SyncState struct {
 // offsets in state. It advances state and returns the number of records
 // applied. Call it in a loop (optionally interleaved with PumpCatchUp and
 // queries) to follow a live stream.
+//
+// Ordering is per-topic only: each pass drains pending inserts before
+// pending deletes, so cross-topic sequences on the same ID (delete(x)
+// immediately followed by a re-insert of x) are not ordered. Producers
+// must assign fresh IDs — the same contract Archive.Insert enforces.
 func (e *Engine) Sync(source *Broker, state *SyncState) int {
+	return e.syncCtx(context.Background(), source, state)
+}
+
+// syncCtx is Sync bounded by a context: it stops draining between batches
+// once ctx is canceled, so a hot stream cannot stall shutdown for longer
+// than one batch.
+func (e *Engine) syncCtx(ctx context.Context, source *Broker, state *SyncState) int {
 	applied := 0
 	const batch = 4096
-	for {
+	for ctx.Err() == nil {
 		recs, next := source.Inserts.Poll(state.InsertOffset, batch)
 		if len(recs) == 0 {
 			break
 		}
-		state.InsertOffset = next
-		for _, r := range recs {
+		// Advance the offset per record, before applying it: if a malformed
+		// record panics out of Insert (and a supervisor like janusd's follow
+		// loop recovers), the resumed Sync skips only that record instead of
+		// replaying it forever or dropping the rest of the batch.
+		base := next - int64(len(recs))
+		for i, r := range recs {
+			state.InsertOffset = base + int64(i) + 1
 			e.Insert(r.Tuple)
 			applied++
 		}
 	}
-	for {
+	for ctx.Err() == nil {
 		recs, next := source.Deletes.Poll(state.DeleteOffset, batch)
 		if len(recs) == 0 {
 			break
 		}
-		state.DeleteOffset = next
-		for _, r := range recs {
+		base := next - int64(len(recs))
+		for i, r := range recs {
+			state.DeleteOffset = base + int64(i) + 1
 			e.Delete(r.Tuple.ID)
 			applied++
 		}
 	}
 	return applied
+}
+
+// Follow tails the source broker until ctx is canceled: it applies newly
+// arrived records via Sync, folds catch-up batches while the stream is
+// idle, and polls at the given interval when there is nothing to do — the
+// daemon-side consumption loop the paper's Kafka deployment runs. It
+// returns the total number of records applied.
+func (e *Engine) Follow(ctx context.Context, source *Broker, state *SyncState, interval time.Duration) int {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		default:
+		}
+		n := e.syncCtx(ctx, source, state)
+		total += n
+		if n == 0 && !e.PumpCatchUp() {
+			select {
+			case <-ctx.Done():
+				return total
+			case <-time.After(interval):
+			}
+		}
+	}
 }
