@@ -1,0 +1,163 @@
+package janus
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Request is the unified v2 query request: one type expresses structured
+// rectangle queries, on-keys (Section 5.5) queries, and SQL statements,
+// together with the per-request options the v1 entry points could not
+// carry. Exactly one of SQL or Template must be set.
+type Request struct {
+	// SQL is a complete statement answered against the registered schemas,
+	// e.g. "SELECT SUM(fare) FROM trips WHERE pickup BETWEEN 0 AND 3600".
+	// When set, Template, Query, and OnKeys must be zero.
+	SQL string
+
+	// Template names the synopsis a structured query runs against.
+	Template string
+	// Query is the structured aggregate (ignored when SQL is set).
+	Query Query
+	// OnKeys, when non-nil, answers Query over the given *original* key
+	// attributes instead of the template's own predicate projection, via
+	// uniform estimation over the pooled sample — the Section 5.5 heuristic
+	// for templates the tree was not built for.
+	OnKeys []int
+
+	// Confidence overrides the query's confidence level when nonzero; it
+	// must lie in (0,1). Zero keeps the query's own level (default 0.95).
+	Confidence float64
+
+	// MinSyncOffset, when positive, delays the answer until the engine has
+	// applied a followed broker's insert topic through that offset —
+	// read-your-writes for a producer that just published at offset
+	// MinSyncOffset-1 (see Engine.SyncedInsertOffset). The wait is bounded
+	// only by ctx, so pass a deadline: with no Follow/Sync loop running the
+	// watermark never advances.
+	MinSyncOffset int64
+}
+
+// Response carries a query's Result plus the metadata the v1 entry points
+// silently dropped.
+type Response struct {
+	// Result is the approximate answer with its confidence interval.
+	Result Result
+	// Template is the synopsis that answered — resolved from the FROM
+	// table for SQL requests.
+	Template string
+	// SampleSize is the pooled-sample size the estimate was drawn from.
+	SampleSize int
+	// Population is the synopsis's estimated base population |D|.
+	Population int64
+	// CatchUpProgress is the synopsis's catch-up progress in [0,1]; an
+	// answer at low progress carries wider intervals (Section 4.3).
+	CatchUpProgress float64
+	// Elapsed is the engine-side answering time, excluding any
+	// MinSyncOffset wait.
+	Elapsed time.Duration
+}
+
+// Do answers one Request — the single v2 read entry point behind which
+// structured, on-keys, and SQL queries all run. It honors ctx: cancellation
+// or deadline expiry during the MinSyncOffset wait, or before the synopsis
+// lock is taken, returns ctx.Err(). Malformed requests wrap
+// ErrInvalidRequest; unknown templates and tables wrap ErrUnknownTemplate.
+//
+// Concurrent Do calls on the same template share its read lock; calls on
+// different templates do not contend at all.
+func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Validate and resolve before any MinSyncOffset wait: a request that
+	// can only ever fail must fail fast, not park on a watermark that may
+	// never advance.
+	name := req.Template
+	q := req.Query
+	onKeys := req.OnKeys
+	switch {
+	case req.SQL != "" && req.Template != "":
+		return Response{}, fmt.Errorf("janus: %w: set either SQL or Template, not both", ErrInvalidRequest)
+	case req.SQL != "":
+		if req.OnKeys != nil {
+			return Response{}, fmt.Errorf("janus: %w: OnKeys does not apply to SQL requests", ErrInvalidRequest)
+		}
+		var err error
+		name, q, err = e.compileSQL(req.SQL)
+		if err != nil {
+			return Response{}, err
+		}
+		onKeys = nil
+	case req.Template == "":
+		return Response{}, fmt.Errorf("janus: %w: set SQL or Template", ErrInvalidRequest)
+	}
+	if req.Confidence != 0 {
+		if req.Confidence < 0 || req.Confidence >= 1 {
+			return Response{}, fmt.Errorf("janus: %w: confidence must be in (0,1), got %g",
+				ErrInvalidRequest, req.Confidence)
+		}
+		q.Confidence = req.Confidence
+	}
+	s, ok := e.lookup(name)
+	if !ok {
+		return Response{}, fmt.Errorf("janus: %w %q", ErrUnknownTemplate, name)
+	}
+
+	if req.MinSyncOffset > 0 {
+		if err := e.waitSynced(ctx, req.MinSyncOffset); err != nil {
+			return Response{}, err
+		}
+	}
+	start := time.Now()
+	// A canceled context must not consume a read lock the caller no longer
+	// wants; past this point the answer is pure in-memory computation.
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var (
+		res Result
+		err error
+	)
+	if onKeys != nil {
+		res, err = s.dpt.AnswerUniform(q, onKeys)
+	} else {
+		res, err = s.dpt.Answer(q)
+	}
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{
+		Result:          res,
+		Template:        name,
+		SampleSize:      s.dpt.SampleSize(),
+		Population:      s.dpt.Population(),
+		CatchUpProgress: s.dpt.CatchUpProgress(),
+		Elapsed:         time.Since(start),
+	}, nil
+}
+
+// Query answers q against the named template's synopsis.
+//
+// Deprecated: use Do, which carries per-request options and returns the
+// response metadata this entry point drops.
+func (e *Engine) Query(template string, q Query) (Result, error) {
+	resp, err := e.Do(context.Background(), Request{Template: template, Query: q})
+	return resp.Result, err
+}
+
+// QueryOnKeys answers a query whose predicate ranges over the given
+// *original* key attributes instead of the template's own predicate
+// projection (Section 5.5).
+//
+// Deprecated: use Do with Request.OnKeys.
+func (e *Engine) QueryOnKeys(template string, q Query, dims []int) (Result, error) {
+	if dims == nil {
+		dims = []int{}
+	}
+	resp, err := e.Do(context.Background(), Request{Template: template, Query: q, OnKeys: dims})
+	return resp.Result, err
+}

@@ -122,6 +122,28 @@ func BenchmarkInsert(b *testing.B) {
 	}
 }
 
+// BenchmarkInsertBatch measures batched synopsis maintenance through the
+// v2 ingest path: each batch of 512 tuples pays one update-lock round trip
+// and one trigger evaluation, versus one per tuple in BenchmarkInsert —
+// compare tuples/sec across the two (also recorded in BENCH_PR2.json via
+// janusbench -perf).
+func BenchmarkInsertBatch(b *testing.B) {
+	const batch = 512
+	eng, _ := benchEngine(b, 50000)
+	fresh, _ := workload.Generate(workload.NYCTaxi, b.N*batch, 10_000_000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.InsertBatch(fresh[i*batch : (i+1)*batch]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*batch)/elapsed, "tuples/sec")
+	}
+}
+
 // BenchmarkDelete measures single-tuple deletion maintenance.
 func BenchmarkDelete(b *testing.B) {
 	eng, _ := benchEngine(b, 50000)

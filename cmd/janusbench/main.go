@@ -6,20 +6,30 @@
 //
 //	janusbench -exp table2            # one experiment
 //	janusbench -exp all -rows 300000  # everything at a larger scale
+//	janusbench -perf BENCH_PR2.json   # serving-perf trajectory snapshot
 //	janusbench -list
 //
 // Experiments: table2, fig5, fig6, fig7, fig8, fig9, fig10, table3,
 // table4, ablation-beta, ablation-indexes, ablation-catchup.
+//
+// -perf runs the serving micro-suite instead: per-tuple vs batched ingest
+// throughput and v2 query latency percentiles, written as JSON so the
+// repo's perf trajectory is recorded per PR.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"time"
 
+	janus "janusaqp"
 	"janusaqp/internal/experiments"
+	"janusaqp/internal/stats"
+	"janusaqp/internal/workload"
 )
 
 type runner func(experiments.Options) (*experiments.Table, error)
@@ -55,7 +65,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "shrink everything for a fast smoke run")
 	list := flag.Bool("list", false, "list available experiments")
+	perf := flag.String("perf", "", "write the serving-perf JSON snapshot to this file and exit")
 	flag.Parse()
+
+	if *perf != "" {
+		if err := runPerf(*perf, *rows, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "perf:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		names := make([]string, 0, len(registry))
@@ -90,4 +109,124 @@ func main() {
 		tbl.Fprint(os.Stdout)
 		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
 	}
+}
+
+// --- serving-perf snapshot ---------------------------------------------------
+
+// perfReport is the JSON shape of the per-PR serving-perf record
+// (BENCH_PR2.json): ingest throughput single vs. batched, and v2 query
+// latency percentiles.
+type perfReport struct {
+	Rows                      int     `json:"rows"`
+	IngestTuples              int     `json:"ingestTuples"`
+	BatchSize                 int     `json:"batchSize"`
+	IngestSingleTuplesPerSec  float64 `json:"ingestSingleTuplesPerSec"`
+	IngestBatchedTuplesPerSec float64 `json:"ingestBatchedTuplesPerSec"`
+	IngestBatchSpeedup        float64 `json:"ingestBatchSpeedup"`
+	Queries                   int     `json:"queries"`
+	QueryP50Micros            float64 `json:"queryP50Micros"`
+	QueryP95Micros            float64 `json:"queryP95Micros"`
+}
+
+// runPerf measures the v2 serving hot paths on a freshly booted engine and
+// writes the JSON snapshot: per-tuple Insert vs InsertBatch tuples/sec
+// (the batched path pays one update-lock round trip and one trigger
+// evaluation per batch), then Do() latency percentiles over a rectangle
+// workload.
+func runPerf(path string, rows int, seed int64) error {
+	if rows <= 0 {
+		rows = 120000
+	}
+	const (
+		ingestN   = 30000
+		batchSize = 512
+		queryN    = 2000
+	)
+	tuples, err := workload.Generate(workload.NYCTaxi, rows, 0, seed)
+	if err != nil {
+		return err
+	}
+	build := func() (*janus.Engine, error) {
+		b := janus.NewBroker()
+		for _, t := range tuples {
+			b.PublishInsert(t)
+		}
+		eng := janus.NewEngine(janus.Config{
+			LeafNodes: 128, SampleRate: 0.01, CatchUpRate: 0.10, Seed: seed,
+		}, b)
+		if err := eng.AddTemplate(janus.Template{
+			Name: "trips", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum,
+		}); err != nil {
+			return nil, err
+		}
+		return eng, nil
+	}
+
+	// Per-tuple ingest: one lock round trip and trigger check per tuple.
+	engSingle, err := build()
+	if err != nil {
+		return err
+	}
+	freshA, err := workload.Generate(workload.NYCTaxi, ingestN, 10_000_000, seed+1)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for _, t := range freshA {
+		engSingle.Insert(t)
+	}
+	singleTPS := float64(ingestN) / time.Since(start).Seconds()
+
+	// Batched ingest on an identically built engine.
+	engBatch, err := build()
+	if err != nil {
+		return err
+	}
+	freshB, err := workload.Generate(workload.NYCTaxi, ingestN, 20_000_000, seed+2)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	for lo := 0; lo < len(freshB); lo += batchSize {
+		hi := min(lo+batchSize, len(freshB))
+		if err := engBatch.InsertBatch(freshB[lo:hi]); err != nil {
+			return err
+		}
+	}
+	batchTPS := float64(ingestN) / time.Since(start).Seconds()
+
+	// v2 query latency over a mixed rectangle workload.
+	gen := workload.NewQueryGen(seed+3, tuples, []int{0})
+	queries := gen.Workload(256, janus.FuncSum)
+	ctx := context.Background()
+	lats := make([]float64, 0, queryN)
+	for i := 0; i < queryN; i++ {
+		resp, err := engBatch.Do(ctx, janus.Request{Template: "trips", Query: queries[i%len(queries)]})
+		if err != nil {
+			return err
+		}
+		lats = append(lats, float64(resp.Elapsed.Microseconds()))
+	}
+
+	rep := perfReport{
+		Rows:                      rows,
+		IngestTuples:              ingestN,
+		BatchSize:                 batchSize,
+		IngestSingleTuplesPerSec:  singleTPS,
+		IngestBatchedTuplesPerSec: batchTPS,
+		IngestBatchSpeedup:        batchTPS / singleTPS,
+		Queries:                   queryN,
+		QueryP50Micros:            stats.Percentile(lats, 0.50),
+		QueryP95Micros:            stats.Percentile(lats, 0.95),
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("perf: single %.0f t/s, batched %.0f t/s (%.2fx), query p50 %.0fµs p95 %.0fµs -> %s\n",
+		singleTPS, batchTPS, rep.IngestBatchSpeedup, rep.QueryP50Micros, rep.QueryP95Micros, path)
+	return nil
 }

@@ -1,8 +1,8 @@
 // Command janusd serves a JanusAQP engine over HTTP — the network daemon
 // form of the interactive DAQP service the paper motivates: dashboards
-// issue approximate queries against /v1/query while producers stream
-// inserts and deletes through /v1/insert and /v1/delete, and a background
-// goroutine keeps folding catch-up samples (the paper's catch-up thread).
+// issue approximate queries against /v2/query while producers stream
+// batches through /v2/ingest, and a background goroutine keeps folding
+// catch-up samples (the paper's catch-up thread).
 //
 // It boots from a synthetic dataset so there is something to query
 // immediately:
@@ -11,12 +11,14 @@
 //
 // then answers, e.g.:
 //
-//	curl -s localhost:8080/v1/query -d '{"sql":"SELECT SUM(tripDistance) FROM trips WHERE pickupTime BETWEEN 0 AND 43200"}'
-//	curl -s localhost:8080/v1/insert -d '{"tuples":[{"id":900001,"key":[1234],"vals":[3.1,12.5,1]}]}'
+//	curl -s localhost:8080/v2/query -d '{"sql":"SELECT SUM(tripDistance) FROM trips WHERE pickupTime BETWEEN 0 AND 43200"}'
+//	curl -s localhost:8080/v2/query -d '{"requests":[{"template":"trips","func":"COUNT"},{"sql":"SELECT AVG(fareAmount) FROM trips"}]}'
+//	curl -s localhost:8080/v2/ingest -d '{"tuples":[{"id":900001,"key":[1234],"vals":[3.1,12.5,1]}],"deleteIds":[17]}'
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/metrics
 //
-// See /v1/templates for the registered schema.
+// The /v1 endpoints remain as thin wrappers over the same paths. See
+// /v1/templates for the registered schema.
 package main
 
 import (

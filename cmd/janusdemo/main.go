@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -67,38 +69,66 @@ func main() {
 			Rect: janus.NewRect(janus.Point{span / 3}, janus.Point{2 * span / 3})}},
 	}
 
+	ctx := context.Background()
 	report := func(done int) {
+		st, _ := eng.StatsFor("trips")
 		fmt.Printf("--- after %d updates (catch-up %.0f%%, synopsis %.1f KB, reinits %d) ---\n",
-			done, eng.CatchUpProgress("trips")*100,
-			float64(eng.SynopsisBytes("trips"))/1024, eng.Reinits)
+			done, st.CatchUpProgress*100, float64(st.SynopsisBytes)/1024, eng.Stats().Reinits)
 		for _, d := range dashboard {
-			res, err := eng.Query("trips", d.q)
+			resp, err := eng.Do(ctx, janus.Request{Template: "trips", Query: d.q})
 			if err != nil {
 				fmt.Printf("  %-28s error: %v\n", d.name, err)
 				continue
 			}
 			exact := truth.Answer(d.q)
-			fmt.Printf("  %-28s est %14.1f  ±%10.1f   exact %14.1f\n",
-				d.name, res.Estimate, res.Interval.HalfWidth, exact)
+			fmt.Printf("  %-28s est %14.1f  ±%10.1f   exact %14.1f  (%d samples, %v)\n",
+				d.name, resp.Result.Estimate, resp.Result.Interval.HalfWidth, exact,
+				resp.SampleSize, resp.Elapsed)
 		}
 		fmt.Println()
 	}
 
 	report(0)
+	// Stream in batches: each batch publishes and applies under one
+	// update-lock acquisition (the v2 ingest fast path), with the 10%
+	// deletions collected per batch the same way.
+	const batch = 100
 	deleteEvery := 10
 	done := 0
-	for i := initial; i < len(tuples); i++ {
-		eng.Insert(tuples[i])
-		truth.Insert(tuples[i])
-		done++
-		if done%deleteEvery == 0 {
-			victim := tuples[done%initial].ID
-			if eng.Delete(victim) {
-				truth.Delete(victim)
+	for lo := initial; lo < len(tuples); lo += batch {
+		hi := lo + batch
+		if hi > len(tuples) {
+			hi = len(tuples)
+		}
+		if err := eng.InsertBatch(tuples[lo:hi]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var victims []int64
+		for _, t := range tuples[lo:hi] {
+			truth.Insert(t)
+			done++
+			if done%deleteEvery == 0 {
+				victims = append(victims, tuples[done%initial].ID)
+			}
+		}
+		// Mirror into the ground truth only the victims that were live;
+		// DeleteBatch reports the rest through a BatchIDError.
+		_, err := eng.DeleteBatch(victims)
+		gone := map[int64]bool{}
+		var bid *janus.BatchIDError
+		if errors.As(err, &bid) {
+			for _, id := range bid.IDs {
+				gone[id] = true
+			}
+		}
+		for _, id := range victims {
+			if !gone[id] {
+				truth.Delete(id)
 			}
 		}
 		eng.PumpCatchUp()
-		if done%*reportEvery == 0 {
+		if done%*reportEvery < batch && done >= *reportEvery {
 			report(done)
 		}
 	}

@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -64,17 +65,23 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Stream the second half in the background while the shell is live.
+	// Stream the second half in the background while the shell is live,
+	// in small batches so each batch costs one update-lock round trip.
 	var streamed int
 	var mu sync.Mutex
 	go func() {
-		for _, t := range tuples[initial:] {
-			eng.Insert(t)
+		const batch = 64
+		for lo := initial; lo < len(tuples); lo += batch {
+			hi := min(lo+batch, len(tuples))
+			if err := eng.InsertBatch(tuples[lo:hi]); err != nil {
+				fmt.Fprintln(os.Stderr, "stream:", err)
+				return
+			}
 			eng.PumpCatchUp()
 			mu.Lock()
-			streamed++
+			streamed += hi - lo
 			mu.Unlock()
-			time.Sleep(50 * time.Microsecond)
+			time.Sleep(3 * time.Millisecond)
 		}
 	}()
 
@@ -100,23 +107,32 @@ func main() {
 			mu.Lock()
 			n := streamed
 			mu.Unlock()
+			st, err := eng.StatsFor("trips")
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
 			fmt.Printf("streamed %d/%d, catch-up %.0f%%, reinits %d, synopsis %.1f KB\n",
-				n, *rows-initial, eng.CatchUpProgress("trips")*100,
-				eng.Reinits, float64(eng.SynopsisBytes("trips"))/1024)
+				n, *rows-initial, st.CatchUpProgress*100,
+				eng.Stats().Reinits, float64(st.SynopsisBytes)/1024)
 			continue
 		}
-		start := time.Now()
-		res, err := eng.QuerySQL(line)
-		lat := time.Since(start)
+		// Each statement is one v2 request with a per-query deadline — a
+		// shell should never hang on a wedged engine.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		resp, err := eng.Do(ctx, janus.Request{SQL: line})
+		cancel()
 		if err != nil {
 			fmt.Println("error:", err)
 			continue
 		}
+		res := resp.Result
 		if res.Interval.HalfWidth > 0 {
-			fmt.Printf("%.4f  ±%.4f  (95%% CI [%.4f, %.4f], %v)\n",
-				res.Estimate, res.Interval.HalfWidth, res.Interval.Lo(), res.Interval.Hi(), lat)
+			fmt.Printf("%.4f  ±%.4f  (95%% CI [%.4f, %.4f], %v, %d samples, catch-up %.0f%%)\n",
+				res.Estimate, res.Interval.HalfWidth, res.Interval.Lo(), res.Interval.Hi(),
+				resp.Elapsed.Round(time.Microsecond), resp.SampleSize, resp.CatchUpProgress*100)
 		} else {
-			fmt.Printf("%.4f  (%v)\n", res.Estimate, lat)
+			fmt.Printf("%.4f  (%v)\n", res.Estimate, resp.Elapsed.Round(time.Microsecond))
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package janus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -15,9 +16,39 @@ import (
 	"janusaqp/internal/partition"
 )
 
-// ErrUnknownTemplate reports a call naming a template the engine does not
-// have. Match with errors.Is; the wrapping error carries the name.
-var ErrUnknownTemplate = errors.New("unknown template")
+// The v2 error taxonomy. Every failure an Engine method can report wraps
+// one of these sentinels, so callers branch with errors.Is instead of
+// recovering panics or string-matching; the wrapping error carries the
+// offending name, id, or arity.
+var (
+	// ErrUnknownTemplate reports a call naming a template the engine does
+	// not have.
+	ErrUnknownTemplate = errors.New("unknown template")
+	// ErrDuplicateTemplate reports registering a template name twice.
+	ErrDuplicateTemplate = errors.New("duplicate template")
+	// ErrSchemaMismatch reports a tuple whose Key or Vals arity does not
+	// cover every registered template — ingesting it would either panic in
+	// a synopsis projection or silently read missing columns as zero.
+	ErrSchemaMismatch = errors.New("tuple schema mismatch")
+	// ErrUnknownID reports a deletion of an id the archive does not hold.
+	ErrUnknownID = errors.New("unknown tuple id")
+	// ErrDuplicateID reports an insertion whose id is already live, or
+	// repeated within one batch: stream producers must assign fresh IDs.
+	ErrDuplicateID = errors.New("duplicate tuple id")
+	// ErrInvalidRequest reports a malformed v2 Request (see Engine.Do).
+	ErrInvalidRequest = errors.New("invalid request")
+)
+
+// BatchIDError reports the ids a batch operation could not resolve. It
+// wraps ErrUnknownID; retrieve the id list with errors.As.
+type BatchIDError struct{ IDs []int64 }
+
+func (e *BatchIDError) Error() string {
+	return fmt.Sprintf("janus: %d unknown tuple ids (first %d)", len(e.IDs), e.IDs[0])
+}
+
+// Unwrap makes errors.Is(err, ErrUnknownID) match.
+func (e *BatchIDError) Unwrap() error { return ErrUnknownID }
 
 // oracleEntry adapts a sample tuple to the max-variance index entry type.
 func oracleEntry(p geom.Point, val float64, id int64) kdindex.Entry {
@@ -64,6 +95,17 @@ type Engine struct {
 	// statsMu guards the exported counters below, separately from upd so
 	// Stats() never parks behind a long re-initialization.
 	statsMu sync.Mutex
+
+	// syncMu guards the followed-stream watermark: the highest insert-topic
+	// offset Sync has applied, and the channel read-your-writes waiters
+	// (Request.MinSyncOffset) park on until it advances.
+	syncMu       sync.Mutex
+	syncedInsert int64
+	syncWake     chan struct{}
+
+	// streamRejected counts stream records Sync skipped because they failed
+	// validation (schema mismatch, duplicate id) — guarded by statsMu.
+	streamRejected int64
 
 	// Reinits counts completed re-initializations across all templates.
 	Reinits int
@@ -149,7 +191,7 @@ func (e *Engine) AddTemplate(t Template) error {
 	e.upd.Lock()
 	defer e.upd.Unlock()
 	if _, dup := e.lookup(t.Name); dup {
-		return fmt.Errorf("janus: duplicate template %q", t.Name)
+		return fmt.Errorf("janus: %w %q", ErrDuplicateTemplate, t.Name)
 	}
 	dpt, err := e.buildSynopsis(t)
 	if err != nil {
@@ -243,35 +285,128 @@ func (e *Engine) resampler() func(n int) []data.Tuple {
 	}
 }
 
-// Insert publishes the tuple to the broker and applies it to every
-// synopsis, evaluating re-partitioning triggers. Publish and application
-// are one atomic step under the update lock (see the Engine doc comment).
+// Insert publishes one tuple, panicking on a malformed or duplicate one —
+// the v1 contract kept for existing call sites.
+//
+// Deprecated: use InsertBatch, which returns typed errors instead of
+// panicking and amortizes locking across the batch.
 func (e *Engine) Insert(t Tuple) {
+	if err := e.InsertBatch([]Tuple{t}); err != nil {
+		panic(err.Error())
+	}
+}
+
+// InsertBatch validates, publishes, and applies a batch of tuples as one
+// atomic step: either every tuple is ingested or none is. The whole batch
+// runs under a single acquisition of the update lock, touches each synopsis
+// write lock once, and evaluates re-partitioning triggers once — the
+// amortization that makes batched ingest the fast path (versus a lock
+// round-trip and trigger check per tuple).
+//
+// Validation errors wrap ErrSchemaMismatch (a Key or Vals arity short of a
+// registered template) or ErrDuplicateID (an id already live, or repeated
+// within the batch); on error no state is mutated. Validation runs before
+// any mutation because a half-applied batch would leave the archive, the
+// topic, and the synopses divergent — a corruption a recovering supervisor
+// (janusd) would then keep serving. Vals arity matters as much as key
+// arity: Tuple.Val silently reads out-of-range columns as 0, which would
+// skew every aggregate over the missing attributes forever.
+func (e *Engine) InsertBatch(tuples []Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
 	e.upd.Lock()
 	defer e.upd.Unlock()
-	// Validate against every template before touching any state: a panic
-	// mid-application would otherwise leave the tuple in the archive and
-	// topic but only some synopses — a divergence a recovering supervisor
-	// (janusd) would then keep serving. Vals arity matters as much as key
-	// arity: Tuple.Val silently reads out-of-range columns as 0, which
-	// would skew every aggregate over the missing attributes forever.
+	if err := e.validateBatchUpdLocked(tuples); err != nil {
+		return err
+	}
+	e.applyInsertsUpdLocked(tuples)
+	return nil
+}
+
+// validateBatchUpdLocked checks every tuple of a batch against the archive
+// (fresh ids) and every registered template (arity) without mutating
+// anything. Caller holds e.upd.
+func (e *Engine) validateBatchUpdLocked(tuples []Tuple) error {
+	var seen map[int64]bool
+	if len(tuples) > 1 {
+		seen = make(map[int64]bool, len(tuples))
+	}
+	arities := e.aritiesUpdLocked()
+	for _, t := range tuples {
+		if seen != nil {
+			if seen[t.ID] {
+				return fmt.Errorf("janus: %w %d", ErrDuplicateID, t.ID)
+			}
+			seen[t.ID] = true
+		}
+		if err := e.admitUpdLocked(t, arities); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// admitUpdLocked is the single admission predicate both ingest paths
+// share — InsertBatch rejects its whole batch on the returned error, the
+// stream path skips the record — so the request and stream paths cannot
+// drift apart on what a valid tuple is. Caller holds e.upd and passes the
+// batch's aritiesUpdLocked snapshot.
+func (e *Engine) admitUpdLocked(t Tuple, arities []arity) error {
+	if _, live := e.broker.Archive().Get(t.ID); live {
+		return fmt.Errorf("janus: %w %d", ErrDuplicateID, t.ID)
+	}
+	for _, a := range arities {
+		if len(t.Key) <= a.maxDim {
+			return fmt.Errorf("janus: %w: tuple %d has %d key attributes; template %q projects dimension %d",
+				ErrSchemaMismatch, t.ID, len(t.Key), a.name, a.maxDim)
+		}
+		if len(t.Vals) < a.numVals {
+			return fmt.Errorf("janus: %w: tuple %d has %d aggregation attributes; template %q tracks %d",
+				ErrSchemaMismatch, t.ID, len(t.Vals), a.name, a.numVals)
+		}
+	}
+	return nil
+}
+
+// arity is one template's tuple-shape requirement: keys must cover maxDim
+// and vals must cover numVals.
+type arity struct {
+	name    string
+	maxDim  int
+	numVals int
+}
+
+// aritiesUpdLocked snapshots every template's arity requirement in one
+// registry pass — batch validators check tuples against this instead of
+// re-walking the registry per tuple. Caller holds e.upd.
+func (e *Engine) aritiesUpdLocked() []arity {
+	var out []arity
 	e.forEachSynUpdLocked(func(s *synopsis) {
+		a := arity{name: s.tmpl.Name, maxDim: -1, numVals: s.dpt.Config().NumVals}
 		for _, d := range s.tmpl.PredicateDims {
-			if d >= len(t.Key) {
-				panic(fmt.Sprintf("janus: tuple %d has %d key attributes; template %q projects dimension %d",
-					t.ID, len(t.Key), s.tmpl.Name, d))
+			if d > a.maxDim {
+				a.maxDim = d
 			}
 		}
-		if nv := s.dpt.Config().NumVals; len(t.Vals) < nv {
-			panic(fmt.Sprintf("janus: tuple %d has %d aggregation attributes; template %q tracks %d",
-				t.ID, len(t.Vals), s.tmpl.Name, nv))
-		}
+		out = append(out, a)
 	})
-	e.broker.PublishInsert(t)
+	return out
+}
+
+// applyInsertsUpdLocked publishes and applies pre-validated tuples: one
+// synopsis write-lock acquisition per synopsis, one trigger evaluation for
+// the whole batch. Caller holds e.upd.
+func (e *Engine) applyInsertsUpdLocked(tuples []Tuple) {
+	e.broker.PublishInsertBatch(tuples)
 	e.forEachSynUpdLocked(func(s *synopsis) {
-		s.apply(func(dpt *core.DPT) { dpt.Insert(t) })
+		s.apply(func(dpt *core.DPT) {
+			for _, t := range tuples {
+				dpt.Insert(t)
+			}
+		})
 	})
-	e.evaluateTriggersUpdLocked()
+	e.evaluateTriggersUpdLocked(len(tuples))
 }
 
 // apply runs one mutation under the synopsis write lock. The deferred
@@ -286,46 +421,64 @@ func (s *synopsis) apply(fn func(*core.DPT)) {
 
 // Delete removes the tuple with the given id, reporting false when the
 // archive does not know it.
+//
+// Deprecated: use DeleteBatch, which reports unknown ids as a typed error
+// and amortizes locking across the batch.
 func (e *Engine) Delete(id int64) bool {
+	n, _ := e.DeleteBatch([]int64{id})
+	return n == 1
+}
+
+// DeleteBatch removes the tuples with the given ids, returning how many
+// were live and removed. All removals run under a single acquisition of the
+// update lock with one trigger evaluation. Ids the archive does not hold —
+// including ids repeated within the batch — are skipped, and reported
+// through a *BatchIDError wrapping ErrUnknownID; the live ids are still
+// removed (deletions of already-gone rows are routine under concurrent
+// producers, so an unknown id must not abort the rest of the batch).
+func (e *Engine) DeleteBatch(ids []int64) (int, error) {
+	if len(ids) == 0 {
+		return 0, nil
+	}
 	e.upd.Lock()
 	defer e.upd.Unlock()
-	t, ok := e.broker.Archive().Get(id)
-	if !ok {
-		return false
+	// Resolve ids to tuples before publishing anything: resolution against
+	// the live archive also catches ids repeated within the batch, whose
+	// second occurrence is already gone by its own apply step.
+	tuples := make([]Tuple, 0, len(ids))
+	var missing []int64
+	gone := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		t, ok := e.broker.Archive().Get(id)
+		if !ok || gone[id] {
+			missing = append(missing, id)
+			continue
+		}
+		gone[id] = true
+		tuples = append(tuples, t)
 	}
-	e.broker.PublishDelete(id)
+	if len(tuples) == 0 {
+		// Nothing resolved: don't stall readers on synopsis write locks or
+		// run a trigger evaluation for a no-op (replayed batches land here).
+		return 0, &BatchIDError{IDs: missing}
+	}
+	live := make([]int64, len(tuples))
+	for i, t := range tuples {
+		live[i] = t.ID
+	}
+	e.broker.PublishDeleteBatch(live)
 	e.forEachSynUpdLocked(func(s *synopsis) {
-		s.apply(func(dpt *core.DPT) { dpt.Delete(t) })
+		s.apply(func(dpt *core.DPT) {
+			for _, t := range tuples {
+				dpt.Delete(t)
+			}
+		})
 	})
-	e.evaluateTriggersUpdLocked()
-	return true
-}
-
-// Query answers q against the named template's synopsis. Concurrent
-// queries on the same template share its read lock; queries on different
-// templates do not contend at all.
-func (e *Engine) Query(template string, q Query) (Result, error) {
-	s, ok := e.lookup(template)
-	if !ok {
-		return Result{}, fmt.Errorf("janus: %w %q", ErrUnknownTemplate, template)
+	e.evaluateTriggersUpdLocked(len(tuples))
+	if len(missing) > 0 {
+		return len(tuples), &BatchIDError{IDs: missing}
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.dpt.Answer(q)
-}
-
-// QueryOnKeys answers a query whose predicate ranges over the given
-// *original* key attributes instead of the template's own predicate
-// projection, using uniform estimation over the template's pooled sample
-// (Section 5.5 heuristic for unseen query templates).
-func (e *Engine) QueryOnKeys(template string, q Query, dims []int) (Result, error) {
-	s, ok := e.lookup(template)
-	if !ok {
-		return Result{}, fmt.Errorf("janus: %w %q", ErrUnknownTemplate, template)
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.dpt.AnswerUniform(q, dims)
+	return len(tuples), nil
 }
 
 // PumpCatchUp folds one batch of catch-up samples into every synopsis that
@@ -368,25 +521,27 @@ func (e *Engine) ForceCatchUpBatch(template string, batch int) bool {
 }
 
 // CatchUpProgress returns the named synopsis's catch-up progress in [0,1].
+//
+// Deprecated: an unknown template is indistinguishable from genuine zero
+// progress; use StatsFor, which reports it as ErrUnknownTemplate.
 func (e *Engine) CatchUpProgress(template string) float64 {
-	s, ok := e.lookup(template)
-	if !ok {
+	st, err := e.StatsFor(template)
+	if err != nil {
 		return 0
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.dpt.CatchUpProgress()
+	return st.CatchUpProgress
 }
 
 // SynopsisBytes estimates the named synopsis's in-memory footprint.
+//
+// Deprecated: an unknown template is indistinguishable from an empty
+// synopsis; use StatsFor, which reports it as ErrUnknownTemplate.
 func (e *Engine) SynopsisBytes(template string) int64 {
-	s, ok := e.lookup(template)
-	if !ok {
+	st, err := e.StatsFor(template)
+	if err != nil {
 		return 0
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.dpt.MemoryFootprint()
+	return st.SynopsisBytes
 }
 
 // PartialRepartitions returns the total Appendix E subtree rebuilds across
@@ -409,6 +564,34 @@ type TemplateStats struct {
 	Leaves          int     `json:"leaves"`
 	SampleSize      int     `json:"sampleSize"`
 	Population      int64   `json:"population"`
+	NumVals         int     `json:"numVals"`
+}
+
+// statsForSynLocked snapshots one synopsis under its read lock.
+func statsForSynLocked(s *synopsis) TemplateStats {
+	return TemplateStats{
+		Name:            s.tmpl.Name,
+		CatchUpProgress: s.dpt.CatchUpProgress(),
+		SynopsisBytes:   s.dpt.MemoryFootprint(),
+		Leaves:          s.dpt.NumLeaves(),
+		SampleSize:      s.dpt.SampleSize(),
+		Population:      s.dpt.Population(),
+		NumVals:         s.dpt.Config().NumVals,
+	}
+}
+
+// StatsFor snapshots one template's synopsis state, reporting
+// ErrUnknownTemplate for a name the engine does not have — the v2 form of
+// CatchUpProgress, SynopsisBytes, and NumVals, whose zero returns cannot be
+// told apart from genuine zeros.
+func (e *Engine) StatsFor(template string) (TemplateStats, error) {
+	s, ok := e.lookup(template)
+	if !ok {
+		return TemplateStats{}, fmt.Errorf("janus: %w %q", ErrUnknownTemplate, template)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return statsForSynLocked(s), nil
 }
 
 // EngineStats is a point-in-time snapshot of engine-wide counters, safe to
@@ -419,6 +602,8 @@ type EngineStats struct {
 	TriggersRejected    int             `json:"triggersRejected"`
 	PartialRepartitions int             `json:"partialRepartitions"`
 	ArchiveRows         int64           `json:"archiveRows"`
+	StreamRejected      int64           `json:"streamRejected"`
+	SyncedInsertOffset  int64           `json:"syncedInsertOffset"`
 	Templates           []TemplateStats `json:"templates"`
 }
 
@@ -432,20 +617,15 @@ func (e *Engine) Stats() EngineStats {
 		Reinits:          e.Reinits,
 		TriggersFired:    e.TriggersFired,
 		TriggersRejected: e.TriggersRejected,
+		StreamRejected:   e.streamRejected,
 	}
 	e.statsMu.Unlock()
 	st.ArchiveRows = e.broker.Archive().Len()
+	st.SyncedInsertOffset = e.SyncedInsertOffset()
 	for _, s := range e.snapshotSyns() {
 		s.mu.RLock()
 		st.PartialRepartitions += s.dpt.PartialRepartitions
-		st.Templates = append(st.Templates, TemplateStats{
-			Name:            s.tmpl.Name,
-			CatchUpProgress: s.dpt.CatchUpProgress(),
-			SynopsisBytes:   s.dpt.MemoryFootprint(),
-			Leaves:          s.dpt.NumLeaves(),
-			SampleSize:      s.dpt.SampleSize(),
-			Population:      s.dpt.Population(),
-		})
+		st.Templates = append(st.Templates, statsForSynLocked(s))
 		s.mu.RUnlock()
 	}
 	return st
@@ -454,17 +634,19 @@ func (e *Engine) Stats() EngineStats {
 // evaluateTriggersUpdLocked runs the Section 5.4 decision for any synopsis
 // with a pending trigger: compute a candidate partitioning from the current
 // pooled sample; adopt it (full re-initialization) only when it improves
-// the maximum variance by more than β. Caller holds e.upd, which excludes
-// every other mutator; per-synopsis write locks are taken only around the
-// actual mutations so concurrent queries keep flowing during candidate
-// optimization.
-func (e *Engine) evaluateTriggersUpdLocked() {
+// the maximum variance by more than β. updates is how many tuple mutations
+// the caller just applied (a batch counts each of its tuples toward the
+// cooldown, but triggers at most one evaluation — the batch-ingest
+// amortization). Caller holds e.upd, which excludes every other mutator;
+// per-synopsis write locks are taken only around the actual mutations so
+// concurrent queries keep flowing during candidate optimization.
+func (e *Engine) evaluateTriggersUpdLocked(updates int) {
 	if !e.cfg.AutoRepartition {
 		return
 	}
 	// Computing a candidate partitioning costs Θ(k·polylog m); rate-limit
 	// evaluations so a burst of skewed updates amortizes one optimization.
-	e.updatesSinceTriggerCheck++
+	e.updatesSinceTriggerCheck += updates
 	if e.updatesSinceTriggerCheck < e.cfg.TriggerCooldown {
 		return
 	}
@@ -499,7 +681,7 @@ func (e *Engine) evaluateTriggersUpdLocked() {
 			e.bumpCounter(&e.TriggersRejected)
 			return
 		}
-		e.reinitializeUpdLocked(s, cand)
+		e.reinitializeUpdLocked(s, cand, nil)
 	})
 }
 
@@ -536,15 +718,18 @@ func (e *Engine) Reinitialize(template string) (time.Duration, error) {
 		return 0, fmt.Errorf("janus: %w %q", ErrUnknownTemplate, template)
 	}
 	start := time.Now()
-	e.reinitializeUpdLocked(s, nil)
+	e.reinitializeUpdLocked(s, nil, nil)
 	return time.Since(start), nil
 }
 
 // reinitializeUpdLocked swaps in a re-optimized synopsis. cand may carry a
 // pre-computed blueprint (from trigger evaluation) or nil to optimize from
-// a fresh archive sample. Caller holds e.upd; the old synopsis keeps
-// answering queries until the brief write-locked pointer swap.
-func (e *Engine) reinitializeUpdLocked(s *synopsis, cand *partition.Blueprint) {
+// a fresh archive sample; pooled may carry the sample that blueprint was
+// optimized on (from ReinitializeAsync) so the archive is not scanned a
+// second time for a sample the caller already drew, or nil to draw fresh.
+// Caller holds e.upd; the old synopsis keeps answering queries until the
+// brief write-locked pointer swap.
+func (e *Engine) reinitializeUpdLocked(s *synopsis, cand *partition.Blueprint, pooled []data.Tuple) {
 	n := e.broker.Archive().Len()
 	if n == 0 {
 		return
@@ -553,9 +738,24 @@ func (e *Engine) reinitializeUpdLocked(s *synopsis, cand *partition.Blueprint) {
 	if m < e.cfg.MinSamples {
 		m = e.cfg.MinSamples
 	}
-	// Step 4's fresh pooled sample: drawn up front so step 2 can populate
-	// approximate statistics from it.
-	pooled := e.broker.Archive().SampleUniform(2*m, e.rng)
+	// Step 4's pooled sample: drawn up front so step 2 can populate
+	// approximate statistics from it. A caller-supplied sample was drawn
+	// before the caller released upd to optimize, so rows deleted since
+	// must be dropped — seeding the reservoir with them would resurrect
+	// them in every estimate (the delete was applied to the synopsis this
+	// swap discards). Liveness is one map lookup per sampled row, far
+	// cheaper than the full archive re-scan the filter replaces.
+	if pooled == nil {
+		pooled = e.broker.Archive().SampleUniform(2*m, e.rng)
+	} else {
+		live := pooled[:0]
+		for _, t := range pooled {
+			if _, ok := e.broker.Archive().Get(t.ID); ok {
+				live = append(live, t)
+			}
+		}
+		pooled = live
+	}
 	numVals := s.dpt.Config().NumVals
 	cfg := core.Config{
 		PredicateDims:    s.tmpl.PredicateDims,
@@ -592,6 +792,12 @@ func (e *Engine) bumpCounter(c *int) {
 // the background while the engine keeps serving updates and queries from
 // the old synopsis, then performs the brief blocking swap (step 2-3). The
 // returned channel delivers the total duration once the swap completes.
+//
+// The swap re-uses the pooled sample the optimizer ran on — one archive
+// scan, not two — so updates that race the optimization enter the new
+// synopsis through its catch-up snapshot (taken at swap time) rather than
+// the reservoir, exactly as they would had they arrived just after a
+// synchronous re-initialization.
 func (e *Engine) ReinitializeAsync(template string) (<-chan time.Duration, error) {
 	e.upd.Lock()
 	s, ok := e.lookup(template)
@@ -616,9 +822,10 @@ func (e *Engine) ReinitializeAsync(template string) (<-chan time.Duration, error
 		// Step 1 (in parallel): optimize on the sampled data; the old
 		// synopsis keeps absorbing updates concurrently.
 		bp := e.optimize(tmpl, cfg, pooled, n)
-		// Step 2 (blocking): populate and swap.
+		// Step 2 (blocking): populate and swap, re-using the sample the
+		// blueprint was optimized on instead of re-scanning the archive.
 		e.upd.Lock()
-		e.reinitializeUpdLocked(s, bp)
+		e.reinitializeUpdLocked(s, bp, pooled)
 		e.upd.Unlock()
 		done <- time.Since(start)
 	}()
@@ -637,14 +844,62 @@ func (e *Engine) Template(name string) (Template, bool) {
 // NumVals returns how many aggregation attributes the named template's
 // synopsis tracks — the arity ingested tuples' Vals must cover so that no
 // tracked column silently reads as zero.
+//
+// Deprecated: an unknown template is indistinguishable from a synopsis
+// tracking zero attributes; use StatsFor, which reports it as
+// ErrUnknownTemplate.
 func (e *Engine) NumVals(template string) int {
-	s, ok := e.lookup(template)
-	if !ok {
+	st, err := e.StatsFor(template)
+	if err != nil {
 		return 0
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.dpt.Config().NumVals
+	return st.NumVals
+}
+
+// SyncedInsertOffset is the read-your-writes watermark: the highest
+// insert-topic offset of a followed broker this engine has applied via
+// Sync/Follow. A producer that publishes at offset o observes its write in
+// query results once SyncedInsertOffset() >= o+1 — which Engine.Do can wait
+// for via Request.MinSyncOffset.
+func (e *Engine) SyncedInsertOffset() int64 {
+	e.syncMu.Lock()
+	defer e.syncMu.Unlock()
+	return e.syncedInsert
+}
+
+// noteSynced advances the watermark and wakes MinSyncOffset waiters.
+func (e *Engine) noteSynced(offset int64) {
+	e.syncMu.Lock()
+	if offset > e.syncedInsert {
+		e.syncedInsert = offset
+		if e.syncWake != nil {
+			close(e.syncWake)
+			e.syncWake = nil
+		}
+	}
+	e.syncMu.Unlock()
+}
+
+// waitSynced blocks until the watermark reaches min or ctx ends. Callers
+// should bound ctx: with no follow loop running the watermark never moves.
+func (e *Engine) waitSynced(ctx context.Context, min int64) error {
+	for {
+		e.syncMu.Lock()
+		if e.syncedInsert >= min {
+			e.syncMu.Unlock()
+			return nil
+		}
+		if e.syncWake == nil {
+			e.syncWake = make(chan struct{})
+		}
+		wake := e.syncWake
+		e.syncMu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-wake:
+		}
+	}
 }
 
 // Templates lists the registered template names.

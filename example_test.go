@@ -1,16 +1,17 @@
 package janus_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"math/rand"
 
 	janus "janusaqp"
 )
 
-// Example demonstrates the complete lifecycle: load history, declare a
-// template, stream updates, and ask an approximate query.
+// Example demonstrates the complete v2 lifecycle: load history, declare a
+// template, stream a batch of updates, and ask an approximate query
+// through the unified Do entry point.
 func Example() {
-	rng := rand.New(rand.NewSource(1))
 	b := janus.NewBroker()
 	for i := int64(0); i < 20000; i++ {
 		b.PublishInsert(janus.Tuple{
@@ -28,25 +29,39 @@ func Example() {
 		fmt.Println(err)
 		return
 	}
-	eng.Insert(janus.Tuple{ID: 50_000, Key: janus.Point{42}, Vals: []float64{10}})
-	eng.Delete(0)
+	// Batched ingest: the whole batch lands atomically under one lock
+	// round trip; malformed tuples reject it with a typed error.
+	if err := eng.InsertBatch([]janus.Tuple{
+		{ID: 50_000, Key: janus.Point{42}, Vals: []float64{10}},
+		{ID: 50_001, Key: janus.Point{43}, Vals: []float64{10}},
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := eng.DeleteBatch([]int64{0, 1}); err != nil {
+		fmt.Println(err)
+		return
+	}
 
-	res, err := eng.Query("metrics", janus.Query{
-		Func: janus.FuncCount,
-		Rect: janus.Universe(1),
+	resp, err := eng.Do(context.Background(), janus.Request{
+		Template: "metrics",
+		Query: janus.Query{
+			Func: janus.FuncCount,
+			Rect: janus.Universe(1),
+		},
 	})
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	fmt.Printf("count ~ %.0f\n", res.Estimate)
-	_ = rng
+	fmt.Printf("count ~ %.0f (answered by %q)\n", resp.Result.Estimate, resp.Template)
 	// Output:
-	// count ~ 20000
+	// count ~ 20000 (answered by "metrics")
 }
 
-// ExampleEngine_QuerySQL shows the SQL front-end.
-func ExampleEngine_QuerySQL() {
+// ExampleEngine_Do_sql shows the SQL form of the unified request, with a
+// per-request confidence override.
+func ExampleEngine_Do_sql() {
 	b := janus.NewBroker()
 	for i := int64(0); i < 10000; i++ {
 		b.PublishInsert(janus.Tuple{
@@ -70,12 +85,52 @@ func ExampleEngine_QuerySQL() {
 		fmt.Println(err)
 		return
 	}
-	res, err := eng.QuerySQL("SELECT SUM(value) FROM events WHERE ts BETWEEN 0 AND 9999")
+	resp, err := eng.Do(context.Background(), janus.Request{
+		SQL:        "SELECT SUM(value) FROM events WHERE ts BETWEEN 0 AND 9999",
+		Confidence: 0.99,
+	})
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	fmt.Printf("sum = %.0f\n", res.Estimate)
+	fmt.Printf("sum = %.0f\n", resp.Result.Estimate)
 	// Output:
 	// sum = 20000
+}
+
+// ExampleEngine_InsertBatch shows the typed ingestion errors: a tuple
+// whose arity does not cover a registered template rejects its whole
+// batch, leaving nothing applied.
+func ExampleEngine_InsertBatch() {
+	b := janus.NewBroker()
+	for i := int64(0); i < 5000; i++ {
+		b.PublishInsert(janus.Tuple{
+			ID:   i,
+			Key:  janus.Point{float64(i), float64(i % 7)},
+			Vals: []float64{1},
+		})
+	}
+	eng := janus.NewEngine(janus.Config{
+		LeafNodes: 8, SampleRate: 0.05, CatchUpRate: 1.0, Seed: 1,
+	}, b)
+	if err := eng.AddTemplate(janus.Template{
+		Name: "wide", PredicateDims: []int{1}, AggIndex: 0, Agg: janus.Sum,
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	err := eng.InsertBatch([]janus.Tuple{
+		{ID: 9_000, Key: janus.Point{1, 2}, Vals: []float64{1}},
+		{ID: 9_001, Key: janus.Point{3}, Vals: []float64{1}}, // too short
+	})
+	fmt.Println("schema mismatch:", errors.Is(err, janus.ErrSchemaMismatch))
+	// Nothing from the rejected batch is visible.
+	resp, _ := eng.Do(context.Background(), janus.Request{
+		Template: "wide",
+		Query:    janus.Query{Func: janus.FuncCount, Rect: janus.Universe(1)},
+	})
+	fmt.Printf("count ~ %.0f\n", resp.Result.Estimate)
+	// Output:
+	// schema mismatch: true
+	// count ~ 5000
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -49,41 +50,68 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Stream live updates: inserts and the occasional delete.
+	// 3. Stream live updates in batches: the whole batch publishes and
+	//    applies under one lock round trip, and a malformed tuple rejects
+	//    the batch with a typed error instead of panicking.
+	var deletions []int64
+	batch := make([]janus.Tuple, 0, 500)
 	for i := 0; i < 5000; i++ {
-		eng.Insert(janus.Tuple{
+		batch = append(batch, janus.Tuple{
 			ID:   id,
 			Key:  janus.Point{rng.Float64() * 100},
 			Vals: []float64{rng.ExpFloat64() * 10},
 		})
 		id++
 		if i%10 == 0 {
-			eng.Delete(int64(i)) // cancel an old record
+			deletions = append(deletions, int64(i)) // cancel an old record
+		}
+		if len(batch) == cap(batch) {
+			if err := eng.InsertBatch(batch); err != nil {
+				log.Fatal(err)
+			}
+			batch = batch[:0]
 		}
 	}
+	if err := eng.InsertBatch(batch); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.DeleteBatch(deletions); err != nil {
+		log.Fatal(err) // only unknown ids are reported here
+	}
 
-	// 4. Query. The result carries a 95% confidence interval.
-	res, err := eng.Query("amounts", janus.Query{
-		Func: janus.FuncSum,
-		Rect: janus.NewRect(janus.Point{25}, janus.Point{75}),
+	// 4. Query through the unified v2 entry point. The response carries
+	//    the 95% confidence interval plus the answering metadata.
+	ctx := context.Background()
+	resp, err := eng.Do(ctx, janus.Request{
+		Template: "amounts",
+		Query: janus.Query{
+			Func: janus.FuncSum,
+			Rect: janus.NewRect(janus.Point{25}, janus.Point{75}),
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := resp.Result
 	fmt.Printf("SUM(amount) over key in [25, 75]:\n")
 	fmt.Printf("  estimate: %.1f\n", res.Estimate)
 	fmt.Printf("  95%% CI:   [%.1f, %.1f]\n", res.Interval.Lo(), res.Interval.Hi())
 	fmt.Printf("  decomposition: %d covered nodes + %d partial leaves\n", res.Covered, res.Partial)
+	fmt.Printf("  answered from %d samples over ~%d rows in %v\n",
+		resp.SampleSize, resp.Population, resp.Elapsed)
 
 	// Other aggregates reuse the same synopsis.
 	for _, f := range []janus.Func{janus.FuncCount, janus.FuncAvg, janus.FuncMin, janus.FuncMax} {
-		r, err := eng.Query("amounts", janus.Query{
-			Func: f,
-			Rect: janus.NewRect(janus.Point{25}, janus.Point{75}),
+		r, err := eng.Do(ctx, janus.Request{
+			Template: "amounts",
+			Query: janus.Query{
+				Func: f,
+				Rect: janus.NewRect(janus.Point{25}, janus.Point{75}),
+			},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-5v = %.2f\n", f, r.Estimate)
+		fmt.Printf("  %-5v = %.2f\n", f, r.Result.Estimate)
 	}
 }

@@ -1,13 +1,14 @@
 // Taxidashboard drives JanusAQP through the broker's streaming interface
 // (the PSoup architecture of Section 3.2): instead of calling the engine
 // directly, a producer appends insert/delete records to the broker topics
-// and a consumer loop polls them in order, applies them, and interleaves
-// query traffic — demonstrating that both data and queries are streams
-// with well-defined arrival-time semantics.
+// and a background follow loop tails them in order while query traffic
+// runs concurrently — demonstrating that both data and queries are streams
+// with well-defined arrival-time semantics, including read-your-writes via
+// Request.MinSyncOffset.
 //
 // It also exercises the multi-template mode: the same pooled sample backs
 // a pickup-time tree and answers ad-hoc queries over drop-off time via the
-// Section 5.5 uniform fallback.
+// Section 5.5 uniform fallback (Request.OnKeys).
 //
 // Run with:
 //
@@ -15,8 +16,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	janus "janusaqp"
 	"janusaqp/internal/workload"
@@ -50,58 +53,69 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Consumer loop: poll the broker's topics from where the engine left
-	// off and apply records in arrival order. (Engine.Insert publishes and
-	// applies in one step; here we emulate an external producer writing to
-	// the topics and a separate consumer feeding the engine.)
+	// Consumer side: an external producer writes to its own broker's
+	// topics; a follow loop tails them in arrival order while the
+	// dashboard queries concurrently — the PSoup deployment shape.
 	producer := janus.NewBroker() // the external stream
+	ctx, cancel := context.WithCancel(context.Background())
+	followed := make(chan int)
+	var state janus.SyncState
+	go func() {
+		followed <- eng.Follow(ctx, producer, &state, time.Millisecond)
+	}()
 	for _, t := range tuples[initial:] {
 		producer.PublishInsert(t)
 	}
-	var offset int64
-	applied := 0
-	for {
-		recs, next := producer.Inserts.Poll(offset, 4096)
-		if len(recs) == 0 {
-			break
-		}
-		offset = next
-		for _, r := range recs {
-			eng.Insert(r.Tuple)
-			applied++
-		}
-		eng.PumpCatchUp()
-	}
-	fmt.Printf("consumer applied %d streamed trips (broker offset %d)\n\n", applied, offset)
+	// The producer's high-water mark is the offset its last publish landed
+	// at; MinSyncOffset makes the next query wait until the follow loop has
+	// applied everything up to it — read-your-writes over the stream.
+	highWater := producer.Inserts.Len()
 
 	span := tuples[rows-1].Key[0]
-	// Native template queries: pickup-time predicates.
-	res, err := eng.Query("byPickup", janus.Query{
-		Func: janus.FuncSum, AggIndex: -1,
-		Rect: janus.NewRect(janus.Point{span / 2}, janus.Point{span}),
+	qctx, qcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer qcancel()
+	resp, err := eng.Do(qctx, janus.Request{
+		Template: "byPickup",
+		Query: janus.Query{
+			Func: janus.FuncSum, AggIndex: -1,
+			Rect: janus.NewRect(janus.Point{span / 2}, janus.Point{span}),
+		},
+		MinSyncOffset: highWater,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	cancel()
+	applied := <-followed
+	fmt.Printf("consumer applied %d streamed trips (synced offset %d)\n\n",
+		applied, eng.SyncedInsertOffset())
+	res := resp.Result
 	fmt.Printf("distance in second half of stream:  %12.0f ±%.0f\n", res.Estimate, res.Interval.HalfWidth)
 
 	// Cross-attribute: fare instead of distance, same tree (Section 5.5).
-	fare, err := eng.Query("byPickup", janus.Query{
-		Func: janus.FuncAvg, AggIndex: 1,
-		Rect: janus.NewRect(janus.Point{0}, janus.Point{span / 2}),
+	fare, err := eng.Do(qctx, janus.Request{
+		Template: "byPickup",
+		Query: janus.Query{
+			Func: janus.FuncAvg, AggIndex: 1,
+			Rect: janus.NewRect(janus.Point{0}, janus.Point{span / 2}),
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("avg fare in first half:              %12.2f ±%.2f\n", fare.Estimate, fare.Interval.HalfWidth)
+	fmt.Printf("avg fare in first half:              %12.2f ±%.2f\n", fare.Result.Estimate, fare.Result.Interval.HalfWidth)
 
 	// Cross-predicate: drop-off time via the uniform-sample fallback.
-	drop, err := eng.QueryOnKeys("byPickup", janus.Query{
-		Func: janus.FuncCount,
-		Rect: janus.NewRect(janus.Point{span / 4}, janus.Point{span / 2}),
-	}, []int{1} /* dropoffTime */)
+	drop, err := eng.Do(qctx, janus.Request{
+		Template: "byPickup",
+		Query: janus.Query{
+			Func: janus.FuncCount,
+			Rect: janus.NewRect(janus.Point{span / 4}, janus.Point{span / 2}),
+		},
+		OnKeys: []int{1}, // dropoffTime
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("trips by drop-off window (fallback): %12.0f ±%.0f\n", drop.Estimate, drop.Interval.HalfWidth)
+	fmt.Printf("trips by drop-off window (fallback): %12.0f ±%.0f\n", drop.Result.Estimate, drop.Result.Interval.HalfWidth)
 }

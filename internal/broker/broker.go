@@ -59,6 +59,16 @@ func (t *Topic) Append(r Record) int64 {
 	return int64(len(t.recs) - 1)
 }
 
+// AppendBatch adds records to the end of the log under one lock
+// acquisition and returns the offset of the first.
+func (t *Topic) AppendBatch(recs []Record) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	first := int64(len(t.recs))
+	t.recs = append(t.recs, recs...)
+	return first
+}
+
 // Len returns the number of records in the log.
 func (t *Topic) Len() int64 {
 	t.mu.RLock()
@@ -114,11 +124,37 @@ func (b *Broker) PublishInsert(t data.Tuple) {
 	b.Inserts.Append(Record{Kind: KindInsert, Tuple: t})
 }
 
+// PublishInsertBatch publishes a whole batch: each lock is taken once for
+// the batch rather than once per tuple — the broker half of the batched
+// ingest fast path. Like PublishInsert, the archive applies first (it
+// panics on a duplicate live ID before any phantom record reaches the
+// topic); callers that pre-validate ids under the engine's update lock
+// never trip it.
+func (b *Broker) PublishInsertBatch(tuples []data.Tuple) {
+	b.archive.InsertBatch(tuples)
+	recs := make([]Record, len(tuples))
+	for i, t := range tuples {
+		recs[i] = Record{Kind: KindInsert, Tuple: t}
+	}
+	b.Inserts.AppendBatch(recs)
+}
+
 // PublishDelete appends a deletion to the delete topic and applies it to
 // the archive. It returns false when the tuple is unknown to the archive.
 func (b *Broker) PublishDelete(id int64) bool {
 	b.Deletes.Append(Record{Kind: KindDelete, Tuple: data.Tuple{ID: id}})
 	return b.archive.Delete(id)
+}
+
+// PublishDeleteBatch publishes a batch of deletions, taking each lock once.
+// It returns how many ids were live and removed.
+func (b *Broker) PublishDeleteBatch(ids []int64) int {
+	recs := make([]Record, len(ids))
+	for i, id := range ids {
+		recs[i] = Record{Kind: KindDelete, Tuple: data.Tuple{ID: id}}
+	}
+	b.Deletes.AppendBatch(recs)
+	return b.archive.DeleteBatch(ids)
 }
 
 // Archive is the current database state with O(1) insertion, deletion, and
@@ -147,10 +183,42 @@ func (a *Archive) Insert(t data.Tuple) {
 	a.items = append(a.items, t)
 }
 
+// InsertBatch stores every tuple under one lock acquisition, panicking on
+// a duplicate live ID exactly as Insert does.
+func (a *Archive) InsertBatch(tuples []data.Tuple) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, t := range tuples {
+		if _, dup := a.pos[t.ID]; dup {
+			panic(fmt.Sprintf("broker: duplicate live tuple id %d", t.ID))
+		}
+		a.pos[t.ID] = len(a.items)
+		a.items = append(a.items, t)
+	}
+}
+
+// DeleteBatch removes the tuples with the given ids under one lock
+// acquisition, returning how many were live.
+func (a *Archive) DeleteBatch(ids []int64) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	removed := 0
+	for _, id := range ids {
+		if a.deleteLocked(id) {
+			removed++
+		}
+	}
+	return removed
+}
+
 // Delete removes the tuple with the given id, reporting whether it existed.
 func (a *Archive) Delete(id int64) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	return a.deleteLocked(id)
+}
+
+func (a *Archive) deleteLocked(id int64) bool {
 	i, ok := a.pos[id]
 	if !ok {
 		return false

@@ -41,6 +41,63 @@ type QueryResponse struct {
 	Outer     bool    `json:"outer,omitempty"`
 }
 
+// QueryRequestV2 is one request item of the POST /v2/query payload: the v1
+// fields plus the per-request options the unified engine Request carries.
+type QueryRequestV2 struct {
+	QueryRequest
+	// OnKeys answers the structured query over the given original key
+	// attributes instead of the template's predicate projection (Section
+	// 5.5); Min/Max then bound one value per OnKeys entry.
+	OnKeys []int `json:"onKeys,omitempty"`
+	// MinSyncOffset delays the answer until the engine has applied a
+	// followed broker's insert topic through this offset (read-your-writes
+	// for stream producers). Pair it with TimeoutMillis.
+	MinSyncOffset int64 `json:"minSyncOffset,omitempty"`
+	// TimeoutMillis bounds this request's handling time.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+}
+
+// queryV2Payload is the POST /v2/query body: either one request inline or
+// a batch under "requests".
+type queryV2Payload struct {
+	QueryRequestV2
+	Requests []QueryRequestV2 `json:"requests,omitempty"`
+}
+
+// QueryResultV2 is one /v2/query result: the v1 answer plus the response
+// metadata v1 dropped. In a batched response a failed item carries Error
+// and zero metadata instead of failing the whole batch.
+type QueryResultV2 struct {
+	QueryResponse
+	Template        string  `json:"template,omitempty"`
+	SampleSize      int     `json:"sampleSize,omitempty"`
+	Population      int64   `json:"population,omitempty"`
+	CatchUpProgress float64 `json:"catchUpProgress,omitempty"`
+	ElapsedMicros   int64   `json:"elapsedMicros,omitempty"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// QueryV2BatchResponse is the POST /v2/query response for batched
+// requests: one result per request, in order.
+type QueryV2BatchResponse struct {
+	Results []QueryResultV2 `json:"results"`
+}
+
+// IngestRequest is the POST /v2/ingest payload: one batch of insertions
+// and/or deletions. The insert batch is atomic (all tuples land or none
+// do); deletions of unknown ids are reported in Missing, not failed.
+type IngestRequest struct {
+	Tuples    []WireTuple `json:"tuples,omitempty"`
+	DeleteIDs []int64     `json:"deleteIds,omitempty"`
+}
+
+// IngestResponse reports what one /v2/ingest batch changed.
+type IngestResponse struct {
+	Inserted int     `json:"inserted"`
+	Deleted  int     `json:"deleted"`
+	Missing  []int64 `json:"missing,omitempty"`
+}
+
 // WireTuple is one row in an ingestion batch.
 type WireTuple struct {
 	ID   int64     `json:"id"`
@@ -96,6 +153,17 @@ func toResponse(r janus.Result) QueryResponse {
 		Covered:   r.Covered,
 		Partial:   r.Partial,
 		Outer:     r.Outer,
+	}
+}
+
+func toResultV2(r janus.Response) QueryResultV2 {
+	return QueryResultV2{
+		QueryResponse:   toResponse(r.Result),
+		Template:        r.Template,
+		SampleSize:      r.SampleSize,
+		Population:      r.Population,
+		CatchUpProgress: r.CatchUpProgress,
+		ElapsedMicros:   r.Elapsed.Microseconds(),
 	}
 }
 

@@ -4,9 +4,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/query     structured or SQL approximate queries
-//	POST /v1/insert    batched row ingestion
-//	POST /v1/delete    batched row deletion
+//	POST /v2/query     single or batched approximate queries (structured,
+//	                   on-keys, or SQL) with per-request options
+//	                   (confidence, timeout, read-your-writes offset) and
+//	                   rich per-result metadata
+//	POST /v2/ingest    one atomic insert batch plus deletions
+//	POST /v1/query     v1 single query (thin wrapper over the v2 path)
+//	POST /v1/insert    v1 row ingestion (now atomic, via InsertBatch)
+//	POST /v1/delete    v1 row deletion
 //	GET  /v1/templates registered query templates
 //	GET  /v1/stats     engine counters and per-template synopsis state
 //	GET  /metrics      Prometheus text exposition
@@ -14,7 +19,7 @@
 // The server leans on the engine's sharded locking: query handlers only
 // take per-synopsis read locks, so concurrent requests on different
 // templates — and read-only requests on the same template — proceed in
-// parallel.
+// parallel; ingest batches take the update lock once per batch.
 package server
 
 import (
@@ -24,6 +29,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	janus "janusaqp"
@@ -97,6 +103,8 @@ func New(eng *janus.Engine, opts Options) *Server {
 		rowsDeleted:    reg.Counter("janusd_rows_deleted_total", "Total rows removed via /v1/delete."),
 		errors:         reg.Counter("janusd_errors_total", "Total requests answered with a non-2xx status."),
 	}
+	s.mux.HandleFunc("POST /v2/query", s.handleQueryV2)
+	s.mux.HandleFunc("POST /v2/ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
@@ -191,16 +199,142 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 // statusForEngineErr maps engine errors onto HTTP statuses: unknown
-// templates/tables are 404, everything else a client error.
+// templates/tables are 404, duplicate ids a conflict, deadline expiry a
+// gateway timeout, everything else a client error.
 func statusForEngineErr(err error) int {
-	if errors.Is(err, janus.ErrUnknownTemplate) {
+	switch {
+	case errors.Is(err, janus.ErrUnknownTemplate):
 		return http.StatusNotFound
+	case errors.Is(err, janus.ErrDuplicateID):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
 	}
 	return http.StatusBadRequest
 }
 
-// --- handlers ---------------------------------------------------------------
+// --- query path -------------------------------------------------------------
 
+// buildRequest compiles one wire request into the engine's unified v2
+// Request. Request-shape rules (SQL xor Template, OnKeys with SQL, the
+// confidence range) are Engine.Do's to enforce — statusForEngineErr maps
+// its ErrInvalidRequest onto 400 — so only the wire-level concerns live
+// here: rejecting an empty request with the v1 wording, and resolving the
+// template's dimensionality to compile Min/Max into a rectangle. On
+// failure it returns the HTTP status to answer with.
+func (s *Server) buildRequest(req QueryRequestV2) (janus.Request, int, error) {
+	jreq := janus.Request{
+		SQL:           req.SQL,
+		Template:      req.Template,
+		Confidence:    req.Confidence,
+		MinSyncOffset: req.MinSyncOffset,
+	}
+	if len(req.OnKeys) > 0 {
+		jreq.OnKeys = req.OnKeys
+	}
+	if req.SQL == "" {
+		if req.Template == "" {
+			return janus.Request{}, http.StatusBadRequest, fmt.Errorf("request needs sql or template")
+		}
+		// The predicate rectangle spans the template's own dims, or the
+		// queried original-key dims for an on-keys request.
+		dims := len(req.OnKeys)
+		if dims == 0 {
+			tmpl, ok := s.eng.Template(req.Template)
+			if !ok {
+				return janus.Request{}, http.StatusNotFound, fmt.Errorf("unknown template %q", req.Template)
+			}
+			dims = len(tmpl.PredicateDims)
+		}
+		q, err := compileStructured(req.QueryRequest, dims)
+		if err != nil {
+			return janus.Request{}, http.StatusBadRequest, err
+		}
+		jreq.Query = q
+	}
+	return jreq, 0, nil
+}
+
+// maxSyncWait caps a minSyncOffset wait when the request carries no
+// timeout of its own: an unreachable watermark must answer 504, not pin a
+// handler goroutine until the client disconnects.
+const maxSyncWait = 30 * time.Second
+
+// answerV2 runs one wire request through Engine.Do. The returned status is
+// http.StatusOK on success; otherwise the result carries Error.
+func (s *Server) answerV2(ctx context.Context, req QueryRequestV2) (QueryResultV2, int) {
+	jreq, status, err := s.buildRequest(req)
+	if err != nil {
+		return QueryResultV2{Error: err.Error()}, status
+	}
+	timeout := time.Duration(req.TimeoutMillis) * time.Millisecond
+	if timeout <= 0 && req.MinSyncOffset > 0 {
+		timeout = maxSyncWait
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	resp, err := s.eng.Do(ctx, jreq)
+	if err != nil {
+		return QueryResultV2{Error: err.Error()}, statusForEngineErr(err)
+	}
+	return toResultV2(resp), http.StatusOK
+}
+
+// handleQueryV2 serves POST /v2/query: one request inline, or a batch under
+// "requests" answered item by item (a failed item reports its error in
+// place without failing the batch — dashboards refresh all their panels in
+// one round trip).
+func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.queryLatency.ObserveSince(start)
+	s.queryRequests.Inc()
+
+	var payload queryV2Payload
+	if !s.decode(w, r, &payload) {
+		return
+	}
+	if len(payload.Requests) > 0 {
+		if payload.SQL != "" || payload.Template != "" {
+			s.writeError(w, http.StatusBadRequest, "set requests or a single inline request, not both")
+			return
+		}
+		// Items answer concurrently: independent reads ride the engine's
+		// per-synopsis read locks in parallel, and one item parked on a
+		// minSyncOffset wait does not delay the rest of the dashboard.
+		out := QueryV2BatchResponse{Results: make([]QueryResultV2, len(payload.Requests))}
+		var wg sync.WaitGroup
+		var failed atomic.Int64
+		for i, req := range payload.Requests {
+			wg.Add(1)
+			go func(i int, req QueryRequestV2) {
+				defer wg.Done()
+				res, status := s.answerV2(r.Context(), req)
+				if status != http.StatusOK {
+					failed.Add(1)
+				}
+				out.Results[i] = res
+			}(i, req)
+		}
+		wg.Wait()
+		if n := failed.Load(); n > 0 {
+			s.errors.Add(uint64(n))
+		}
+		s.writeJSON(w, http.StatusOK, out)
+		return
+	}
+	res, status := s.answerV2(r.Context(), payload.QueryRequestV2)
+	if status != http.StatusOK {
+		s.writeError(w, status, "%s", res.Error)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+// handleQuery serves POST /v1/query as a thin wrapper over the v2 path,
+// answering with the v1 response shape.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer s.queryLatency.ObserveSince(start)
@@ -210,40 +344,70 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	var (
-		res janus.Result
-		err error
-	)
-	switch {
-	case req.SQL != "" && req.Template != "":
-		s.writeError(w, http.StatusBadRequest, "set either sql or template, not both")
-		return
-	case req.SQL != "":
-		res, err = s.eng.QuerySQL(req.SQL)
-	case req.Template != "":
-		tmpl, ok := s.eng.Template(req.Template)
-		if !ok {
-			s.writeError(w, http.StatusNotFound, "unknown template %q", req.Template)
-			return
-		}
-		var q janus.Query
-		q, err = compileStructured(req, len(tmpl.PredicateDims))
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		res, err = s.eng.Query(req.Template, q)
-	default:
-		s.writeError(w, http.StatusBadRequest, "request needs sql or template")
+	res, status := s.answerV2(r.Context(), QueryRequestV2{QueryRequest: req})
+	if status != http.StatusOK {
+		s.writeError(w, status, "%s", res.Error)
 		return
 	}
-	if err != nil {
-		s.writeError(w, statusForEngineErr(err), "%v", err)
-		return
-	}
-	s.writeJSON(w, http.StatusOK, toResponse(res))
+	s.writeJSON(w, http.StatusOK, res.QueryResponse)
 }
 
+// --- ingest path ------------------------------------------------------------
+
+// ingest applies one insert batch and one delete batch through the v2
+// engine entry points. The insert batch is atomic: a schema-mismatch or
+// duplicate-id tuple rejects the whole batch with nothing applied.
+func (s *Server) ingest(req IngestRequest) (IngestResponse, int, error) {
+	tuples := make([]janus.Tuple, len(req.Tuples))
+	for i, t := range req.Tuples {
+		tuples[i] = janus.Tuple{ID: t.ID, Key: janus.Point(t.Key), Vals: t.Vals}
+	}
+	if err := s.eng.InsertBatch(tuples); err != nil {
+		return IngestResponse{}, statusForEngineErr(err), err
+	}
+	s.rowsInserted.Add(uint64(len(tuples)))
+	resp := IngestResponse{Inserted: len(tuples)}
+	if len(req.DeleteIDs) > 0 {
+		n, err := s.eng.DeleteBatch(req.DeleteIDs)
+		resp.Deleted = n
+		s.rowsDeleted.Add(uint64(n))
+		var missing *janus.BatchIDError
+		if errors.As(err, &missing) {
+			// Unknown ids are reported, not failed: the rows the caller
+			// wanted gone are gone either way.
+			resp.Missing = missing.IDs
+		} else if err != nil {
+			return resp, statusForEngineErr(err), err
+		}
+	}
+	return resp, http.StatusOK, nil
+}
+
+// handleIngest serves POST /v2/ingest.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.insertLatency.ObserveSince(start)
+	s.insertRequests.Inc()
+
+	var req IngestRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Tuples) == 0 && len(req.DeleteIDs) == 0 {
+		s.writeError(w, http.StatusBadRequest, "ingest batch is empty")
+		return
+	}
+	resp, status, err := s.ingest(req)
+	if err != nil {
+		s.writeError(w, status, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleInsert serves POST /v1/insert as a wrapper over the batch ingest
+// path. Unlike v1's tuple-at-a-time loop, the batch is now atomic — a
+// rejected tuple no longer leaves earlier tuples of its batch applied.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer s.insertLatency.ObserveSince(start)
@@ -257,11 +421,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "insert batch is empty")
 		return
 	}
-	// Every registered template projects the key onto its predicate dims
-	// and aggregates one of the vals; a short key would panic deep inside
-	// the synopsis, and a short vals would be silently ingested as zeros
-	// (Tuple.Val defaults out-of-range reads to 0), permanently skewing
-	// SUM/AVG — reject both here.
+	// Pre-check arities against every registered template so the error
+	// names what the daemon's schema needs; the engine would reject these
+	// too (ErrSchemaMismatch), but per-template rather than per-daemon.
 	minKeyDims, minVals := 0, 0
 	for _, name := range s.eng.Templates() {
 		if t, ok := s.eng.Template(name); ok {
@@ -273,8 +435,8 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		}
 		// The synopsis tracks NumVals aggregation columns (not just the
 		// template's focus AggIndex) — SQL can aggregate any of them.
-		if nv := s.eng.NumVals(name); nv > minVals {
-			minVals = nv
+		if st, err := s.eng.StatsFor(name); err == nil && st.NumVals > minVals {
+			minVals = st.NumVals
 		}
 	}
 	for _, t := range req.Tuples {
@@ -293,33 +455,17 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	inserted, err := s.applyInserts(req.Tuples)
-	s.rowsInserted.Add(uint64(inserted))
+	resp, status, err := s.ingest(IngestRequest{Tuples: req.Tuples})
 	if err != nil {
 		// A duplicate live ID violates the stream contract (producers must
-		// assign fresh IDs); earlier tuples in the batch are already applied.
-		s.writeError(w, http.StatusConflict, "%v (applied %d of %d)", err, inserted, len(req.Tuples))
+		// assign fresh IDs); the batch is rejected atomically.
+		s.writeError(w, status, "%v (applied 0 of %d)", err, len(req.Tuples))
 		return
 	}
-	s.writeJSON(w, http.StatusOK, InsertResponse{Inserted: inserted})
+	s.writeJSON(w, http.StatusOK, InsertResponse{Inserted: resp.Inserted})
 }
 
-// applyInserts feeds the batch to the engine, converting the archive's
-// duplicate-ID panic into an error so one bad row cannot take the daemon
-// down.
-func (s *Server) applyInserts(tuples []WireTuple) (n int, err error) {
-	defer func() {
-		if rec := recover(); rec != nil {
-			err = fmt.Errorf("%v", rec)
-		}
-	}()
-	for _, t := range tuples {
-		s.eng.Insert(janus.Tuple{ID: t.ID, Key: janus.Point(t.Key), Vals: t.Vals})
-		n++
-	}
-	return n, nil
-}
-
+// handleDelete serves POST /v1/delete as a wrapper over DeleteBatch.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer s.deleteLatency.ObserveSince(start)
@@ -334,12 +480,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := DeleteResponse{}
-	for _, id := range req.IDs {
-		if s.eng.Delete(id) {
-			resp.Deleted++
-		} else {
-			resp.Missing = append(resp.Missing, id)
-		}
+	n, err := s.eng.DeleteBatch(req.IDs)
+	resp.Deleted = n
+	var missing *janus.BatchIDError
+	if errors.As(err, &missing) {
+		resp.Missing = missing.IDs
 	}
 	s.rowsDeleted.Add(uint64(resp.Deleted))
 	s.writeJSON(w, http.StatusOK, resp)

@@ -311,6 +311,178 @@ func TestErrorPaths(t *testing.T) {
 	}
 }
 
+// TestV2QuerySingleWithMetadata: a single /v2/query request answers with
+// the v1 fields plus the metadata v1 dropped.
+func TestV2QuerySingleWithMetadata(t *testing.T) {
+	eng, tuples := newTestEngine(t, 10000)
+	srv := New(eng, Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, raw := postJSON(t, ts.URL+"/v2/query", QueryRequestV2{
+		QueryRequest: QueryRequest{Template: "trips", Func: "COUNT"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var qr QueryResultV2
+	decodeInto(t, raw, &qr)
+	if qr.Lo > float64(len(tuples)) || float64(len(tuples)) > qr.Hi {
+		t.Fatalf("count interval [%g, %g] misses %d", qr.Lo, qr.Hi, len(tuples))
+	}
+	if qr.Template != "trips" || qr.SampleSize <= 0 || qr.Population <= 0 {
+		t.Fatalf("metadata missing from v2 result: %s", raw)
+	}
+
+	// On-keys: predicate over dropoffTime (key dim 1), which the trips
+	// template does not index.
+	resp, raw = postJSON(t, ts.URL+"/v2/query", QueryRequestV2{
+		QueryRequest: QueryRequest{Template: "trips", Func: "COUNT",
+			Min: []float64{0}, Max: []float64{1e12}},
+		OnKeys: []int{1},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("on-keys status %d: %s", resp.StatusCode, raw)
+	}
+	decodeInto(t, raw, &qr)
+	if qr.Estimate <= 0 {
+		t.Fatalf("on-keys estimate %g, want positive", qr.Estimate)
+	}
+}
+
+// TestV2QueryBatched: a batched /v2/query answers every item in order,
+// reporting per-item errors in place instead of failing the batch.
+func TestV2QueryBatched(t *testing.T) {
+	eng, tuples := newTestEngine(t, 10000)
+	srv := New(eng, Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, raw := postJSON(t, ts.URL+"/v2/query", map[string]any{
+		"requests": []any{
+			map[string]any{"template": "trips", "func": "COUNT"},
+			map[string]any{"sql": "SELECT SUM(tripDistance) FROM trips"},
+			map[string]any{"template": "nope", "func": "COUNT"},
+			map[string]any{"sql": "SELEC broken"},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, raw)
+	}
+	var br QueryV2BatchResponse
+	decodeInto(t, raw, &br)
+	if len(br.Results) != 4 {
+		t.Fatalf("got %d results, want 4: %s", len(br.Results), raw)
+	}
+	if br.Results[0].Error != "" || br.Results[0].Lo > float64(len(tuples)) || float64(len(tuples)) > br.Results[0].Hi {
+		t.Errorf("item 0 = %+v, want a COUNT covering %d", br.Results[0], len(tuples))
+	}
+	if br.Results[1].Error != "" || br.Results[1].Estimate <= 0 {
+		t.Errorf("item 1 = %+v, want a positive SQL SUM", br.Results[1])
+	}
+	if !strings.Contains(br.Results[2].Error, "unknown template") {
+		t.Errorf("item 2 error = %q, want unknown template", br.Results[2].Error)
+	}
+	if !strings.Contains(br.Results[3].Error, "sqlparse") {
+		t.Errorf("item 3 error = %q, want a parse error", br.Results[3].Error)
+	}
+}
+
+// TestV2IngestAtomicity: /v2/ingest applies inserts atomically with typed
+// statuses, and reports unknown delete ids without failing.
+func TestV2IngestAtomicity(t *testing.T) {
+	eng, tuples := newTestEngine(t, 10000)
+	srv := New(eng, Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	count := func() float64 {
+		_, raw := postJSON(t, ts.URL+"/v2/query", QueryRequestV2{
+			QueryRequest: QueryRequest{Template: "trips", Func: "COUNT"},
+		})
+		var qr QueryResultV2
+		decodeInto(t, raw, &qr)
+		return qr.Estimate
+	}
+	before := count()
+
+	// A schema-mismatched tuple mid-batch: 400, nothing applied.
+	resp, raw := postJSON(t, ts.URL+"/v2/ingest", IngestRequest{
+		Tuples: []WireTuple{
+			{ID: 8_000_000, Key: []float64{1, 2, 3}, Vals: []float64{1, 1, 1}},
+			{ID: 8_000_001, Key: []float64{1, 2, 3}, Vals: []float64{1}},
+		},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("schema mismatch status %d: %s", resp.StatusCode, raw)
+	}
+	if got := count(); got != before {
+		t.Fatalf("count drifted %g -> %g across a rejected batch", before, got)
+	}
+
+	// A duplicate id: 409 Conflict, nothing applied.
+	resp, raw = postJSON(t, ts.URL+"/v2/ingest", IngestRequest{
+		Tuples: []WireTuple{
+			{ID: 8_000_002, Key: []float64{1, 2, 3}, Vals: []float64{1, 1, 1}},
+			{ID: tuples[0].ID, Key: []float64{1, 2, 3}, Vals: []float64{1, 1, 1}},
+		},
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate status %d: %s", resp.StatusCode, raw)
+	}
+	if got := count(); got != before {
+		t.Fatalf("count drifted %g -> %g across a duplicate batch", before, got)
+	}
+
+	// A valid combined batch: inserts land, one delete id is unknown.
+	resp, raw = postJSON(t, ts.URL+"/v2/ingest", IngestRequest{
+		Tuples: []WireTuple{
+			{ID: 8_100_000, Key: []float64{1, 2, 3}, Vals: []float64{1, 1, 1}},
+			{ID: 8_100_001, Key: []float64{4, 5, 6}, Vals: []float64{1, 1, 1}},
+		},
+		DeleteIDs: []int64{tuples[1].ID, 99_999_999},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid ingest status %d: %s", resp.StatusCode, raw)
+	}
+	var ir IngestResponse
+	decodeInto(t, raw, &ir)
+	if ir.Inserted != 2 || ir.Deleted != 1 || len(ir.Missing) != 1 || ir.Missing[0] != 99_999_999 {
+		t.Fatalf("ingest response = %+v, want 2 inserted, 1 deleted, missing [99999999]", ir)
+	}
+	// Empty ingest is rejected.
+	resp, _ = postJSON(t, ts.URL+"/v2/ingest", IngestRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty ingest status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestV2QueryTimeout: an unreachable minSyncOffset with a request-level
+// timeout answers 504 instead of hanging.
+func TestV2QueryTimeout(t *testing.T) {
+	eng, _ := newTestEngine(t, 5000)
+	srv := New(eng, Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	resp, raw := postJSON(t, ts.URL+"/v2/query", QueryRequestV2{
+		QueryRequest:  QueryRequest{Template: "trips", Func: "COUNT"},
+		MinSyncOffset: 1_000_000,
+		TimeoutMillis: 50,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout did not bound the wait")
+	}
+}
+
 // TestInsertShortKeyRejected: a tuple whose key does not cover every
 // registered template's predicate dims must be rejected up front — fed to
 // the engine it would panic inside the synopsis projection and (recovered)

@@ -16,6 +16,7 @@
 package sqlparse
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -25,6 +26,36 @@ import (
 	"janusaqp/internal/core"
 	"janusaqp/internal/geom"
 )
+
+// ErrUnknownTable reports a FROM table no schema resolver recognized.
+// Match with errors.Is.
+var ErrUnknownTable = errors.New("sqlparse: unknown table")
+
+// TableEqual reports whether two table names refer to the same table
+// (tables are case-insensitive throughout the dialect).
+func TableEqual(a, b string) bool { return strings.EqualFold(a, b) }
+
+// CompileSQL parses one statement and compiles it against the schema the
+// resolver supplies for its FROM table — the one-call form behind the
+// unified v2 Request surface. It returns the compiled query and the
+// statement's table name; when the resolver does not know the table the
+// error wraps ErrUnknownTable and the table name is still returned so the
+// caller can report it.
+func CompileSQL(src string, resolve func(table string) (Schema, bool)) (core.Query, string, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return core.Query{}, "", err
+	}
+	sc, ok := resolve(st.Table)
+	if !ok {
+		return core.Query{}, st.Table, fmt.Errorf("%w %q", ErrUnknownTable, st.Table)
+	}
+	q, err := Compile(st, sc)
+	if err != nil {
+		return core.Query{}, st.Table, err
+	}
+	return q, st.Table, nil
+}
 
 // Statement is a parsed query.
 type Statement struct {

@@ -10,7 +10,8 @@
 // leaf partitions, answers queries from the synopsis alone, and
 // continuously monitors its own error to trigger re-partitioning.
 //
-// Basic usage:
+// Basic usage (the v2 API: batched typed-error ingest, one context-aware
+// read entry point):
 //
 //	b := janus.NewBroker()
 //	// ... publish historical data to b ...
@@ -21,12 +22,23 @@
 //	    AggIndex:      0,
 //	    Agg:           janus.Sum,
 //	})
-//	eng.Insert(tuple)                 // streaming updates
-//	res, _ := eng.Query("trips", janus.Query{
-//	    Func: janus.FuncSum,
-//	    Rect: janus.NewRect(janus.Point{lo}, janus.Point{hi}),
+//	err := eng.InsertBatch(tuples)    // streaming updates, atomic per batch
+//	resp, _ := eng.Do(ctx, janus.Request{
+//	    Template: "trips",
+//	    Query: janus.Query{
+//	        Func: janus.FuncSum,
+//	        Rect: janus.NewRect(janus.Point{lo}, janus.Point{hi}),
+//	    },
 //	})
+//	res := resp.Result
 //	fmt.Println(res.Estimate, res.Interval.Lo(), res.Interval.Hi())
+//
+// The same Request type carries SQL statements (Request.SQL, after
+// RegisterSchema), on-keys queries (Request.OnKeys, Section 5.5), and
+// per-request options: confidence level, a deadline via ctx, and
+// read-your-writes against a followed broker (Request.MinSyncOffset).
+// The v1 entry points (Query, QuerySQL, Insert, Delete, ...) remain as
+// deprecated one-line wrappers.
 package janus
 
 import (

@@ -31,11 +31,11 @@ func (e *Engine) LoadTemplate(t Template, r io.Reader) error {
 	e.upd.Lock()
 	defer e.upd.Unlock()
 	if _, dup := e.lookup(t.Name); dup {
-		return fmt.Errorf("janus: duplicate template %q", t.Name)
+		return fmt.Errorf("janus: %w %q", ErrDuplicateTemplate, t.Name)
 	}
 	dpt, err := core.Decode(r, e.resampler())
 	if err != nil {
-		return err
+		return fmt.Errorf("janus: restoring template %q: %w", t.Name, err)
 	}
 	e.reg.Lock()
 	e.syns[t.Name] = &synopsis{tmpl: t, dpt: dpt}

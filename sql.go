@@ -1,8 +1,9 @@
 package janus
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"strings"
 
 	"janusaqp/internal/sqlparse"
 )
@@ -12,59 +13,76 @@ import (
 // tuples' Vals order.
 type TableSchema = sqlparse.Schema
 
-// RegisterSchema attaches a SQL schema to a template so QuerySQL can
+// RegisterSchema attaches a SQL schema to a template so SQL requests can
 // resolve column names. The schema's Table is the name used in FROM.
+//
+// Both column lists are validated against the synopsis: PredCols must match
+// the template's predicate arity, and AggCols must match the synopsis's
+// tracked NumVals — a longer AggCols would let SQL name a column whose
+// reads silently come back as zero (Tuple.Val defaults out-of-range
+// columns to 0), and a shorter one would hide real columns from SQL.
 func (e *Engine) RegisterSchema(template string, sc TableSchema) error {
 	s, ok := e.lookup(template)
 	if !ok {
 		return fmt.Errorf("janus: %w %q", ErrUnknownTemplate, template)
 	}
 	if len(sc.PredCols) != len(s.tmpl.PredicateDims) {
-		return fmt.Errorf("janus: schema has %d predicate columns, template %d",
-			len(sc.PredCols), len(s.tmpl.PredicateDims))
+		return fmt.Errorf("janus: %w: schema has %d predicate columns, template %q has %d",
+			ErrSchemaMismatch, len(sc.PredCols), template, len(s.tmpl.PredicateDims))
 	}
 	// upd before reg.Lock, preserving the engine's lock order: a bare
 	// reg.Lock could go pending under forEachSynUpdLocked's long-held read
 	// lock and park every new reader behind it.
 	e.upd.Lock()
 	defer e.upd.Unlock()
+	// Under upd no re-initialization can swap the dpt, so its config is
+	// stable; the read still takes the synopsis lock to respect ordering.
+	s.mu.RLock()
+	numVals := s.dpt.Config().NumVals
+	s.mu.RUnlock()
+	if len(sc.AggCols) != numVals {
+		return fmt.Errorf("janus: %w: schema names %d aggregation columns, template %q tracks %d",
+			ErrSchemaMismatch, len(sc.AggCols), template, numVals)
+	}
 	e.reg.Lock()
 	defer e.reg.Unlock()
 	s.schema = &sc
 	return nil
 }
 
+// compileSQL parses one statement and compiles it against the registered
+// schemas into the unified request form: the answering template's name and
+// the structured query to run against it.
+func (e *Engine) compileSQL(sql string) (string, Query, error) {
+	name := ""
+	q, table, err := sqlparse.CompileSQL(sql, func(table string) (sqlparse.Schema, bool) {
+		e.reg.RLock()
+		defer e.reg.RUnlock()
+		for n, s := range e.syns {
+			if s.schema != nil && sqlparse.TableEqual(s.schema.Table, table) {
+				name = n
+				return *s.schema, true
+			}
+		}
+		return sqlparse.Schema{}, false
+	})
+	if err != nil {
+		if errors.Is(err, sqlparse.ErrUnknownTable) {
+			return "", Query{}, fmt.Errorf("janus: no template registered for table %q: %w", table, ErrUnknownTemplate)
+		}
+		return "", Query{}, err
+	}
+	return name, q, nil
+}
+
 // QuerySQL parses and answers one SQL statement against the registered
-// schemas, providing the approximate SQL interface the paper's motivating
-// applications describe:
+// schemas:
 //
 //	res, err := eng.QuerySQL("SELECT SUM(distance) FROM trips WHERE pickup BETWEEN 0 AND 3600")
+//
+// Deprecated: use Do with Request.SQL, which adds per-request options and
+// response metadata.
 func (e *Engine) QuerySQL(sql string) (Result, error) {
-	st, err := sqlparse.Parse(sql)
-	if err != nil {
-		return Result{}, err
-	}
-	var (
-		name   string
-		schema TableSchema
-		found  bool
-	)
-	e.reg.RLock()
-	for n, s := range e.syns {
-		if s.schema != nil && strings.EqualFold(s.schema.Table, st.Table) {
-			name = n
-			schema = *s.schema
-			found = true
-			break
-		}
-	}
-	e.reg.RUnlock()
-	if !found {
-		return Result{}, fmt.Errorf("janus: no template registered for table %q: %w", st.Table, ErrUnknownTemplate)
-	}
-	q, err := sqlparse.Compile(st, schema)
-	if err != nil {
-		return Result{}, err
-	}
-	return e.Query(name, q)
+	resp, err := e.Do(context.Background(), Request{SQL: sql})
+	return resp.Result, err
 }

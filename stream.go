@@ -24,18 +24,25 @@ type SyncState struct {
 // applied. Call it in a loop (optionally interleaved with PumpCatchUp and
 // queries) to follow a live stream.
 //
+// Each polled batch is validated and applied under one acquisition of the
+// update lock — the same amortization as InsertBatch — and malformed
+// records (schema mismatch, duplicate id) are skipped rather than panicking
+// the consumer; skips are counted in EngineStats.StreamRejected. As the
+// insert offset advances it feeds the read-your-writes watermark
+// (SyncedInsertOffset) that Request.MinSyncOffset waits on.
+//
 // Ordering is per-topic only: each pass drains pending inserts before
 // pending deletes, so cross-topic sequences on the same ID (delete(x)
 // immediately followed by a re-insert of x) are not ordered. Producers
 // must assign fresh IDs — the same contract Archive.Insert enforces.
 func (e *Engine) Sync(source *Broker, state *SyncState) int {
-	return e.syncCtx(context.Background(), source, state)
+	return e.SyncContext(context.Background(), source, state)
 }
 
-// syncCtx is Sync bounded by a context: it stops draining between batches
-// once ctx is canceled, so a hot stream cannot stall shutdown for longer
-// than one batch.
-func (e *Engine) syncCtx(ctx context.Context, source *Broker, state *SyncState) int {
+// SyncContext is Sync bounded by a context: it stops draining between
+// batches once ctx is canceled, so a hot stream cannot stall shutdown for
+// longer than one batch.
+func (e *Engine) SyncContext(ctx context.Context, source *Broker, state *SyncState) int {
 	applied := 0
 	const batch = 4096
 	for ctx.Err() == nil {
@@ -43,15 +50,18 @@ func (e *Engine) syncCtx(ctx context.Context, source *Broker, state *SyncState) 
 		if len(recs) == 0 {
 			break
 		}
-		// Advance the offset per record, before applying it: if a malformed
-		// record panics out of Insert (and a supervisor like janusd's follow
-		// loop recovers), the resumed Sync skips only that record instead of
-		// replaying it forever or dropping the rest of the batch.
-		base := next - int64(len(recs))
-		for i, r := range recs {
-			state.InsertOffset = base + int64(i) + 1
-			e.Insert(r.Tuple)
-			applied++
+		tuples := make([]Tuple, 0, len(recs))
+		for _, r := range recs {
+			tuples = append(tuples, r.Tuple)
+		}
+		good, rejected := e.applyStreamInserts(tuples)
+		state.InsertOffset = next
+		e.noteSynced(next)
+		applied += good
+		if rejected > 0 {
+			e.statsMu.Lock()
+			e.streamRejected += int64(rejected)
+			e.statsMu.Unlock()
 		}
 	}
 	for ctx.Err() == nil {
@@ -59,20 +69,50 @@ func (e *Engine) syncCtx(ctx context.Context, source *Broker, state *SyncState) 
 		if len(recs) == 0 {
 			break
 		}
-		base := next - int64(len(recs))
-		for i, r := range recs {
-			state.DeleteOffset = base + int64(i) + 1
-			e.Delete(r.Tuple.ID)
-			applied++
+		ids := make([]int64, 0, len(recs))
+		for _, r := range recs {
+			ids = append(ids, r.Tuple.ID)
 		}
+		// Unknown ids are routine on a delete stream (the row may never
+		// have reached this engine); they do not count as rejects.
+		e.DeleteBatch(ids)
+		state.DeleteOffset = next
+		applied += len(recs)
 	}
 	return applied
 }
 
+// applyStreamInserts ingests one polled batch, skipping records that fail
+// validation instead of rejecting the batch: a stream consumer must make
+// progress past a malformed record, where the request-path InsertBatch
+// must stay atomic. Returns how many tuples were applied and skipped.
+func (e *Engine) applyStreamInserts(tuples []Tuple) (applied, rejected int) {
+	e.upd.Lock()
+	defer e.upd.Unlock()
+	// One registry pass per polled batch, not per record — the same
+	// amortization as InsertBatch, on the follow-loop hot path; the
+	// admission rules themselves are shared with InsertBatch.
+	arities := e.aritiesUpdLocked()
+	good := make([]Tuple, 0, len(tuples))
+	seen := make(map[int64]bool, len(tuples))
+	for _, t := range tuples {
+		if seen[t.ID] || e.admitUpdLocked(t, arities) != nil {
+			rejected++
+			continue
+		}
+		seen[t.ID] = true
+		good = append(good, t)
+	}
+	if len(good) > 0 {
+		e.applyInsertsUpdLocked(good)
+	}
+	return len(good), rejected
+}
+
 // Follow tails the source broker until ctx is canceled: it applies newly
-// arrived records via Sync, folds catch-up batches while the stream is
-// idle, and polls at the given interval when there is nothing to do — the
-// daemon-side consumption loop the paper's Kafka deployment runs. It
+// arrived records via SyncContext, folds catch-up batches while the stream
+// is idle, and polls at the given interval when there is nothing to do —
+// the daemon-side consumption loop the paper's Kafka deployment runs. It
 // returns the total number of records applied.
 func (e *Engine) Follow(ctx context.Context, source *Broker, state *SyncState, interval time.Duration) int {
 	if interval <= 0 {
@@ -85,7 +125,7 @@ func (e *Engine) Follow(ctx context.Context, source *Broker, state *SyncState, i
 			return total
 		default:
 		}
-		n := e.syncCtx(ctx, source, state)
+		n := e.SyncContext(ctx, source, state)
 		total += n
 		if n == 0 && !e.PumpCatchUp() {
 			select {
