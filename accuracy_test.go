@@ -1,0 +1,141 @@
+package janus
+
+// The accuracy regression harness (Section 6.1.2 methodology): v2 answers
+// are checked against the exact ground-truth engine over the same stream,
+// asserting that estimates land inside their own reported confidence
+// intervals at (close to) the nominal rate. Everything is seeded, so the
+// observed coverage is a deterministic number: a refactor that skews an
+// estimator or narrows an interval formula moves it and fails loudly,
+// instead of silently degrading answer quality. Thresholds sit a few
+// points below the nominal 95% to absorb the finite query count (and the
+// fact that intervals at partial catch-up are conservative but not exact),
+// not to forgive estimator bugs — gross regressions land far below them.
+
+import (
+	"context"
+	"math"
+	"sort"
+	"testing"
+
+	"janusaqp/internal/workload"
+)
+
+// accuracyCase runs one function's workload and reports CI coverage and
+// the median relative error over non-trivial answers.
+func accuracyCase(t *testing.T, eng *Engine, truth *workload.Truth, queries []Query) (coverage, medianRelErr float64) {
+	t.Helper()
+	ctx := context.Background()
+	inside, total := 0, 0
+	var relErrs []float64
+	for _, q := range queries {
+		resp, err := eng.Do(ctx, Request{Template: "trips", Query: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := truth.Answer(q)
+		res := resp.Result
+		if math.IsNaN(res.Estimate) || math.IsInf(res.Estimate, 0) {
+			t.Fatalf("estimate for %v is %v", q.Rect, res.Estimate)
+		}
+		total++
+		if exact >= res.Interval.Lo() && exact <= res.Interval.Hi() {
+			inside++
+		}
+		if math.Abs(exact) > 1 {
+			relErrs = append(relErrs, math.Abs(res.Estimate-exact)/math.Abs(exact))
+		}
+	}
+	sort.Float64s(relErrs)
+	med := 0.0
+	if len(relErrs) > 0 {
+		med = relErrs[len(relErrs)/2]
+	}
+	return float64(inside) / float64(total), med
+}
+
+func TestAccuracyEstimatesInsideReportedIntervals(t *testing.T) {
+	const rows = 20000
+	b, tuples := seedBroker(t, workload.NYCTaxi, rows)
+	eng := NewEngine(Config{LeafNodes: 64, SampleRate: 0.05, CatchUpRate: 0.25, Seed: 83}, b)
+	if err := eng.AddTemplate(taxiTemplate()); err != nil {
+		t.Fatal(err)
+	}
+	truth := workload.NewTruth(1, []int{0}, 0)
+	for _, tp := range tuples {
+		truth.Insert(tp)
+	}
+
+	gen := workload.NewQueryGen(17, tuples, []int{0})
+	cases := []struct {
+		name           string
+		fn             Func
+		minCoverage    float64
+		maxMedianError float64
+	}{
+		{"SUM", FuncSum, 0.90, 0.05},
+		{"COUNT", FuncCount, 0.90, 0.05},
+		{"AVG", FuncAvg, 0.90, 0.05},
+	}
+	check := func(phase string) {
+		for _, c := range cases {
+			cov, med := accuracyCase(t, eng, truth, gen.Workload(200, c.fn))
+			t.Logf("%s %s: CI coverage %.3f, median rel. error %.4f", phase, c.name, cov, med)
+			if cov < c.minCoverage {
+				t.Errorf("%s %s: CI coverage %.3f below %.2f — estimates no longer honor their reported intervals",
+					phase, c.name, cov, c.minCoverage)
+			}
+			if med > c.maxMedianError {
+				t.Errorf("%s %s: median relative error %.4f above %.3f", phase, c.name, med, c.maxMedianError)
+			}
+		}
+	}
+	check("base")
+
+	// The same contract must hold after maintenance: stream inserts and
+	// deletes through the engine and mirror them into the ground truth.
+	fresh, err := workload.Generate(workload.NYCTaxi, 4000, 5_000_000, 84)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < len(fresh); lo += 500 {
+		hi := min(lo+500, len(fresh))
+		if err := eng.InsertBatch(fresh[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range fresh[lo:hi] {
+			truth.Insert(tp)
+		}
+	}
+	var del []int64
+	for id := int64(0); id < 2000; id += 2 {
+		del = append(del, id)
+	}
+	if _, err := eng.DeleteBatch(del); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range del {
+		truth.Delete(id)
+	}
+	check("after-updates")
+
+	// MIN/MAX report outer bounds rather than probabilistic intervals:
+	// the exact extreme must lie inside [lo, hi] for every answer that is
+	// not flagged Outer.
+	for _, fn := range []Func{FuncMin, FuncMax} {
+		for _, q := range gen.Workload(100, fn) {
+			resp, err := eng.Do(context.Background(), Request{Template: "trips", Query: q})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact := truth.Answer(q)
+			if exact == 0 {
+				continue // empty predicate region
+			}
+			res := resp.Result
+			if !res.Outer && (exact < res.Interval.Lo() || exact > res.Interval.Hi()) {
+				t.Errorf("%v over %v: exact extreme %g outside [%g, %g]",
+					fn, q.Rect, exact, res.Interval.Lo(), res.Interval.Hi())
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"janusaqp/internal/broker"
 	"strings"
 	"sync"
 	"testing"
@@ -307,6 +308,19 @@ func TestStatsForDistinguishesUnknownTemplates(t *testing.T) {
 	}
 	if _, err := eng.StatsFor("nope"); !errors.Is(err, ErrUnknownTemplate) {
 		t.Errorf("unknown template err = %v, want ErrUnknownTemplate", err)
+	}
+}
+
+func TestInsertRejectsTupleWiderThanOneLogRecord(t *testing.T) {
+	// A tuple wider than one segment-log frame would be written through to
+	// a durable log but could never be read back (OpenTopic caps frame
+	// size), stranding every later acknowledged record — so admission
+	// rejects it before any publish.
+	eng, _ := v2Engine(t)
+	wide := make([]float64, broker.MaxTupleAttrs)
+	err := eng.InsertBatch([]Tuple{{ID: 1 << 40, Key: []float64{1, 2, 3}, Vals: wide}})
+	if !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("oversized tuple err = %v, want ErrSchemaMismatch", err)
 	}
 }
 

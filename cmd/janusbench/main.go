@@ -7,6 +7,7 @@
 //	janusbench -exp table2            # one experiment
 //	janusbench -exp all -rows 300000  # everything at a larger scale
 //	janusbench -perf BENCH_PR2.json   # serving-perf trajectory snapshot
+//	janusbench -restart BENCH_PR3.json # warm restore vs cold rebuild
 //	janusbench -list
 //
 // Experiments: table2, fig5, fig6, fig7, fig8, fig9, fig10, table3,
@@ -15,14 +16,22 @@
 // -perf runs the serving micro-suite instead: per-tuple vs batched ingest
 // throughput and v2 query latency percentiles, written as JSON so the
 // repo's perf trajectory is recorded per PR.
+//
+// -restart measures the durability subsystem: boot a store-backed engine,
+// checkpoint it, stream a log tail past the checkpoint, then time a warm
+// restart (checkpoint + log-tail replay) against the cold rebuild the
+// daemon paid before checkpoints existed (archive replay + full synopsis
+// re-initialization).
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -66,11 +75,19 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink everything for a fast smoke run")
 	list := flag.Bool("list", false, "list available experiments")
 	perf := flag.String("perf", "", "write the serving-perf JSON snapshot to this file and exit")
+	restart := flag.String("restart", "", "write the warm-restart vs cold-rebuild JSON snapshot to this file and exit")
 	flag.Parse()
 
 	if *perf != "" {
 		if err := runPerf(*perf, *rows, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "perf:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *restart != "" {
+		if err := runRestart(*restart, *rows, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "restart:", err)
 			os.Exit(1)
 		}
 		return
@@ -228,5 +245,160 @@ func runPerf(path string, rows int, seed int64) error {
 	}
 	fmt.Printf("perf: single %.0f t/s, batched %.0f t/s (%.2fx), query p50 %.0fµs p95 %.0fµs -> %s\n",
 		singleTPS, batchTPS, rep.IngestBatchSpeedup, rep.QueryP50Micros, rep.QueryP95Micros, path)
+	return nil
+}
+
+// --- restart snapshot --------------------------------------------------------
+
+// restartReport is the JSON shape of the per-PR durability record
+// (BENCH_PR3.json): what a checkpoint costs to write, and what a warm
+// restart (checkpoint load + archive replay + log-tail replay) saves over
+// the cold rebuild (archive replay + full synopsis re-initialization).
+type restartReport struct {
+	Rows                  int     `json:"rows"`
+	TailRecords           int     `json:"tailRecords"`
+	CheckpointBytes       int64   `json:"checkpointBytes"`
+	CheckpointWriteMillis float64 `json:"checkpointWriteMillis"`
+	WarmRestoreMillis     float64 `json:"warmRestoreMillis"`
+	ColdRebuildMillis     float64 `json:"coldRebuildMillis"`
+	WarmSpeedup           float64 `json:"warmSpeedup"`
+}
+
+// runRestart measures the zero-to-serving time of both restart paths over
+// the same data directory: warm (Store.Recover off the checkpoint) versus
+// cold (archive replay off the bare log plus AddTemplate), asserting along
+// the way that both paths land on the same row count.
+//
+// The scenario is shaped like a serving deployment rather than a unit
+// test: several templates (a dashboard registers one per panel family —
+// cold pays a full sample-optimize-populate-catch-up initialization per
+// template, warm decodes each synopsis), a catch-up requirement matching
+// a serving quality bar (cold re-folds it from the archive, warm restores
+// the progress from the image), and a log tail bounded by the checkpoint
+// cadence.
+func runRestart(path string, rows int, seed int64) error {
+	if rows <= 0 {
+		rows = 120000
+	}
+	const tailN = 4096
+	cfg := janus.Config{LeafNodes: 128, SampleRate: 0.01, CatchUpRate: 0.25, Seed: seed}
+	templates := []janus.Template{
+		{Name: "trips", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum},
+		{Name: "fares", PredicateDims: []int{0}, AggIndex: 1, Agg: janus.Avg},
+		{Name: "passengers", PredicateDims: []int{0}, AggIndex: 2, Agg: janus.Count},
+	}
+
+	dir, err := os.MkdirTemp("", "janusbench-restart-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// First life: boot durable, checkpoint, stream a tail past it.
+	tuples, err := workload.Generate(workload.NYCTaxi, rows, 0, seed)
+	if err != nil {
+		return err
+	}
+	tail, err := workload.Generate(workload.NYCTaxi, tailN, 30_000_000, seed+9)
+	if err != nil {
+		return err
+	}
+	st, err := janus.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	st.Broker().PublishInsertBatch(tuples)
+	eng := janus.NewEngine(cfg, st.Broker())
+	for _, tmpl := range templates {
+		if err := eng.AddTemplate(tmpl); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	info, err := st.WriteCheckpoint(eng)
+	if err != nil {
+		return err
+	}
+	ckptMillis := float64(time.Since(start).Microseconds()) / 1000
+	for lo := 0; lo < len(tail); lo += 512 {
+		hi := min(lo+512, len(tail))
+		if err := eng.InsertBatch(tail[lo:hi]); err != nil {
+			return err
+		}
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+
+	// Warm restart: checkpoint + archive replay + log-tail replay.
+	start = time.Now()
+	st2, err := janus.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	warm, rec, err := st2.Recover(cfg)
+	if err != nil {
+		return err
+	}
+	warmMillis := float64(time.Since(start).Microseconds()) / 1000
+	if rec.TailInserts != tailN {
+		return fmt.Errorf("warm restart replayed %d tail records, want %d", rec.TailInserts, tailN)
+	}
+	if got := len(warm.Templates()); got != len(templates) {
+		return fmt.Errorf("warm restart restored %d templates, want %d", got, len(templates))
+	}
+	wantRows := int64(rows + tailN)
+	if got := st2.Broker().Archive().Len(); got != wantRows {
+		return fmt.Errorf("warm restart restored %d rows, want %d", got, wantRows)
+	}
+	if err := st2.Close(); err != nil {
+		return err
+	}
+
+	// Cold rebuild: what the same boot pays with no checkpoint — full log
+	// replay into the archive, then synopsis re-initialization.
+	if err := os.Remove(filepath.Join(dir, "checkpoint.db")); err != nil {
+		return err
+	}
+	start = time.Now()
+	st3, err := janus.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	if _, _, err := st3.Recover(cfg); !errors.Is(err, janus.ErrNoCheckpoint) {
+		return fmt.Errorf("cold path: Recover = %v, want ErrNoCheckpoint", err)
+	}
+	cold := janus.NewEngine(cfg, st3.Broker())
+	for _, tmpl := range templates {
+		if err := cold.AddTemplate(tmpl); err != nil {
+			return err
+		}
+	}
+	coldMillis := float64(time.Since(start).Microseconds()) / 1000
+	if got := st3.Broker().Archive().Len(); got != wantRows {
+		return fmt.Errorf("cold rebuild restored %d rows, want %d", got, wantRows)
+	}
+	if err := st3.Close(); err != nil {
+		return err
+	}
+
+	rep := restartReport{
+		Rows:                  rows,
+		TailRecords:           tailN,
+		CheckpointBytes:       info.Bytes,
+		CheckpointWriteMillis: ckptMillis,
+		WarmRestoreMillis:     warmMillis,
+		ColdRebuildMillis:     coldMillis,
+		WarmSpeedup:           coldMillis / warmMillis,
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("restart: warm %.1fms vs cold %.1fms (%.1fx), checkpoint %.1fms/%d bytes -> %s\n",
+		warmMillis, coldMillis, rep.WarmSpeedup, ckptMillis, info.Bytes, path)
 	return nil
 }

@@ -17,6 +17,14 @@
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/metrics
 //
+// With -data DIR the daemon is durable: every ingested record is written
+// through to an append-only segment log in DIR, a background checkpointer
+// (and POST /v2/admin/checkpoint) snapshots the synopses, and a restart
+// warm-boots by loading the latest checkpoint and replaying the log tail —
+// no acknowledged write is lost and no re-initialization is paid:
+//
+//	janusd -addr :8080 -data /var/lib/janusd
+//
 // The /v1 endpoints remain as thin wrappers over the same paths. See
 // /v1/templates for the registered schema.
 package main
@@ -48,75 +56,79 @@ func main() {
 	catchUpEvery := flag.Duration("catchup-interval", 25*time.Millisecond, "background catch-up pump interval (0 disables)")
 	autoRepartition := flag.Bool("auto-repartition", true, "enable trigger-driven re-partitioning")
 	stream := flag.Float64("stream", 0, "fraction of rows held back and streamed through a followed broker after boot, in [0,1)")
+	dataDir := flag.String("data", "", "durable data directory: segment logs + checkpoints; restarts warm-boot from it")
+	checkpointEvery := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint cadence with -data (0 disables)")
 	flag.Parse()
 
-	if err := run(*addr, *dataset, *rows, *seed, *leafNodes, *sampleRate, *catchUpRate, *catchUpEvery, *autoRepartition, *stream); err != nil {
+	if err := run(daemonConfig{
+		addr: *addr, dataset: *dataset, rows: *rows, seed: *seed,
+		leafNodes: *leafNodes, sampleRate: *sampleRate, catchUpRate: *catchUpRate,
+		catchUpEvery: *catchUpEvery, autoRepartition: *autoRepartition, stream: *stream,
+		dataDir: *dataDir, checkpointEvery: *checkpointEvery,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "janusd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataset string, rows int, seed int64, leafNodes int, sampleRate, catchUpRate float64, catchUpEvery time.Duration, autoRepartition bool, stream float64) error {
-	if stream < 0 || stream >= 1 {
-		return fmt.Errorf("-stream must be in [0,1), got %g", stream)
+type daemonConfig struct {
+	addr, dataset   string
+	rows            int
+	seed            int64
+	leafNodes       int
+	sampleRate      float64
+	catchUpRate     float64
+	catchUpEvery    time.Duration
+	autoRepartition bool
+	stream          float64
+	dataDir         string
+	checkpointEvery time.Duration
+}
+
+func (c daemonConfig) engineConfig() janus.Config {
+	return janus.Config{
+		LeafNodes:       c.leafNodes,
+		SampleRate:      c.sampleRate,
+		CatchUpRate:     c.catchUpRate,
+		AutoRepartition: c.autoRepartition,
+		Seed:            c.seed,
 	}
-	tuples, err := workload.Generate(dataset, rows, 0, seed)
-	if err != nil {
-		return err
+}
+
+func run(c daemonConfig) error {
+	if c.stream < 0 || c.stream >= 1 {
+		return fmt.Errorf("-stream must be in [0,1), got %g", c.stream)
 	}
-	initial := rows - int(stream*float64(rows))
-	b := janus.NewBroker()
-	for _, t := range tuples[:initial] {
-		b.PublishInsert(t)
-	}
-	eng := janus.NewEngine(janus.Config{
-		LeafNodes:       leafNodes,
-		SampleRate:      sampleRate,
-		CatchUpRate:     catchUpRate,
-		AutoRepartition: autoRepartition,
-		Seed:            seed,
-	}, b)
-	if err := eng.AddTemplate(janus.Template{
-		Name:          "trips",
-		PredicateDims: []int{0},
-		AggIndex:      0,
-		Agg:           janus.Sum,
-	}); err != nil {
-		return err
-	}
-	if err := eng.RegisterSchema("trips", janus.TableSchema{
-		Table:    "trips",
-		PredCols: []string{"pickupTime"},
-		AggCols:  []string{"tripDistance", "fareAmount", "passengerCount"},
-	}); err != nil {
-		return err
+	opts := server.Options{CatchUpInterval: c.catchUpEvery}
+
+	var (
+		eng *janus.Engine
+		err error
+	)
+	if c.dataDir != "" {
+		var st *janus.Store
+		st, eng, err = bootDurable(c, &opts)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+	} else {
+		eng, err = bootEphemeral(c, &opts)
+		if err != nil {
+			return err
+		}
 	}
 
-	opts := server.Options{CatchUpInterval: catchUpEvery}
-	if initial < rows {
-		// PSoup-style streaming ingest: the held-back rows arrive on a
-		// separate producer broker that the server follows, exercising the
-		// same path an embedder uses to tail an external stream.
-		source := janus.NewBroker()
-		opts.Follow = source
-		go func() {
-			for _, t := range tuples[initial:] {
-				source.PublishInsert(t)
-				time.Sleep(200 * time.Microsecond)
-			}
-		}()
-	}
 	srv := server.New(eng, opts)
 	defer srv.Close()
 
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              c.addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("janusd: serving %d rows of %s on %s (%d streaming in)\n", initial, dataset, addr, rows-initial)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -132,6 +144,143 @@ func run(addr, dataset string, rows int, seed int64, leafNodes int, sampleRate, 
 		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		if opts.Checkpoint != nil {
+			// A final checkpoint makes the next boot's log tail empty.
+			if _, err := opts.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "janusd: shutdown checkpoint:", err)
+			}
+		}
 		return nil
 	}
+}
+
+// bootEphemeral is the original in-memory boot: generate the dataset,
+// publish it, and build the synopses from scratch.
+func bootEphemeral(c daemonConfig, opts *server.Options) (*janus.Engine, error) {
+	tuples, err := workload.Generate(c.dataset, c.rows, 0, c.seed)
+	if err != nil {
+		return nil, err
+	}
+	initial := c.rows - int(c.stream*float64(c.rows))
+	b := janus.NewBroker()
+	for _, t := range tuples[:initial] {
+		b.PublishInsert(t)
+	}
+	eng, err := buildEngine(c, b)
+	if err != nil {
+		return nil, err
+	}
+	startStream(c, opts, tuples[initial:])
+	fmt.Printf("janusd: serving %d rows of %s on %s (%d streaming in)\n", initial, c.dataset, c.addr, c.rows-initial)
+	return eng, nil
+}
+
+// bootDurable opens the data directory and either warm-restarts from its
+// checkpoint + log tail, or cold-boots (from the bare log after a crash
+// before the first checkpoint, or from the generated dataset on first run)
+// and writes the initial checkpoint.
+func bootDurable(c daemonConfig, opts *server.Options) (*janus.Store, *janus.Engine, error) {
+	// Reject incompatible flags before OpenStore creates log files: an
+	// aborted boot must leave no half-initialized data directory behind.
+	if c.stream > 0 {
+		return nil, nil, fmt.Errorf("-stream is not supported with -data (stream through /v2/ingest instead)")
+	}
+	st, err := janus.OpenStore(c.dataDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (*janus.Store, *janus.Engine, error) {
+		st.Close()
+		return nil, nil, err
+	}
+
+	start := time.Now()
+	needInitialCheckpoint := false
+	eng, rec, err := st.Recover(c.engineConfig())
+	switch {
+	case err == nil:
+		opts.FollowState = rec.Follow
+		fmt.Printf("janusd: warm restart from %s in %.2fs: %d templates, %d rows, replayed %d+%d log-tail records; serving on %s\n",
+			c.dataDir, time.Since(start).Seconds(), rec.Templates, st.Broker().Archive().Len(),
+			rec.TailInserts, rec.TailDeletes, c.addr)
+	case errors.Is(err, janus.ErrNoCheckpoint):
+		needInitialCheckpoint = true
+		eng, err = coldBootDurable(c, st)
+		if err != nil {
+			return fail(err)
+		}
+	default:
+		return fail(err)
+	}
+
+	opts.Checkpoint = func() (janus.CheckpointInfo, error) { return st.WriteCheckpoint(eng) }
+	opts.WriteHealth = st.WriteErr
+	if c.checkpointEvery > 0 {
+		opts.CheckpointInterval = c.checkpointEvery
+	}
+	if needInitialCheckpoint {
+		if _, err := opts.Checkpoint(); err != nil {
+			return fail(err)
+		}
+	}
+	return st, eng, nil
+}
+
+// coldBootDurable builds the engine over the store's broker: from rows
+// already on the log (a crash before the first checkpoint), or from the
+// generated bootstrap dataset, written through to the log as it publishes.
+func coldBootDurable(c daemonConfig, st *janus.Store) (*janus.Engine, error) {
+	b := st.Broker()
+	if b.Archive().Len() == 0 {
+		tuples, err := workload.Generate(c.dataset, c.rows, 0, c.seed)
+		if err != nil {
+			return nil, err
+		}
+		b.PublishInsertBatch(tuples)
+	}
+	eng, err := buildEngine(c, b)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("janusd: cold boot into %s: %d rows of %s; serving on %s\n", c.dataDir, b.Archive().Len(), c.dataset, c.addr)
+	return eng, nil
+}
+
+// buildEngine constructs the engine and registers the bootstrap template
+// and schema over an already-populated broker.
+func buildEngine(c daemonConfig, b *janus.Broker) (*janus.Engine, error) {
+	eng := janus.NewEngine(c.engineConfig(), b)
+	if err := eng.AddTemplate(janus.Template{
+		Name:          "trips",
+		PredicateDims: []int{0},
+		AggIndex:      0,
+		Agg:           janus.Sum,
+	}); err != nil {
+		return nil, err
+	}
+	if err := eng.RegisterSchema("trips", janus.TableSchema{
+		Table:    "trips",
+		PredCols: []string{"pickupTime"},
+		AggCols:  []string{"tripDistance", "fareAmount", "passengerCount"},
+	}); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// startStream wires the -stream demo producer: held-back rows arrive on a
+// separate broker the server follows, exercising the same path an
+// embedder uses to tail an external stream.
+func startStream(c daemonConfig, opts *server.Options, rest []janus.Tuple) {
+	if len(rest) == 0 {
+		return
+	}
+	source := janus.NewBroker()
+	opts.Follow = source
+	go func() {
+		for _, t := range rest {
+			source.PublishInsert(t)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
 }

@@ -1,0 +1,287 @@
+package janus
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"janusaqp/internal/broker"
+)
+
+// Store manages a durable data directory for one engine:
+//
+//	inserts.log     append-only segment log of the insert topic
+//	deletes.log     append-only segment log of the delete topic
+//	checkpoint.db   latest engine checkpoint (atomically replaced)
+//
+// Every publish through the store's broker is written through to the logs
+// by the topic layer; WriteCheckpoint snapshots the engine, then fsyncs
+// the logs before publishing the snapshot, so a surviving checkpoint never
+// references records the disk does not hold. Recover composes the two into a warm restart: load the
+// checkpoint, rebuild the archive to the checkpointed offsets, replay the
+// log tail, and hand back an engine that has lost no acknowledged write.
+//
+// Durability granularity: appends reach the operating system on every
+// batch (a process crash loses nothing) and reach stable storage on every
+// checkpoint (a power loss rolls back to the last checkpoint plus whatever
+// the OS had flushed; the CRC framing truncates any torn tail cleanly).
+// Callers needing per-batch power-loss durability can call Sync after
+// acknowledged writes.
+type Store struct {
+	dir     string
+	inserts *os.File
+	deletes *os.File
+	broker  *Broker
+	ckptMu  sync.Mutex // serializes WriteCheckpoint's tmp-and-rename dance
+}
+
+// Store file names.
+const (
+	insertsLogName = "inserts.log"
+	deletesLogName = "deletes.log"
+	checkpointName = "checkpoint.db"
+)
+
+// ErrNoCheckpoint reports a Recover over a store that has no checkpoint
+// yet — the logs (if any) were replayed into the archive, and the caller
+// boots cold: build templates from the archive and write the first
+// checkpoint. Match with errors.Is.
+var ErrNoCheckpoint = errors.New("janus: store has no checkpoint")
+
+// OpenStore opens (creating if needed) a durable data directory and
+// recovers its segment logs: invalid tails — a torn append from a crashed
+// writer, or an unflushed region garbled by power loss — are truncated,
+// and the store's broker resumes publishing (and persisting) where the
+// valid prefix ends. Truncation is refused only when it would drop
+// records the latest checkpoint references: that log is not a torn tail
+// but a corrupt head, and destroying its bytes would turn a repairable
+// directory into silent acknowledged-write loss.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("janus: creating data dir: %w", err)
+	}
+	ckIns, ckDel := checkpointedOffsets(dir)
+	st := &Store{dir: dir}
+	ins, insTopic, err := openLog(filepath.Join(dir, insertsLogName), ckIns)
+	if err != nil {
+		return nil, err
+	}
+	del, delTopic, err := openLog(filepath.Join(dir, deletesLogName), ckDel)
+	if err != nil {
+		ins.Close()
+		return nil, err
+	}
+	st.inserts, st.deletes = ins, del
+	st.broker = broker.Restore(insTopic, delTopic)
+	return st, nil
+}
+
+// checkpointedOffsets reads the topic offsets the latest checkpoint
+// references, or zeros when there is no (readable) checkpoint — the log
+// recovery bound: records below these offsets must never be truncated
+// away. Corruption here is not an error: Recover re-reads and fully
+// validates the checkpoint, and with zero offsets log recovery simply
+// keeps every valid prefix.
+func checkpointedOffsets(dir string) (ins, del int64) {
+	f, err := os.Open(filepath.Join(dir, checkpointName))
+	if err != nil {
+		return 0, 0
+	}
+	defer f.Close()
+	var hdr checkpointHeader
+	if gob.NewDecoder(f).Decode(&hdr) != nil || hdr.Version != checkpointVersion ||
+		hdr.InsertOffset < 0 || hdr.DeleteOffset < 0 {
+		return 0, 0
+	}
+	return hdr.InsertOffset, hdr.DeleteOffset
+}
+
+// openLog opens one segment log file, truncates any invalid tail, and
+// attaches the file to the restored topic for write-through. minRecords
+// is the record count the latest checkpoint references: a valid prefix
+// short of it means the invalid bytes hold checkpointed — acknowledged
+// and durable — records, so the log refuses to open (and to truncate)
+// rather than destroy what an operator could still repair.
+func openLog(path string, minRecords int64) (*os.File, *broker.Topic, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("janus: opening segment log: %w", err)
+	}
+	fail := func(err error) (*os.File, *broker.Topic, error) {
+		f.Close()
+		return nil, nil, err
+	}
+	topic, valid, err := broker.OpenTopic(f)
+	if err != nil {
+		return fail(fmt.Errorf("janus: %s: %w", filepath.Base(path), err))
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fail(err)
+	}
+	if valid < size {
+		if topic.Len() < minRecords {
+			return fail(fmt.Errorf(
+				"janus: %s: valid prefix holds %d records but the checkpoint references %d: log is corrupt, refusing to truncate %d invalid bytes",
+				filepath.Base(path), topic.Len(), minRecords, size-valid))
+		}
+		// Beyond the checkpoint the durability contract is "whatever the
+		// OS had flushed": drop the invalid suffix — a torn append, or an
+		// arbitrarily large region garbled by power loss — so the next
+		// append starts at a clean frame boundary.
+		if err := f.Truncate(valid); err != nil {
+			return fail(fmt.Errorf("janus: truncating torn log tail: %w", err))
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		return fail(err)
+	}
+	if err := topic.Persist(f); err != nil {
+		return fail(err)
+	}
+	return f, topic, nil
+}
+
+// Broker returns the store's durable broker. Engines created over it have
+// every published record written through to the segment logs.
+func (st *Store) Broker() *Broker { return st.broker }
+
+// Dir returns the store's data directory.
+func (st *Store) Dir() string { return st.dir }
+
+// WriteErr reports the first latched segment-log write failure, if any.
+// A store whose log stopped persisting must not acknowledge further
+// writes; the server's ingest path checks this after every batch.
+func (st *Store) WriteErr() error {
+	if err := st.broker.Inserts.WriteErr(); err != nil {
+		return err
+	}
+	return st.broker.Deletes.WriteErr()
+}
+
+// Sync flushes both segment logs to stable storage.
+func (st *Store) Sync() error {
+	if err := st.broker.Inserts.Sync(); err != nil {
+		return err
+	}
+	return st.broker.Deletes.Sync()
+}
+
+// Close releases the store's file handles. It does not checkpoint; callers
+// wanting a warm next boot should WriteCheckpoint first.
+func (st *Store) Close() error {
+	err := st.inserts.Close()
+	if err2 := st.deletes.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// WriteCheckpoint snapshots the engine into the store. Ordering is what
+// makes the result crash-consistent:
+//
+//  1. stream the checkpoint to a temporary file — this pins the topic
+//     offsets under the engine's update lock, and every record at or
+//     below them is already written through to the logs (appends encode
+//     to the file synchronously, under the topic lock);
+//  2. fsync both segment logs, THEN the checkpoint file — the offsets a
+//     published checkpoint carries must never point past what the disk
+//     durably holds, so the logs reach stable storage first (fsyncing
+//     before the snapshot would leave records appended in between
+//     counted by the offsets but not yet durable);
+//  3. atomically rename it over checkpoint.db and fsync the directory.
+//
+// A crash at any point leaves either the old checkpoint or the new one,
+// both consistent with the (fsynced) logs.
+func (st *Store) WriteCheckpoint(e *Engine) (CheckpointInfo, error) {
+	st.ckptMu.Lock()
+	defer st.ckptMu.Unlock()
+	tmp := filepath.Join(st.dir, checkpointName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return CheckpointInfo{}, fmt.Errorf("janus: creating checkpoint: %w", err)
+	}
+	info, err := e.Checkpoint(f)
+	if err == nil {
+		err = st.Sync()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return CheckpointInfo{}, fmt.Errorf("janus: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(st.dir, checkpointName)); err != nil {
+		os.Remove(tmp)
+		return CheckpointInfo{}, fmt.Errorf("janus: publishing checkpoint: %w", err)
+	}
+	if d, err := os.Open(st.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return info, nil
+}
+
+// RecoveryInfo describes what a warm restart restored and replayed.
+type RecoveryInfo struct {
+	// Templates restored from the checkpoint.
+	Templates int
+	// Checkpoint offsets the synopses were consistent with.
+	Checkpoint SyncState
+	// Tail replay: acknowledged writes recovered from the log beyond the
+	// checkpoint, and records the admission rules skipped.
+	TailInserts, TailDeletes, TailRejected int
+	// Follow is where the engine's supervisor should resume tailing an
+	// external broker (server.Options.FollowState).
+	Follow SyncState
+}
+
+// Recover performs the warm-restart read path over the store: it loads the
+// latest checkpoint into a fresh engine over the store's broker, rebuilds
+// the archive to the checkpointed offsets, replays the durable log tail
+// onto the archive and the synopses, and returns the engine ready to
+// serve — every acknowledged write on disk is reflected, none twice.
+//
+// A store with no checkpoint returns ErrNoCheckpoint after replaying any
+// existing log records into the archive, so a process that crashed before
+// its first checkpoint can still boot cold off its own log.
+func (st *Store) Recover(cfg Config) (*Engine, RecoveryInfo, error) {
+	f, err := os.Open(filepath.Join(st.dir, checkpointName))
+	if errors.Is(err, os.ErrNotExist) {
+		if rerr := st.broker.RestoreArchive(st.broker.Inserts.Len(), st.broker.Deletes.Len()); rerr != nil {
+			return nil, RecoveryInfo{}, rerr
+		}
+		return nil, RecoveryInfo{}, ErrNoCheckpoint
+	}
+	if err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("janus: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	eng, state, err := OpenCheckpoint(f, cfg, st.broker)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	if state.InsertOffset > st.broker.Inserts.Len() || state.DeleteOffset > st.broker.Deletes.Len() {
+		// The checkpoint claims records the durable log does not hold; with
+		// WriteCheckpoint's fsync ordering this cannot happen short of
+		// losing log files, so refuse to serve a state with silent holes.
+		return nil, RecoveryInfo{}, fmt.Errorf(
+			"janus: checkpoint is ahead of the durable log (checkpoint %d/%d, log %d/%d): data dir is corrupt",
+			state.InsertOffset, state.DeleteOffset, st.broker.Inserts.Len(), st.broker.Deletes.Len())
+	}
+	info := RecoveryInfo{Templates: len(eng.Templates()), Checkpoint: state}
+	if err := st.broker.RestoreArchive(state.InsertOffset, state.DeleteOffset); err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	info.TailInserts, info.TailDeletes, info.TailRejected = eng.replayLogTail(&state)
+	info.Follow = eng.FollowOffsets()
+	return eng, info, nil
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"janusaqp/internal/broker"
 	"janusaqp/internal/core"
 	"janusaqp/internal/data"
 	"janusaqp/internal/geom"
@@ -96,11 +97,14 @@ type Engine struct {
 	// Stats() never parks behind a long re-initialization.
 	statsMu sync.Mutex
 
-	// syncMu guards the followed-stream watermark: the highest insert-topic
-	// offset Sync has applied, and the channel read-your-writes waiters
-	// (Request.MinSyncOffset) park on until it advances.
+	// syncMu guards the followed-stream watermark: the highest insert- and
+	// delete-topic offsets Sync has applied, and the channel
+	// read-your-writes waiters (Request.MinSyncOffset) park on until the
+	// insert side advances. Checkpoints persist both offsets so a restarted
+	// engine resumes Follow where it stopped instead of from zero.
 	syncMu       sync.Mutex
 	syncedInsert int64
+	syncedDelete int64
 	syncWake     chan struct{}
 
 	// streamRejected counts stream records Sync skipped because they failed
@@ -355,6 +359,12 @@ func (e *Engine) validateBatchUpdLocked(tuples []Tuple) error {
 func (e *Engine) admitUpdLocked(t Tuple, arities []arity) error {
 	if _, live := e.broker.Archive().Get(t.ID); live {
 		return fmt.Errorf("janus: %w %d", ErrDuplicateID, t.ID)
+	}
+	if len(t.Key)+len(t.Vals) > broker.MaxTupleAttrs {
+		// Wider than one segment-log frame: the durable log could write it
+		// but never read it back, stranding every later record.
+		return fmt.Errorf("janus: %w: tuple %d has %d attributes; one record caps at %d",
+			ErrSchemaMismatch, t.ID, len(t.Key)+len(t.Vals), broker.MaxTupleAttrs)
 	}
 	for _, a := range arities {
 		if len(t.Key) <= a.maxDim {
@@ -878,6 +888,29 @@ func (e *Engine) noteSynced(offset int64) {
 		}
 	}
 	e.syncMu.Unlock()
+}
+
+// noteSyncedDelete advances the delete half of the follow watermark. It has
+// no waiters: read-your-writes is defined over insertions.
+func (e *Engine) noteSyncedDelete(offset int64) {
+	e.syncMu.Lock()
+	if offset > e.syncedDelete {
+		e.syncedDelete = offset
+	}
+	e.syncMu.Unlock()
+}
+
+// FollowOffsets returns the followed-broker consumption watermark as a
+// SyncState: how far Sync/Follow have applied an external broker's insert
+// and delete topics. A checkpoint records it, and a recovered engine's
+// supervisor should resume Follow from it — records before the watermark
+// are already reflected in the checkpointed synopses, and records replayed
+// across it are deduplicated by the stream path's id validation
+// (at-least-once delivery, idempotent application).
+func (e *Engine) FollowOffsets() SyncState {
+	e.syncMu.Lock()
+	defer e.syncMu.Unlock()
+	return SyncState{InsertOffset: e.syncedInsert, DeleteOffset: e.syncedDelete}
 }
 
 // waitSynced blocks until the watermark reaches min or ctx ends. Callers

@@ -23,8 +23,10 @@ package broker
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"janusaqp/internal/data"
 )
@@ -43,12 +45,34 @@ const (
 type Record struct {
 	Kind  Kind
 	Tuple data.Tuple
+	// Seq is the broker-wide publish sequence number, stamped by the
+	// Publish* methods. Offsets order records within one topic; Seq orders
+	// them across the insert and delete topics, which is what lets a crash
+	// recovery replay a delete and a later re-insert of the same id in the
+	// order they actually happened. Records appended to a topic directly
+	// (not via a broker publish) carry Seq 0 and merge as "inserts first".
+	Seq int64
 }
 
 // Topic is an ordered, append-only log of records, safe for concurrent use.
+// A topic may be backed by a durable segment log (see Persist and
+// OpenTopic): every append is then encoded and written through to the
+// attached writer under the topic lock, so the on-disk log is always a
+// prefix-consistent image of the in-memory one.
 type Topic struct {
 	mu   sync.RWMutex
 	recs []Record
+
+	// Durable backing state (persist.go). persisted counts records already
+	// encoded to w; magicOnLog records that the attached log already starts
+	// with the log magic (set by OpenTopic, or by Persist after writing it),
+	// so a topic restored from a header-only log never writes a second
+	// header; werr latches the first write-through failure so Sync can
+	// report it.
+	w          io.Writer
+	persisted  int
+	magicOnLog bool
+	werr       error
 }
 
 // Append adds a record to the end of the log and returns its offset.
@@ -56,6 +80,7 @@ func (t *Topic) Append(r Record) int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.recs = append(t.recs, r)
+	t.writeThroughLocked()
 	return int64(len(t.recs) - 1)
 }
 
@@ -66,6 +91,7 @@ func (t *Topic) AppendBatch(recs []Record) int64 {
 	defer t.mu.Unlock()
 	first := int64(len(t.recs))
 	t.recs = append(t.recs, recs...)
+	t.writeThroughLocked()
 	return first
 }
 
@@ -103,11 +129,43 @@ type Broker struct {
 	Inserts *Topic
 	Deletes *Topic
 	archive *Archive
+
+	// seq issues the broker-wide publish sequence stamped onto records (see
+	// Record.Seq); the first published record gets Seq 1. pubMu holds the
+	// archive application, the Seq stamp, and the topic append together as
+	// one atomic publish: stamping outside the lock would let concurrent
+	// publishers append in non-Seq order, and a delete stamped between
+	// another publisher's archive insert and its append would replay before
+	// the insert on recovery — resurrecting an acknowledged delete. The
+	// recovery-side sorted merge (ReplayMerged) depends on Seq order
+	// agreeing with archive application order.
+	pubMu sync.Mutex
+	seq   atomic.Int64
 }
 
 // New returns an empty broker.
 func New() *Broker {
 	return &Broker{Inserts: &Topic{}, Deletes: &Topic{}, archive: NewArchive()}
+}
+
+// Restore builds a broker over previously persisted topics (see OpenTopic)
+// with an empty archive. The publish sequence resumes past the highest Seq
+// found in either topic, so records published after a recovery keep the
+// global ordering monotone.
+func Restore(inserts, deletes *Topic) *Broker {
+	b := &Broker{Inserts: inserts, Deletes: deletes, archive: NewArchive()}
+	max := int64(0)
+	for _, t := range []*Topic{inserts, deletes} {
+		t.mu.RLock()
+		for _, r := range t.recs {
+			if r.Seq > max {
+				max = r.Seq
+			}
+		}
+		t.mu.RUnlock()
+	}
+	b.seq.Store(max)
+	return b
 }
 
 // Archive returns the live-table archive tracking the current database
@@ -120,8 +178,10 @@ func (b *Broker) Archive() *Archive { return b.archive }
 // topic that no synopsis or archive ever applied — stream followers
 // (Engine.Sync) would replay it even though the publish failed.
 func (b *Broker) PublishInsert(t data.Tuple) {
+	b.pubMu.Lock()
+	defer b.pubMu.Unlock()
 	b.archive.Insert(t)
-	b.Inserts.Append(Record{Kind: KindInsert, Tuple: t})
+	b.Inserts.Append(Record{Kind: KindInsert, Tuple: t, Seq: b.seq.Add(1)})
 }
 
 // PublishInsertBatch publishes a whole batch: each lock is taken once for
@@ -131,10 +191,12 @@ func (b *Broker) PublishInsert(t data.Tuple) {
 // topic); callers that pre-validate ids under the engine's update lock
 // never trip it.
 func (b *Broker) PublishInsertBatch(tuples []data.Tuple) {
+	b.pubMu.Lock()
+	defer b.pubMu.Unlock()
 	b.archive.InsertBatch(tuples)
 	recs := make([]Record, len(tuples))
 	for i, t := range tuples {
-		recs[i] = Record{Kind: KindInsert, Tuple: t}
+		recs[i] = Record{Kind: KindInsert, Tuple: t, Seq: b.seq.Add(1)}
 	}
 	b.Inserts.AppendBatch(recs)
 }
@@ -142,16 +204,20 @@ func (b *Broker) PublishInsertBatch(tuples []data.Tuple) {
 // PublishDelete appends a deletion to the delete topic and applies it to
 // the archive. It returns false when the tuple is unknown to the archive.
 func (b *Broker) PublishDelete(id int64) bool {
-	b.Deletes.Append(Record{Kind: KindDelete, Tuple: data.Tuple{ID: id}})
+	b.pubMu.Lock()
+	defer b.pubMu.Unlock()
+	b.Deletes.Append(Record{Kind: KindDelete, Tuple: data.Tuple{ID: id}, Seq: b.seq.Add(1)})
 	return b.archive.Delete(id)
 }
 
 // PublishDeleteBatch publishes a batch of deletions, taking each lock once.
 // It returns how many ids were live and removed.
 func (b *Broker) PublishDeleteBatch(ids []int64) int {
+	b.pubMu.Lock()
+	defer b.pubMu.Unlock()
 	recs := make([]Record, len(ids))
 	for i, id := range ids {
-		recs[i] = Record{Kind: KindDelete, Tuple: data.Tuple{ID: id}}
+		recs[i] = Record{Kind: KindDelete, Tuple: data.Tuple{ID: id}, Seq: b.seq.Add(1)}
 	}
 	b.Deletes.AppendBatch(recs)
 	return b.archive.DeleteBatch(ids)

@@ -1,0 +1,332 @@
+// Durable topic persistence: the file-backed append-only segment log that
+// lets the broker's archival storage survive the process, the disk half of
+// the checkpoint/recovery subsystem.
+//
+// The on-disk format is a magic header followed by CRC-framed records:
+//
+//	"JANUSLOG1\n"
+//	repeat: [uint32 payload length][uint32 CRC-32 of payload][payload]
+//
+// where the payload is a fixed-width little-endian encoding of one Record
+// (seq, kind, tuple id, key, vals). The framing makes a crashed writer's
+// torn tail detectable: OpenTopic reads the longest valid prefix and
+// reports how many bytes it spans, so recovery truncates the file there
+// and appending resumes from a clean end. Corruption never panics — a log
+// that fails its CRC simply ends early, exactly like a crash mid-append.
+package broker
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// logMagic heads every segment log file.
+const logMagic = "JANUSLOG1\n"
+
+// maxRecordBytes caps one framed payload. A record is a tuple plus a few
+// words of framing; anything larger is corruption, and bounding the length
+// keeps a corrupted frame from asking OpenTopic for a gigantic allocation.
+const maxRecordBytes = 1 << 22
+
+// MaxTupleAttrs caps the combined Key+Vals attributes of one published
+// tuple so its encoded frame (25 bytes of fixed fields plus 8 per
+// attribute) always fits maxRecordBytes: everything the log accepts must
+// read back through OpenTopic, or one oversized acknowledged record would
+// strand every record after it behind an unreadable frame. Ingest
+// admission enforces this bound before publishing.
+const MaxTupleAttrs = (maxRecordBytes - 25) / 8
+
+// MaxTornBytes is the largest invalid suffix a crashed append can leave on
+// a segment log: one maximally-sized frame (length word, CRC, payload). A
+// log whose bytes beyond the valid prefix exceed this was not torn by a
+// crash — its head or middle is corrupt — and recovery must refuse to
+// truncate it rather than silently discard acknowledged records.
+const MaxTornBytes = 8 + maxRecordBytes
+
+// encodeRecord appends r's payload encoding to buf and returns it.
+func encodeRecord(buf []byte, r Record) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Seq))
+	buf = append(buf, byte(r.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Tuple.ID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Tuple.Key)))
+	for _, v := range r.Tuple.Key {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Tuple.Vals)))
+	for _, v := range r.Tuple.Vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// decodeRecord parses one payload produced by encodeRecord.
+func decodeRecord(p []byte) (Record, error) {
+	var r Record
+	need := func(n int) error {
+		if len(p) < n {
+			return fmt.Errorf("broker: truncated record payload")
+		}
+		return nil
+	}
+	if err := need(8 + 1 + 8 + 4); err != nil {
+		return r, err
+	}
+	r.Seq = int64(binary.LittleEndian.Uint64(p))
+	r.Kind = Kind(p[8])
+	if r.Kind != KindInsert && r.Kind != KindDelete {
+		return r, fmt.Errorf("broker: unknown record kind %d", r.Kind)
+	}
+	r.Tuple.ID = int64(binary.LittleEndian.Uint64(p[9:]))
+	p = p[17:]
+	readFloats := func() ([]float64, error) {
+		n := int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		if n < 0 || n > maxRecordBytes/8 || len(p) < 8*n {
+			return nil, fmt.Errorf("broker: record declares %d attributes in %d bytes", n, len(p))
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+		}
+		p = p[8*n:]
+		return out, nil
+	}
+	key, err := readFloats()
+	if err != nil {
+		return r, err
+	}
+	if err := need(4); err != nil {
+		return r, err
+	}
+	vals, err := readFloats()
+	if err != nil {
+		return r, err
+	}
+	if len(p) != 0 {
+		return r, fmt.Errorf("broker: %d trailing bytes in record payload", len(p))
+	}
+	r.Tuple.Key = key
+	r.Tuple.Vals = vals
+	return r, nil
+}
+
+// frameRecord appends the full frame (length, CRC, payload) for r to buf.
+func frameRecord(buf []byte, r Record) []byte {
+	payload := encodeRecord(nil, r)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// OpenTopic reads a segment log previously written through Persist,
+// returning the topic and the number of bytes the valid prefix spans. The
+// log ends at the first frame that is truncated or fails its CRC — the
+// signature of a crash mid-append — so callers recover by truncating the
+// file to the returned length and re-attaching it with Persist. An empty
+// stream yields an empty topic; a stream that does not start with the log
+// magic is not a segment log and errors.
+func OpenTopic(r io.Reader) (*Topic, int64, error) {
+	all, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("broker: reading segment log: %w", err)
+	}
+	t := &Topic{}
+	if len(all) == 0 {
+		return t, 0, nil
+	}
+	if len(all) < len(logMagic) {
+		// Shorter than the magic: a crash during the very first write.
+		return t, 0, nil
+	}
+	if string(all[:len(logMagic)]) != logMagic {
+		return nil, 0, fmt.Errorf("broker: not a segment log (bad magic)")
+	}
+	t.magicOnLog = true
+	valid := int64(len(logMagic))
+	p := all[len(logMagic):]
+	for len(p) >= 8 {
+		n := int(binary.LittleEndian.Uint32(p))
+		sum := binary.LittleEndian.Uint32(p[4:])
+		if n <= 0 || n > maxRecordBytes || len(p) < 8+n {
+			break
+		}
+		payload := p[8 : 8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			break
+		}
+		t.recs = append(t.recs, rec)
+		p = p[8+n:]
+		valid += int64(8 + n)
+	}
+	t.persisted = len(t.recs)
+	return t, valid, nil
+}
+
+// Persist attaches w as the topic's durable segment log and writes every
+// record not already on it — all of them for a fresh topic (preceded by the
+// log magic), none for a topic just restored with OpenTopic from the same
+// file. From then on every Append/AppendBatch encodes and writes the new
+// records through under the topic lock, so the log stays a prefix of the
+// in-memory state. Write-through failures are latched and reported by Sync.
+func (t *Topic) Persist(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.w != nil {
+		return fmt.Errorf("broker: topic already has a segment log attached")
+	}
+	// Write the header only when the log does not already carry one: a topic
+	// restored with OpenTopic from a header-only log (a store that crashed
+	// before its first record) has persisted == 0 but its magic on disk, and
+	// a duplicated header would read back as a corrupt first frame.
+	if !t.magicOnLog {
+		if _, err := w.Write([]byte(logMagic)); err != nil {
+			return fmt.Errorf("broker: writing segment log header: %w", err)
+		}
+		t.magicOnLog = true
+	}
+	t.w = w
+	t.writeThroughLocked()
+	return t.werr
+}
+
+// writeThroughLocked encodes records beyond the persisted watermark to the
+// attached log, if any. Caller holds t.mu. Appends themselves cannot fail
+// (they are in-memory), so a write error is latched for Sync rather than
+// unwinding an already-applied append; the persisted count only advances
+// past records actually on the log.
+//
+// Writes are chunked to at most MaxTornBytes each: recovery's torn-tail
+// bound assumes a crashed writer can leave at most one partial write
+// behind, so a single unbounded batch write would let a mid-batch crash
+// produce an invalid suffix recovery refuses to truncate.
+func (t *Topic) writeThroughLocked() {
+	if t.w == nil || t.werr != nil || t.persisted >= len(t.recs) {
+		return
+	}
+	var buf []byte
+	n := 0 // frames currently in buf
+	flush := func() bool {
+		if _, err := t.w.Write(buf); err != nil {
+			t.werr = fmt.Errorf("broker: segment log write: %w", err)
+			return false
+		}
+		t.persisted += n
+		buf, n = buf[:0], 0
+		return true
+	}
+	for _, r := range t.recs[t.persisted:] {
+		frame := frameRecord(nil, r)
+		if len(buf) > 0 && len(buf)+len(frame) > MaxTornBytes {
+			if !flush() {
+				return
+			}
+		}
+		buf = append(buf, frame...)
+		n++
+	}
+	if len(buf) > 0 {
+		flush()
+	}
+}
+
+// WriteErr reports the latched write-through failure, if any, without
+// touching the disk. Once an append fails to reach the log the topic
+// stops persisting (the log must stay a prefix of memory), so callers
+// acknowledging durable writes must check this after publishing — an
+// acknowledgment after a latched failure would promise durability the
+// log no longer provides.
+func (t *Topic) WriteErr() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.werr
+}
+
+// Sync flushes the attached segment log to stable storage (when the writer
+// supports it, e.g. an *os.File) and reports any latched write-through
+// failure. A topic without an attached log syncs trivially.
+//
+// The fsync runs outside the topic lock: it only needs to cover writes
+// issued before Sync was called (write-through is synchronous under the
+// lock, so those bytes are already on the file), and holding the lock for
+// a disk flush would stall every publish and poll for its duration — the
+// background checkpointer calls this on every cycle.
+func (t *Topic) Sync() error {
+	t.mu.RLock()
+	w, werr := t.w, t.werr
+	t.mu.RUnlock()
+	if werr != nil {
+		return werr
+	}
+	if s, ok := w.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			return fmt.Errorf("broker: segment log fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReplayMerged calls fn for every record of the insert topic in
+// [insFrom, insTo) and the delete topic in [delFrom, delTo), in global
+// publish order: ascending Seq, with equal (or unstamped, Seq 0) records
+// yielding inserts before deletes — the same fallback ordering
+// Engine.Sync applies to cross-topic streams. This is the recovery-side
+// iteration primitive: replaying [0, checkpoint) rebuilds the archive the
+// checkpointed synopses were measured against, and replaying
+// [checkpoint, end) is the log tail a restored engine applies before
+// serving.
+func (b *Broker) ReplayMerged(insFrom, insTo, delFrom, delTo int64, fn func(Record)) {
+	var ins, del []Record
+	if insTo > insFrom {
+		ins, _ = b.Inserts.Poll(insFrom, int(insTo-insFrom))
+	}
+	if delTo > delFrom {
+		del, _ = b.Deletes.Poll(delFrom, int(delTo-delFrom))
+	}
+	i, j := 0, 0
+	for i < len(ins) || j < len(del) {
+		switch {
+		case j >= len(del), i < len(ins) && ins[i].Seq <= del[j].Seq:
+			fn(ins[i])
+			i++
+		default:
+			fn(del[j])
+			j++
+		}
+	}
+}
+
+// RestoreArchive replays the topics' prefix — inserts in [0, insTo),
+// deletes in [0, delTo) — into the (empty) archive in publish order,
+// reconstructing the live table as it stood when a checkpoint recorded
+// those offsets. A log whose replay is inconsistent (e.g. a duplicate live
+// id from a corrupted record) errors rather than panicking: recovery must
+// fail loudly, not take the daemon down.
+func (b *Broker) RestoreArchive(insTo, delTo int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("broker: archive replay: %v", r)
+		}
+	}()
+	if n := b.archive.Len(); n != 0 {
+		return fmt.Errorf("broker: archive replay needs an empty archive, have %d rows", n)
+	}
+	b.ReplayMerged(0, insTo, 0, delTo, func(r Record) {
+		switch r.Kind {
+		case KindInsert:
+			b.archive.Insert(r.Tuple)
+		case KindDelete:
+			b.archive.Delete(r.Tuple.ID)
+		}
+	})
+	return nil
+}

@@ -114,9 +114,9 @@ type node struct {
 
 	// Leaf-only state.
 	isLeaf  bool
-	stratum map[int64]data.Tuple // the leaf's virtual stratum of the pooled sample
-	m0      float64              // oracle variance at construction (trigger baseline)
-	updates int                  // updates since the last drift probe
+	stratum *stratum // the leaf's virtual stratum of the pooled sample
+	m0      float64  // oracle variance at construction (trigger baseline)
+	updates int      // updates since the last drift probe
 
 	// Anchor state for partial re-partitioning (Appendix E): an anchor
 	// root freezes its population estimate and scales the subtree-local
@@ -125,6 +125,56 @@ type node struct {
 	anchorBase float64         // frozen N̂_u at re-partition time
 	localSeen  []stats.Moments // local samples folded into the subtree
 }
+
+// stratum is one leaf's slice of the pooled sample: O(1) add and remove by
+// tuple id (swap-delete, like the broker archive) over a dense slice.
+// Estimators iterate the slice, which buys two things over the map it
+// replaces: scans of partial leaves — the query hot path — walk contiguous
+// memory, and iteration order is a deterministic function of the operation
+// history, so identical histories produce bitwise-identical floating-point
+// sums. Synopsis persistence preserves the order, which is what lets a
+// crash-recovered engine answer byte-identically to one that never
+// crashed.
+type stratum struct {
+	items []data.Tuple
+	pos   map[int64]int
+}
+
+func newStratum() *stratum {
+	return &stratum{pos: make(map[int64]int)}
+}
+
+// add stores t, replacing any resident tuple with the same id in place.
+func (s *stratum) add(t data.Tuple) {
+	if i, ok := s.pos[t.ID]; ok {
+		s.items[i] = t
+		return
+	}
+	s.pos[t.ID] = len(s.items)
+	s.items = append(s.items, t)
+}
+
+// remove drops the tuple with the given id, reporting whether it was held.
+func (s *stratum) remove(id int64) bool {
+	i, ok := s.pos[id]
+	if !ok {
+		return false
+	}
+	last := len(s.items) - 1
+	delete(s.pos, id)
+	if i != last {
+		s.items[i] = s.items[last]
+		s.pos[s.items[i].ID] = i
+	}
+	s.items = s.items[:last]
+	return true
+}
+
+func (s *stratum) len() int { return len(s.items) }
+
+// tuples returns the live slice in iteration order; callers must not
+// mutate or retain it across updates.
+func (s *stratum) tuples() []data.Tuple { return s.items }
 
 func (n *node) initStats(cfg Config) {
 	n.catchup = make([]stats.Moments, cfg.NumVals)
@@ -223,7 +273,7 @@ func (t *DPT) cloneBlueprint(src *partition.Node, parent *node) *node {
 	n.initStats(t.cfg)
 	if src.IsLeaf() {
 		n.isLeaf = true
-		n.stratum = make(map[int64]data.Tuple)
+		n.stratum = newStratum()
 		t.leaves = append(t.leaves, n)
 		return n
 	}
@@ -301,7 +351,7 @@ func (t *DPT) refreshOracleRate() {
 func (t *DPT) addToStratum(tp data.Tuple) {
 	p := t.project(tp)
 	leaf := t.route(p)
-	leaf.stratum[tp.ID] = tp
+	leaf.stratum.add(tp)
 	t.oracle.Insert(kdindex.Entry{Point: p, Val: tp.Val(t.cfg.AggIndex), ID: tp.ID})
 }
 
@@ -309,7 +359,7 @@ func (t *DPT) addToStratum(tp data.Tuple) {
 // oracle.
 func (t *DPT) dropFromStratum(tp data.Tuple) {
 	leaf := t.route(t.project(tp))
-	delete(leaf.stratum, tp.ID)
+	leaf.stratum.remove(tp.ID)
 	t.oracle.Delete(tp.ID)
 }
 
@@ -317,10 +367,10 @@ func (t *DPT) dropFromStratum(tp data.Tuple) {
 // current reservoir contents (needed after a reservoir re-draw).
 func (t *DPT) rebuildStrata() {
 	for _, l := range t.leaves {
-		for id := range l.stratum {
-			t.oracle.Delete(id)
-			delete(l.stratum, id)
+		for _, s := range l.stratum.tuples() {
+			t.oracle.Delete(s.ID)
 		}
+		l.stratum = newStratum()
 	}
 	for _, s := range t.res.Items() {
 		t.addToStratum(s)

@@ -313,7 +313,8 @@ func TestStrataConsistency(t *testing.T) {
 		t.Helper()
 		total := 0
 		for _, l := range dpt.leaves {
-			for id, s := range l.stratum {
+			for _, s := range l.stratum.tuples() {
+				id := s.ID
 				if !l.rect.Contains(s.Key) {
 					t.Fatalf("%s: stratum sample %d outside its leaf", when, id)
 				}

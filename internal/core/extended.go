@@ -37,13 +37,13 @@ func (t *DPT) estimateSumSq(aggIdx int, rect geom.Rect, cover, partial []*node) 
 		est += n.ins[aggIdx].SumSq - n.del[aggIdx].SumSq
 	}
 	for _, n := range partial {
-		mi := int64(len(n.stratum))
+		mi := int64(n.stratum.len())
 		if mi == 0 {
 			continue
 		}
 		ni := t.liveCount(n)
 		var sumsq float64
-		for _, s := range n.stratum {
+		for _, s := range n.stratum.tuples() {
 			if rect.Contains(t.project(s)) {
 				v := s.Val(aggIdx)
 				sumsq += v * v

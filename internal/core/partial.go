@@ -65,7 +65,7 @@ func (t *DPT) repartitionSubtree(u *node) error {
 	lu := len(oldLeaves)
 	var pooled []data.Tuple
 	for _, l := range oldLeaves {
-		for _, s := range l.stratum {
+		for _, s := range l.stratum.tuples() {
 			pooled = append(pooled, s)
 		}
 	}
@@ -81,7 +81,7 @@ func (t *DPT) repartitionSubtree(u *node) error {
 	if bp.Root.IsLeaf() {
 		u.left, u.right = nil, nil
 		u.isLeaf = true
-		u.stratum = make(map[int64]data.Tuple)
+		u.stratum = newStratum()
 	} else {
 		u.isLeaf = false
 		u.stratum = nil
@@ -119,7 +119,7 @@ func (t *DPT) cloneSubtree(src *partition.Node, parent *node) *node {
 	n.initStats(t.cfg)
 	if src.IsLeaf() {
 		n.isLeaf = true
-		n.stratum = make(map[int64]data.Tuple)
+		n.stratum = newStratum()
 		return n
 	}
 	n.left = t.cloneSubtree(src.Left, n)
@@ -148,7 +148,7 @@ func (t *DPT) seedAnchored(u *node, tp data.Tuple) {
 		n.minHeap.Push(primary)
 		n.maxHeap.Push(primary)
 	}
-	n.stratum[tp.ID] = tp
+	n.stratum.add(tp)
 }
 
 func collectLeaves(n *node) []*node {

@@ -33,7 +33,8 @@ func TestPartialRepartitionPreservesConsistency(t *testing.T) {
 	// Strata must exactly mirror the reservoir.
 	total := 0
 	for _, l := range dpt.leaves {
-		for id, s := range l.stratum {
+		for _, s := range l.stratum.tuples() {
+			id := s.ID
 			if !l.rect.Contains(s.Key) {
 				t.Fatalf("stratum sample %d outside its leaf", id)
 			}

@@ -153,13 +153,13 @@ func (t *DPT) estimateSumCount(f Func, aggIdx int, rect geom.Rect, cover, partia
 		}
 	}
 	for _, n := range partial {
-		mi := int64(len(n.stratum))
+		mi := int64(n.stratum.len())
 		if mi == 0 {
 			continue
 		}
 		ni := t.liveCount(n)
 		var matching stats.Moments
-		for _, s := range n.stratum {
+		for _, s := range n.stratum.tuples() {
 			if rect.Contains(t.project(s)) {
 				if f == FuncSum {
 					matching.Add(s.Val(aggIdx))
@@ -204,12 +204,12 @@ func (t *DPT) estimateAvg(aggIdx int, rect geom.Rect, cover, partial []*node, z 
 			nuC += stats.CatchupAvgVarianceTerm(n.catchup[aggIdx], wi)
 		}
 		for _, n := range partial {
-			mi := int64(len(n.stratum))
+			mi := int64(n.stratum.len())
 			if mi == 0 {
 				continue
 			}
 			var matching stats.Moments
-			for _, s := range n.stratum {
+			for _, s := range n.stratum.tuples() {
 				if rect.Contains(t.project(s)) {
 					matching.Add(s.Val(aggIdx))
 				}
@@ -260,7 +260,7 @@ func (t *DPT) estimateMinMax(f Func, aggIdx int, rect geom.Rect, cover, partial 
 		}
 	}
 	for _, n := range partial {
-		for _, s := range n.stratum {
+		for _, s := range n.stratum.tuples() {
 			if rect.Contains(t.project(s)) {
 				take(s.Val(aggIdx))
 			}

@@ -29,10 +29,10 @@ func (t *DPT) checkLeafTriggers(leaf *node) {
 	if m > 1 && t.population > 0 {
 		alpha := float64(m) / float64(t.population)
 		want := math.Log(float64(m)) / alpha
-		if float64(len(leaf.stratum)) < want/4 && t.liveCount(leaf) > want {
+		if float64(leaf.stratum.len()) < want/4 && t.liveCount(leaf) > want {
 			t.pendingTrigger = true
 			t.pendingLeaf = leaf
-			t.triggerReason = fmt.Sprintf("under-represented stratum: %d samples, want ~%.0f", len(leaf.stratum), want)
+			t.triggerReason = fmt.Sprintf("under-represented stratum: %d samples, want ~%.0f", leaf.stratum.len(), want)
 			return
 		}
 	}
@@ -48,7 +48,7 @@ func (t *DPT) checkLeafTriggers(leaf *node) {
 		}
 		return
 	}
-	if cur > 0 && len(leaf.stratum) > 4 {
+	if cur > 0 && leaf.stratum.len() > 4 {
 		// The leaf had no measurable variance at construction but has some
 		// now; treat any significant mass as drift.
 		t.pendingTrigger = true

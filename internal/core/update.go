@@ -57,7 +57,7 @@ func (t *DPT) Delete(tp data.Tuple) {
 		t.rebuildStrata()
 	case ev.Removed:
 		leaf := t.route(p)
-		delete(leaf.stratum, tp.ID)
+		leaf.stratum.remove(tp.ID)
 		t.oracle.Delete(tp.ID)
 	}
 	t.refreshOracleRate()

@@ -139,6 +139,16 @@ type TemplatesResponse struct {
 	Templates []TemplateInfo `json:"templates"`
 }
 
+// CheckpointResponse is the POST /v2/admin/checkpoint payload: what the
+// written snapshot covered and what it cost.
+type CheckpointResponse struct {
+	Templates     int   `json:"templates"`
+	InsertOffset  int64 `json:"insertOffset"`
+	DeleteOffset  int64 `json:"deleteOffset"`
+	Bytes         int64 `json:"bytes"`
+	ElapsedMicros int64 `json:"elapsedMicros"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`

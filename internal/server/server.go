@@ -9,6 +9,9 @@
 //	                   (confidence, timeout, read-your-writes offset) and
 //	                   rich per-result metadata
 //	POST /v2/ingest    one atomic insert batch plus deletions
+//	POST /v2/admin/checkpoint
+//	                   write a durable point-in-time engine snapshot now
+//	                   (requires a configured checkpoint sink; see Options)
 //	POST /v1/query     v1 single query (thin wrapper over the v2 path)
 //	POST /v1/insert    v1 row ingestion (now atomic, via InsertBatch)
 //	POST /v1/delete    v1 row deletion
@@ -48,6 +51,27 @@ type Options struct {
 	// FollowInterval is the idle poll interval of the follow loop
 	// (default 10ms).
 	FollowInterval time.Duration
+	// FollowState is where the follow loop starts consuming. A warm
+	// restart passes the recovered watermark (RecoveryInfo.Follow) so the
+	// loop resumes where the checkpoint left off instead of re-polling the
+	// whole stream; records replayed across the boundary are deduplicated
+	// by the stream path's id validation.
+	FollowState janus.SyncState
+	// Checkpoint, when non-nil, persists a point-in-time engine snapshot
+	// (typically Store.WriteCheckpoint). It powers POST
+	// /v2/admin/checkpoint and the background checkpointer.
+	Checkpoint func() (janus.CheckpointInfo, error)
+	// CheckpointInterval is the cadence of the background checkpointer;
+	// zero disables it (checkpoints then happen only on demand through the
+	// admin endpoint). Requires Checkpoint.
+	CheckpointInterval time.Duration
+	// WriteHealth, when non-nil, reports the durable store's latched
+	// segment-log write failure (typically Store.WriteErr). The ingest
+	// paths check it after applying each batch: once the log has stopped
+	// persisting, a 200 would promise durability the disk no longer
+	// provides, so acknowledged ingest turns into 503 from the failed
+	// batch onward.
+	WriteHealth func() error
 	// MaxBodyBytes caps request bodies (default 32 MiB).
 	MaxBodyBytes int64
 }
@@ -69,6 +93,15 @@ type Server struct {
 	rowsInserted   *metrics.Counter
 	rowsDeleted    *metrics.Counter
 	errors         *metrics.Counter
+
+	checkpoint        func() (janus.CheckpointInfo, error)
+	writeHealth       func() error
+	checkpointLatency *metrics.Histogram
+	checkpoints       *metrics.Counter
+	checkpointErrors  *metrics.Counter
+	// checkpointMu serializes the admin endpoint against the background
+	// checkpointer, so two snapshots never interleave their I/O.
+	checkpointMu sync.Mutex
 
 	maxBody int64
 
@@ -102,9 +135,16 @@ func New(eng *janus.Engine, opts Options) *Server {
 		rowsInserted:   reg.Counter("janusd_rows_inserted_total", "Total rows applied via /v1/insert."),
 		rowsDeleted:    reg.Counter("janusd_rows_deleted_total", "Total rows removed via /v1/delete."),
 		errors:         reg.Counter("janusd_errors_total", "Total requests answered with a non-2xx status."),
+		checkpoint:     opts.Checkpoint,
+		writeHealth:    opts.WriteHealth,
+		checkpointLatency: reg.Histogram("janusd_checkpoint_seconds",
+			"Durable checkpoint write latency."),
+		checkpoints:      reg.Counter("janusd_checkpoints_total", "Checkpoints written successfully."),
+		checkpointErrors: reg.Counter("janusd_checkpoint_errors_total", "Checkpoint attempts that failed."),
 	}
 	s.mux.HandleFunc("POST /v2/query", s.handleQueryV2)
 	s.mux.HandleFunc("POST /v2/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v2/admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
@@ -136,7 +176,7 @@ func New(eng *janus.Engine, opts Options) *Server {
 			"Panics recovered in the broker-follow loop (bad stream records).")
 		go func() {
 			defer s.wg.Done()
-			var state janus.SyncState
+			state := opts.FollowState
 			// A malformed stream record (duplicate ID, short key) panics out
 			// of Engine.Follow with every engine lock already released; one
 			// bad record must not take the daemon down, so recover and
@@ -153,7 +193,66 @@ func New(eng *janus.Engine, opts Options) *Server {
 			}
 		}()
 	}
+	if opts.Checkpoint != nil && opts.CheckpointInterval > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(opts.CheckpointInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					// Failures are surfaced through the error counter (and
+					// the next admin-endpoint call); the checkpointer keeps
+					// trying — a transient disk error must not end
+					// durability for the life of the process.
+					_, _ = s.runCheckpoint()
+				}
+			}
+		}()
+	}
 	return s
+}
+
+// runCheckpoint writes one checkpoint under the checkpoint mutex and
+// records its metrics.
+func (s *Server) runCheckpoint() (janus.CheckpointInfo, error) {
+	s.checkpointMu.Lock()
+	defer s.checkpointMu.Unlock()
+	start := time.Now()
+	info, err := s.checkpoint()
+	s.checkpointLatency.ObserveSince(start)
+	if err != nil {
+		s.checkpointErrors.Inc()
+		return janus.CheckpointInfo{}, err
+	}
+	s.checkpoints.Inc()
+	return info, nil
+}
+
+// handleCheckpoint serves POST /v2/admin/checkpoint: write a durable
+// point-in-time snapshot now and report what it covered. Without a durable
+// store configured (janusd -data) the endpoint answers 503.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.checkpoint == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no durable store configured (start janusd with -data)")
+		return
+	}
+	start := time.Now()
+	info, err := s.runCheckpoint()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "checkpoint failed: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, CheckpointResponse{
+		Templates:     info.Templates,
+		InsertOffset:  info.InsertOffset,
+		DeleteOffset:  info.DeleteOffset,
+		Bytes:         info.Bytes,
+		ElapsedMicros: time.Since(start).Microseconds(),
+	})
 }
 
 // Handler returns the server's HTTP handler.
@@ -380,7 +479,25 @@ func (s *Server) ingest(req IngestRequest) (IngestResponse, int, error) {
 			return resp, statusForEngineErr(err), err
 		}
 	}
+	if err := s.durableAckErr(); err != nil {
+		return resp, http.StatusServiceUnavailable, err
+	}
 	return resp, http.StatusOK, nil
+}
+
+// durableAckErr refuses to acknowledge a batch the durable log did not
+// persist. The check runs after the apply: a topic latches its first
+// write-through failure during the publish itself, so the very batch that
+// hit the failed write — and every one after it — answers 503 instead of
+// promising durability the disk no longer provides.
+func (s *Server) durableAckErr() error {
+	if s.writeHealth == nil {
+		return nil
+	}
+	if err := s.writeHealth(); err != nil {
+		return fmt.Errorf("durable log write failed; batch applied in memory only, restart will lose it: %v", err)
+	}
+	return nil
 }
 
 // handleIngest serves POST /v2/ingest.
@@ -487,6 +604,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		resp.Missing = missing.IDs
 	}
 	s.rowsDeleted.Add(uint64(resp.Deleted))
+	if err := s.durableAckErr(); err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -592,3 +592,82 @@ func TestConcurrentQueryInsert(t *testing.T) {
 		t.Fatalf("ArchiveRows = %d, want %d", st.ArchiveRows, want)
 	}
 }
+
+func TestAdminCheckpointEndpoint(t *testing.T) {
+	eng, _ := newTestEngine(t, 4000)
+	var calls int
+	srv := New(eng, Options{Checkpoint: func() (janus.CheckpointInfo, error) {
+		calls++
+		var buf bytes.Buffer
+		return eng.Checkpoint(&buf)
+	}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, raw := postJSON(t, ts.URL+"/v2/admin/checkpoint", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out CheckpointResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Templates != 1 || out.InsertOffset != 4000 || out.Bytes == 0 {
+		t.Fatalf("checkpoint response %+v", out)
+	}
+	if calls != 1 {
+		t.Fatalf("checkpoint sink called %d times, want 1", calls)
+	}
+	// The metrics surface records the write.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(body), "janusd_checkpoints_total 1") {
+		t.Fatalf("metrics missing checkpoint counter:\n%s", body)
+	}
+}
+
+func TestAdminCheckpointWithoutStoreIs503(t *testing.T) {
+	eng, _ := newTestEngine(t, 2000)
+	srv := New(eng, Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, raw := postJSON(t, ts.URL+"/v2/admin/checkpoint", struct{}{})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s (want 503 without a durable store)", resp.StatusCode, raw)
+	}
+}
+
+func TestBackgroundCheckpointer(t *testing.T) {
+	eng, _ := newTestEngine(t, 2000)
+	var mu sync.Mutex
+	calls := 0
+	srv := New(eng, Options{
+		CheckpointInterval: 5 * time.Millisecond,
+		Checkpoint: func() (janus.CheckpointInfo, error) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			return janus.CheckpointInfo{}, nil
+		},
+	})
+	defer srv.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := calls
+		mu.Unlock()
+		if n >= 2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background checkpointer ran %d times in 2s, want >= 2", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

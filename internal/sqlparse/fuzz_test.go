@@ -1,0 +1,51 @@
+package sqlparse
+
+import "testing"
+
+// FuzzCompileSQL asserts the SQL front door never panics: any statement —
+// the serving daemon accepts them straight off the network — must either
+// compile or return an error. Checked-in corpus lives in
+// testdata/fuzz/FuzzCompileSQL.
+func FuzzCompileSQL(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT SUM(fare) FROM trips",
+		"SELECT COUNT(*) FROM trips WHERE pickup BETWEEN 0 AND 3600",
+		"SELECT AVG(dist) FROM trips WHERE pickup >= 10 AND drop < 99.5 WITH CONFIDENCE 0.99",
+		"SELECT MIN(fare) FROM trips WHERE drop = 4",
+		"SELECT STDDEV(dist) FROM Trips WHERE pickup <= -1e9",
+		"SELECT MAX(fare) FROM other",
+		"SELECT SUM() FROM trips",
+		"SELECT SUM(fare) FROM trips WHERE pickup BETWEEN 5 AND",
+		"SELECT COUNT(*) FROM trips WITH CONFIDENCE 1.5",
+		"sElEcT sum(fare) frOm trips where pickup between -1 and 1 with confidence .5",
+	} {
+		f.Add(seed)
+	}
+	schema := Schema{
+		Table:    "trips",
+		PredCols: []string{"pickup", "drop"},
+		AggCols:  []string{"fare", "dist"},
+	}
+	resolve := func(table string) (Schema, bool) {
+		return schema, TableEqual(table, schema.Table)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, table, err := CompileSQL(src, resolve)
+		if err != nil {
+			return
+		}
+		// A compiled query must be shaped for the resolved schema.
+		if !TableEqual(table, "trips") {
+			t.Fatalf("compiled against unknown table %q", table)
+		}
+		if got := len(q.Rect.Min); got != len(schema.PredCols) {
+			t.Fatalf("compiled rectangle has %d dims, schema has %d (src %q)", got, len(schema.PredCols), src)
+		}
+		if q.AggIndex >= len(schema.AggCols) {
+			t.Fatalf("compiled aggregation index %d outside schema (src %q)", q.AggIndex, src)
+		}
+		if q.Confidence != 0 && (q.Confidence <= 0 || q.Confidence >= 1) {
+			t.Fatalf("compiled confidence %g outside (0,1) (src %q)", q.Confidence, src)
+		}
+	})
+}

@@ -1,11 +1,35 @@
 package janus
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"janusaqp/internal/core"
 )
+
+// Synopsis and engine persistence. Two granularities:
+//
+//   - SaveTemplate/LoadTemplate move one synopsis between processes;
+//   - Checkpoint/OpenCheckpoint snapshot and restore the whole engine —
+//     every registered template, its SQL schema, the engine counters, and
+//     the broker offsets the snapshot is consistent with — under a single
+//     update-lock acquisition, so the image is point-in-time: it reflects
+//     exactly the writes published through the recorded offsets, and
+//     nothing after them.
+//
+// A checkpoint deliberately excludes the archive and the catch-up
+// snapshots. The archive is cold-storage data, reconstructed at restore
+// time by replaying the broker's durable segment log (see Store) up to
+// the recorded offsets. A catch-up snapshot is NOT reconstructed: a
+// restored synopsis keeps its saved catch-up progress (and the interval
+// widths it implies) but folds no further catch-up samples until its
+// next re-initialization draws a fresh snapshot — resuming mid-stream
+// over a different sample population would bias the folded statistics.
+// Both exclusions keep checkpoint size proportional to the synopses —
+// the thing that is expensive to rebuild — not the data.
 
 // SaveTemplate writes the named synopsis to w so a later process can
 // restore it with LoadTemplate instead of paying a full re-initialization.
@@ -20,16 +44,55 @@ func (e *Engine) SaveTemplate(template string, w io.Writer) error {
 	return s.dpt.Encode(w)
 }
 
+// validateRestoredSynopsis checks a decoded synopsis against the template
+// declaration it is being registered under: the projection, aggregation
+// focus, and arity baked into the saved image must match the declaration,
+// or every later query would silently read the wrong columns — and every
+// later ingest would validate tuples against the wrong shape. This is the
+// restore-side twin of the registration-path validation (AddTemplate,
+// RegisterSchema): a stale or mislabeled checkpoint must be rejected at
+// load, not discovered in production answers.
+func validateRestoredSynopsis(t Template, dpt *core.DPT) error {
+	cfg := dpt.Config()
+	if len(t.PredicateDims) != cfg.Dims {
+		return fmt.Errorf("janus: %w: template %q projects %d dimensions, saved synopsis has %d",
+			ErrSchemaMismatch, t.Name, len(t.PredicateDims), cfg.Dims)
+	}
+	for i, d := range t.PredicateDims {
+		if cfg.PredicateDims != nil && cfg.PredicateDims[i] != d {
+			return fmt.Errorf("janus: %w: template %q projects dimension %d at position %d, saved synopsis projects %d",
+				ErrSchemaMismatch, t.Name, d, i, cfg.PredicateDims[i])
+		}
+	}
+	if t.AggIndex != cfg.AggIndex {
+		return fmt.Errorf("janus: %w: template %q aggregates attribute %d, saved synopsis aggregates %d",
+			ErrSchemaMismatch, t.Name, t.AggIndex, cfg.AggIndex)
+	}
+	if t.Agg != cfg.Agg {
+		return fmt.Errorf("janus: %w: template %q declares a different focus aggregate than the saved synopsis",
+			ErrSchemaMismatch, t.Name)
+	}
+	return nil
+}
+
 // LoadTemplate restores a synopsis saved with SaveTemplate, registering it
 // under the template's declared name. The restored synopsis serves queries
 // immediately; its statistics resume refinement at the next
-// re-initialization.
+// re-initialization. The declaration is validated against the saved image
+// (see validateRestoredSynopsis): loading a synopsis under a template with
+// a different projection or aggregation shape wraps ErrSchemaMismatch.
 func (e *Engine) LoadTemplate(t Template, r io.Reader) error {
 	if t.Name == "" {
 		return fmt.Errorf("janus: template needs a name")
 	}
 	e.upd.Lock()
 	defer e.upd.Unlock()
+	return e.loadTemplateUpdLocked(t, nil, r)
+}
+
+// loadTemplateUpdLocked decodes, validates, and registers one synopsis,
+// with its optional SQL schema. Caller holds e.upd.
+func (e *Engine) loadTemplateUpdLocked(t Template, schema *TableSchema, r io.Reader) error {
 	if _, dup := e.lookup(t.Name); dup {
 		return fmt.Errorf("janus: %w %q", ErrDuplicateTemplate, t.Name)
 	}
@@ -37,8 +100,213 @@ func (e *Engine) LoadTemplate(t Template, r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("janus: restoring template %q: %w", t.Name, err)
 	}
+	if err := validateRestoredSynopsis(t, dpt); err != nil {
+		return err
+	}
+	if schema != nil {
+		// The schema rides the same validation as RegisterSchema: a stale
+		// checkpoint whose AggCols arity disagrees with the synopsis's
+		// tracked NumVals must not register — SQL would compile reads of
+		// columns that silently come back zero.
+		if err := validateSchema(*schema, t, dpt.Config().NumVals); err != nil {
+			return err
+		}
+	}
 	e.reg.Lock()
-	e.syns[t.Name] = &synopsis{tmpl: t, dpt: dpt}
+	e.syns[t.Name] = &synopsis{tmpl: t, dpt: dpt, schema: schema}
 	e.reg.Unlock()
 	return nil
+}
+
+// --- engine-wide checkpoints -------------------------------------------------
+
+// checkpointVersion versions the engine checkpoint container; the
+// per-synopsis image carries its own version inside core.
+const checkpointVersion = 1
+
+// checkpointHeader opens a checkpoint stream.
+type checkpointHeader struct {
+	Version int
+	// InsertOffset and DeleteOffset are the engine broker's topic lengths
+	// at snapshot time: every record below them is reflected in the
+	// synopses of this checkpoint, and no record at or above them is. A
+	// warm restart rebuilds the archive to these offsets and replays the
+	// log tail from them.
+	InsertOffset, DeleteOffset int64
+	// FollowInsertOffset and FollowDeleteOffset are the followed external
+	// broker's consumption watermark (Engine.FollowOffsets) — where a
+	// recovered supervisor should resume Follow.
+	FollowInsertOffset, FollowDeleteOffset int64
+	// Engine counters, restored so operational history survives restarts.
+	Reinits, TriggersFired, TriggersRejected int
+	StreamRejected                           int64
+	// Templates is the number of checkpointTemplate records that follow.
+	Templates int
+}
+
+// checkpointTemplate is one template's slice of a checkpoint.
+type checkpointTemplate struct {
+	Template Template
+	Schema   *TableSchema
+	// Sync records the engine broker offsets this template's synopsis
+	// reflects. Today every template is maintained in lockstep under the
+	// update lock, so all templates carry the header offsets; the
+	// per-template field keeps the format honest if maintenance ever
+	// shards.
+	Sync SyncState
+	// Synopsis is the core encoding (SaveTemplate's payload).
+	Synopsis []byte
+}
+
+// CheckpointInfo describes a written checkpoint.
+type CheckpointInfo struct {
+	Templates    int   `json:"templates"`
+	InsertOffset int64 `json:"insertOffset"`
+	DeleteOffset int64 `json:"deleteOffset"`
+	Bytes        int64 `json:"bytes"`
+}
+
+// countingWriter measures a checkpoint as it streams out.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Checkpoint writes a point-in-time image of the whole engine to w: every
+// registered template with its schema and synopsis, the engine counters,
+// and the broker offsets the image is consistent with. The entire snapshot
+// runs under one acquisition of the update lock, which excludes every
+// mutator (ingest, stream application, catch-up, re-initialization), so
+// the offsets and every synopsis describe the same instant — restoring the
+// image and replaying the log from the recorded offsets loses nothing and
+// double-applies nothing.
+//
+// Queries keep flowing while a checkpoint runs: encoding takes only
+// per-synopsis read locks. Writes block for the duration, as they do for
+// any other maintenance step.
+func (e *Engine) Checkpoint(w io.Writer) (CheckpointInfo, error) {
+	e.upd.Lock()
+	defer e.upd.Unlock()
+
+	hdr := checkpointHeader{
+		Version:      checkpointVersion,
+		InsertOffset: e.broker.Inserts.Len(),
+		DeleteOffset: e.broker.Deletes.Len(),
+	}
+	follow := e.FollowOffsets()
+	hdr.FollowInsertOffset = follow.InsertOffset
+	hdr.FollowDeleteOffset = follow.DeleteOffset
+	e.statsMu.Lock()
+	hdr.Reinits = e.Reinits
+	hdr.TriggersFired = e.TriggersFired
+	hdr.TriggersRejected = e.TriggersRejected
+	hdr.StreamRejected = e.streamRejected
+	e.statsMu.Unlock()
+
+	// Deterministic template order: equal engine state encodes to equal
+	// bytes, which the crash-recovery harness leans on.
+	var names []string
+	e.forEachSynUpdLocked(func(s *synopsis) { names = append(names, s.tmpl.Name) })
+	sort.Strings(names)
+	hdr.Templates = len(names)
+
+	cw := &countingWriter{w: w}
+	enc := gob.NewEncoder(cw)
+	if err := enc.Encode(&hdr); err != nil {
+		return CheckpointInfo{}, fmt.Errorf("janus: writing checkpoint header: %w", err)
+	}
+	for _, name := range names {
+		s, _ := e.lookup(name)
+		var syn bytes.Buffer
+		s.mu.RLock()
+		err := s.dpt.Encode(&syn)
+		schema := s.schema
+		s.mu.RUnlock()
+		if err != nil {
+			return CheckpointInfo{}, fmt.Errorf("janus: encoding template %q: %w", name, err)
+		}
+		ct := checkpointTemplate{
+			Template: s.tmpl,
+			Schema:   schema,
+			Sync:     SyncState{InsertOffset: hdr.InsertOffset, DeleteOffset: hdr.DeleteOffset},
+			Synopsis: syn.Bytes(),
+		}
+		if err := enc.Encode(&ct); err != nil {
+			return CheckpointInfo{}, fmt.Errorf("janus: writing template %q: %w", name, err)
+		}
+	}
+	return CheckpointInfo{
+		Templates:    len(names),
+		InsertOffset: hdr.InsertOffset,
+		DeleteOffset: hdr.DeleteOffset,
+		Bytes:        cw.n,
+	}, nil
+}
+
+// OpenCheckpoint restores an engine from a checkpoint written by
+// Checkpoint: a fresh engine over b with every template, schema, counter,
+// and watermark the image carries. It returns the SyncState the image is
+// consistent with — the engine broker offsets the caller must rebuild the
+// archive to and replay the log tail from (Store.Recover does both).
+//
+// Every template rides the same validation as LoadTemplate and
+// RegisterSchema; corrupted synopsis bytes error (never panic), and a
+// mismatched schema or template declaration wraps ErrSchemaMismatch.
+func OpenCheckpoint(r io.Reader, cfg Config, b *Broker) (*Engine, SyncState, error) {
+	dec := gob.NewDecoder(r)
+	var hdr checkpointHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, SyncState{}, fmt.Errorf("janus: reading checkpoint header: %w", err)
+	}
+	if hdr.Version != checkpointVersion {
+		return nil, SyncState{}, fmt.Errorf("janus: unsupported checkpoint version %d", hdr.Version)
+	}
+	if hdr.Templates < 0 || hdr.InsertOffset < 0 || hdr.DeleteOffset < 0 {
+		return nil, SyncState{}, fmt.Errorf("janus: corrupt checkpoint header")
+	}
+	e := NewEngine(cfg, b)
+	state := SyncState{InsertOffset: hdr.InsertOffset, DeleteOffset: hdr.DeleteOffset}
+	e.upd.Lock()
+	defer e.upd.Unlock()
+	for i := 0; i < hdr.Templates; i++ {
+		var ct checkpointTemplate
+		if err := dec.Decode(&ct); err != nil {
+			return nil, SyncState{}, fmt.Errorf("janus: reading checkpoint template %d/%d: %w", i+1, hdr.Templates, err)
+		}
+		if ct.Template.Name == "" {
+			return nil, SyncState{}, fmt.Errorf("janus: checkpoint template %d has no name", i+1)
+		}
+		if err := e.loadTemplateUpdLocked(ct.Template, ct.Schema, bytes.NewReader(ct.Synopsis)); err != nil {
+			return nil, SyncState{}, err
+		}
+		// Checkpoint bytes are untrusted, and Checkpoint only ever writes
+		// per-template offsets equal to the header's (the snapshot is taken
+		// under one update-lock acquisition). A decoded mismatch is
+		// corruption; accepting a lower offset would move the replay start
+		// and double-apply records into synopses that already reflect them
+		// — corrupt answers, not an error — so require equality.
+		if ct.Sync != state {
+			return nil, SyncState{}, fmt.Errorf(
+				"janus: checkpoint template %q offsets %d/%d disagree with the header's %d/%d",
+				ct.Template.Name, ct.Sync.InsertOffset, ct.Sync.DeleteOffset,
+				hdr.InsertOffset, hdr.DeleteOffset)
+		}
+	}
+	e.statsMu.Lock()
+	e.Reinits = hdr.Reinits
+	e.TriggersFired = hdr.TriggersFired
+	e.TriggersRejected = hdr.TriggersRejected
+	e.streamRejected = hdr.StreamRejected
+	e.statsMu.Unlock()
+	e.syncMu.Lock()
+	e.syncedInsert = hdr.FollowInsertOffset
+	e.syncedDelete = hdr.FollowDeleteOffset
+	e.syncMu.Unlock()
+	return e, state, nil
 }

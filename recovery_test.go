@@ -1,0 +1,556 @@
+package janus_test
+
+// The crash-recovery harness: drive a durable, server-fronted engine the
+// way a real deployment runs it — batches acknowledged over HTTP, a
+// checkpoint mid-stream, more acknowledged batches — then hard-stop it
+// (no graceful close, no final checkpoint: exactly what a kill -9 leaves
+// on disk, since appends are written through per batch) and reopen the
+// data directory. Recovery must prove two properties:
+//
+//  1. zero acknowledged-write loss: every row a 200 response acknowledged
+//     is in the recovered archive (and every acknowledged delete stays
+//     deleted);
+//  2. answer fidelity: the recovered engine answers a query workload
+//     byte-identically to a reference engine that processed the same
+//     stream and never crashed.
+//
+// Byte-identity (==, not a tolerance) is achievable because the test pins
+// every source of nondeterminism: fixed seeds, no background pumps, no
+// auto-repartitioning, full catch-up at build, and a reservoir lower
+// bound above the population so sample maintenance never consults the
+// (restart-reset) random source. Under those pins, replaying the log tail
+// must drive the restored synopsis through exactly the same state
+// transitions the reference took live — which is the definition of a
+// faithful recovery.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	janus "janusaqp"
+	"janusaqp/internal/server"
+	"janusaqp/internal/workload"
+)
+
+// recoveryConfig pins every determinism knob (see the file comment).
+func recoveryConfig() janus.Config {
+	return janus.Config{
+		LeafNodes:   16,
+		SampleRate:  0.02,
+		MinSamples:  8192, // above the test population: sample maintenance stays deterministic
+		CatchUpRate: 1.0,  // fold the whole snapshot at build: base statistics exact
+		Seed:        271,
+	}
+}
+
+const (
+	recoveryBootRows = 3000
+	recoveryBatches  = 30
+	recoveryBatchLen = 40
+)
+
+// recoveryStream generates the ingest batches: fresh-id inserts plus a
+// few deletions of boot rows per batch.
+func recoveryStream(t testing.TB) (batches [][]janus.Tuple, deletes [][]int64) {
+	t.Helper()
+	fresh, err := workload.Generate(workload.NYCTaxi, recoveryBatches*recoveryBatchLen, 5_000_000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < recoveryBatches; i++ {
+		batches = append(batches, fresh[i*recoveryBatchLen:(i+1)*recoveryBatchLen])
+		var del []int64
+		for j := 0; j < 3; j++ {
+			del = append(del, int64(i*3+j)) // boot-row ids are 0..recoveryBootRows-1
+		}
+		deletes = append(deletes, del)
+	}
+	return batches, deletes
+}
+
+func bootRecoveryEngine(t testing.TB, b *janus.Broker) *janus.Engine {
+	t.Helper()
+	eng := janus.NewEngine(recoveryConfig(), b)
+	if err := eng.AddTemplate(janus.Template{Name: "trips", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterSchema("trips", janus.TableSchema{
+		Table:    "trips",
+		PredCols: []string{"pickup"},
+		AggCols:  []string{"distance", "fare", "passengers"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func postRecovery(t testing.TB, url string, body any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+func TestCrashRecoveryThroughServer(t *testing.T) {
+	dir := t.TempDir()
+	boot, err := workload.Generate(workload.NYCTaxi, recoveryBootRows, 0, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, deletes := recoveryStream(t)
+
+	// --- first life: durable store, HTTP server, acknowledged batches ----
+	st, err := janus.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Broker().PublishInsertBatch(boot)
+	eng := bootRecoveryEngine(t, st.Broker())
+	srv := server.New(eng, server.Options{
+		Checkpoint: func() (janus.CheckpointInfo, error) { return st.WriteCheckpoint(eng) },
+	})
+	ts := httptest.NewServer(srv.Handler())
+
+	type ingestBody struct {
+		Tuples    []wireTuple `json:"tuples,omitempty"`
+		DeleteIDs []int64     `json:"deleteIds,omitempty"`
+	}
+	send := func(i int) {
+		body := ingestBody{DeleteIDs: deletes[i]}
+		for _, tp := range batches[i] {
+			body.Tuples = append(body.Tuples, wireTuple{ID: tp.ID, Key: tp.Key, Vals: tp.Vals})
+		}
+		postRecovery(t, ts.URL+"/v2/ingest", body)
+	}
+	half := recoveryBatches / 2
+	for i := 0; i < half; i++ {
+		send(i)
+	}
+	postRecovery(t, ts.URL+"/v2/admin/checkpoint", struct{}{})
+	for i := half; i < recoveryBatches; i++ {
+		send(i) // acknowledged but never checkpointed: the log tail
+	}
+
+	// --- hard stop ------------------------------------------------------
+	// No final checkpoint, no engine drain: every byte on disk is what the
+	// per-batch write-through already put there, exactly as a kill -9
+	// would leave it. (Closing file handles flushes nothing new.)
+	ts.Close()
+	srv.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- second life: recover from the data dir -------------------------
+	st2, err := janus.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recovered, info, err := st2.Recover(recoveryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTail := (recoveryBatches - half) * recoveryBatchLen
+	if info.TailInserts != wantTail || info.TailRejected != 0 {
+		t.Fatalf("tail replay: %+v, want %d inserts and no rejects", info, wantTail)
+	}
+
+	// Property 1: zero acknowledged-write loss.
+	deleted := make(map[int64]bool)
+	for _, del := range deletes {
+		for _, id := range del {
+			deleted[id] = true
+		}
+	}
+	archive := st2.Broker().Archive()
+	for _, batch := range batches {
+		for _, tp := range batch {
+			got, ok := archive.Get(tp.ID)
+			if !ok {
+				t.Fatalf("acknowledged insert %d lost in recovery", tp.ID)
+			}
+			if got.Key[0] != tp.Key[0] || got.Vals[0] != tp.Vals[0] {
+				t.Fatalf("acknowledged insert %d corrupted: %+v vs %+v", tp.ID, got, tp)
+			}
+		}
+	}
+	for id := range deleted {
+		if _, ok := archive.Get(id); ok {
+			t.Fatalf("acknowledged delete %d resurrected in recovery", id)
+		}
+	}
+	wantRows := int64(recoveryBootRows + recoveryBatches*recoveryBatchLen - len(deleted))
+	if archive.Len() != wantRows {
+		t.Fatalf("recovered archive has %d rows, want %d", archive.Len(), wantRows)
+	}
+
+	// --- reference engine: same stream, no crash ------------------------
+	refBroker := janus.NewBroker()
+	refBroker.PublishInsertBatch(boot)
+	ref := bootRecoveryEngine(t, refBroker)
+	for i := 0; i < recoveryBatches; i++ {
+		if err := ref.InsertBatch(batches[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.DeleteBatch(deletes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Property 2: byte-identical answers across a mixed workload.
+	gen := workload.NewQueryGen(3, boot, []int{0})
+	for _, fn := range []janus.Func{janus.FuncSum, janus.FuncCount, janus.FuncAvg, janus.FuncMin, janus.FuncMax} {
+		for _, q := range gen.Workload(40, fn) {
+			want, errW := ref.Query("trips", q)
+			got, errG := recovered.Query("trips", q)
+			if (errW == nil) != (errG == nil) {
+				t.Fatalf("func %v over %v: error mismatch %v vs %v", fn, q.Rect, errW, errG)
+			}
+			if errW != nil {
+				continue
+			}
+			if want.Estimate != got.Estimate ||
+				want.Interval.Lo() != got.Interval.Lo() ||
+				want.Interval.Hi() != got.Interval.Hi() {
+				t.Fatalf("func %v over %v: recovered answers %v±[%v,%v], reference %v±[%v,%v]",
+					fn, q.Rect, got.Estimate, got.Interval.Lo(), got.Interval.Hi(),
+					want.Estimate, want.Interval.Lo(), want.Interval.Hi())
+			}
+		}
+	}
+	// SQL keeps working on the recovered engine (the schema was restored).
+	if _, err := recovered.QuerySQL("SELECT AVG(fare) FROM trips"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type wireTuple struct {
+	ID   int64     `json:"id"`
+	Key  []float64 `json:"key"`
+	Vals []float64 `json:"vals"`
+}
+
+// TestRecoverWithoutCheckpointBootsColdOffLog covers the
+// crash-before-first-checkpoint window: the log alone must rebuild the
+// archive, and Recover reports ErrNoCheckpoint so the caller builds
+// templates cold.
+func TestRecoverWithoutCheckpointBootsColdOffLog(t *testing.T) {
+	dir := t.TempDir()
+	boot, err := workload.Generate(workload.NYCTaxi, 2000, 0, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := janus.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Broker().PublishInsertBatch(boot)
+	st.Broker().PublishDelete(boot[0].ID)
+	st.Close() // crash before any checkpoint
+
+	st2, err := janus.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	eng, _, err := st2.Recover(recoveryConfig())
+	if !errors.Is(err, janus.ErrNoCheckpoint) {
+		t.Fatalf("Recover = %v, want ErrNoCheckpoint", err)
+	}
+	if eng != nil {
+		t.Fatal("Recover without a checkpoint must not hand back an engine")
+	}
+	if got := st2.Broker().Archive().Len(); got != 1999 {
+		t.Fatalf("archive rebuilt to %d rows off the bare log, want 1999", got)
+	}
+	// Cold boot over the recovered archive works.
+	eng2 := bootRecoveryEngine(t, st2.Broker())
+	res, err := eng2.Query("trips", janus.Query{Func: janus.FuncCount, AggIndex: -1, Rect: janus.Universe(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 1999 {
+		t.Fatalf("cold boot off the log answers COUNT %v, want 1999", res.Estimate)
+	}
+}
+
+// TestRecoverRejectsCheckpointAheadOfLog covers the corruption guard: a
+// checkpoint referencing offsets the durable log does not hold (log files
+// lost or rolled back) must refuse to serve, not silently serve holes.
+// The refusal fires at OpenStore when the roll-back is visible as a
+// mid-frame cut, and at Recover as defense in depth (e.g. a clean
+// frame-boundary roll-back).
+func TestRecoverRejectsCheckpointAheadOfLog(t *testing.T) {
+	dir := t.TempDir()
+	boot, err := workload.Generate(workload.NYCTaxi, 2000, 0, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := janus.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Broker().PublishInsertBatch(boot)
+	eng := bootRecoveryEngine(t, st.Broker())
+	if _, err := st.WriteCheckpoint(eng); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Lose most of the insert log behind the checkpoint's back.
+	logPath := filepath.Join(dir, "inserts.log")
+	fi, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(logPath, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := janus.OpenStore(dir)
+	if err != nil {
+		return // refused at open: the mid-frame cut is visible corruption
+	}
+	defer st2.Close()
+	if _, _, err := st2.Recover(recoveryConfig()); err == nil {
+		t.Fatal("recovery over a log shorter than its checkpoint must error")
+	} else if errors.Is(err, janus.ErrNoCheckpoint) {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+// TestReopenedEmptyStoreKeepsLogAppendable covers the header-only-log
+// regression: a store opened and closed before its first record (an
+// aborted boot, or a crash right after OpenStore) must reopen cleanly and
+// keep its logs appendable — an early bug wrote a second log header on
+// reattach, which the next open read as a corrupt first frame, truncating
+// away every record after it.
+func TestReopenedEmptyStoreKeepsLogAppendable(t *testing.T) {
+	dir := t.TempDir()
+	st, err := janus.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil { // first life: no records at all
+		t.Fatal(err)
+	}
+
+	st2, err := janus.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot, err := workload.Generate(workload.NYCTaxi, 500, 0, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Broker().PublishInsertBatch(boot)
+	st2.Broker().PublishDelete(boot[0].ID)
+	if err := st2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+
+	st3, err := janus.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if got := st3.Broker().Inserts.Len(); got != 500 {
+		t.Fatalf("third open sees %d insert records, want 500", got)
+	}
+	if got := st3.Broker().Deletes.Len(); got != 1 {
+		t.Fatalf("third open sees %d delete records, want 1", got)
+	}
+}
+
+// TestOpenStoreRefusesHeadCorruptLog pins the truncation rule: the valid
+// prefix of a reopened log must cover every record the latest checkpoint
+// references. A log corrupted ahead of that point must refuse to open —
+// and must not truncate, because the invalid suffix holds checkpointed
+// (acknowledged, durable) records an operator could still repair. Without
+// a checkpoint the same corruption just truncates: nothing durable was
+// promised, and the store boots cold off the surviving prefix.
+func TestOpenStoreRefusesHeadCorruptLog(t *testing.T) {
+	corruptFirstFrame := func(t *testing.T, dir string) {
+		t.Helper()
+		raw, err := os.ReadFile(filepath.Join(dir, "inserts.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[32] ^= 0xff // inside the first frame: everything after is invalid
+		if err := os.WriteFile(filepath.Join(dir, "inserts.log"), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publish := func(t *testing.T, dir string) *janus.Store {
+		t.Helper()
+		st, err := janus.OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boot, err := workload.Generate(workload.NYCTaxi, 500, 0, 47)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Broker().PublishInsertBatch(boot)
+		return st
+	}
+
+	// With a checkpoint referencing the records: refuse, and do not shrink.
+	dir := t.TempDir()
+	st := publish(t, dir)
+	if _, err := st.WriteCheckpoint(janus.NewEngine(recoveryConfig(), st.Broker())); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	fi, err := os.Stat(filepath.Join(dir, "inserts.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptFirstFrame(t, dir)
+	if _, err := janus.OpenStore(dir); err == nil {
+		t.Fatal("OpenStore over a log corrupted below its checkpoint must error")
+	}
+	after, err := os.Stat(filepath.Join(dir, "inserts.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != fi.Size() {
+		t.Fatalf("refusing open must not shrink the log: %d -> %d bytes", fi.Size(), after.Size())
+	}
+
+	// Without a checkpoint: the invalid suffix truncates and the store
+	// opens on the surviving (here: empty) prefix.
+	dir2 := t.TempDir()
+	publish(t, dir2).Close()
+	corruptFirstFrame(t, dir2)
+	st2, err := janus.OpenStore(dir2)
+	if err != nil {
+		t.Fatalf("OpenStore without a checkpoint must truncate and open: %v", err)
+	}
+	defer st2.Close()
+	if got := st2.Broker().Inserts.Len(); got != 0 {
+		t.Fatalf("truncated log reopened with %d records, want 0", got)
+	}
+}
+
+// TestIngestRefusesAckAfterLogWriteFailure pins the acknowledgment
+// contract: once the segment log stops persisting (the topic latches its
+// first write-through failure), a 200 would promise durability the disk
+// no longer provides, so ingest must answer 503 from the failed batch
+// onward.
+func TestIngestRefusesAckAfterLogWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	st, err := janus.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot, err := workload.Generate(workload.NYCTaxi, 1000, 0, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Broker().PublishInsertBatch(boot)
+	eng := bootRecoveryEngine(t, st.Broker())
+	srv := server.New(eng, server.Options{WriteHealth: st.WriteErr})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v2/ingest", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if got := post(`{"tuples":[{"id":900001,"key":[1,2,3],"vals":[1,2,3]}]}`); got != http.StatusOK {
+		t.Fatalf("healthy ingest answered %d", got)
+	}
+	// Sever the log out from under the topics: every further write-through
+	// fails like a full or failed disk would.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The batch that hits the failed write must itself be refused (the
+	// topic latches the error during the publish), as must later batches.
+	if got := post(`{"tuples":[{"id":900002,"key":[1,2,3],"vals":[1,2,3]}]}`); got != http.StatusServiceUnavailable {
+		t.Fatalf("ingest after log failure answered %d, want 503", got)
+	}
+	if got := post(`{"deleteIds":[900001]}`); got != http.StatusServiceUnavailable {
+		t.Fatalf("delete after log failure answered %d, want 503", got)
+	}
+}
+
+// TestWarmRestartPreservesCatchUpProgress pins the documented durability
+// contract for catch-up: a warm restart resumes serving at the saved
+// progress (wider intervals, but no re-initialization cost), never at
+// zero.
+func TestWarmRestartPreservesCatchUpProgress(t *testing.T) {
+	dir := t.TempDir()
+	boot, err := workload.Generate(workload.NYCTaxi, 12000, 0, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := janus.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Broker().PublishInsertBatch(boot)
+	cfg := janus.Config{LeafNodes: 16, SampleRate: 0.01, CatchUpRate: 0.30, Seed: 37}
+	eng := janus.NewEngine(cfg, st.Broker())
+	if err := eng.AddTemplate(janus.Template{Name: "trips", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := eng.StatsFor("trips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.WriteCheckpoint(eng); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := janus.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recovered, _, err := st2.Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := recovered.StatsFor("trips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.CatchUpProgress != before.CatchUpProgress {
+		t.Fatalf("catch-up progress across restart: %v -> %v", before.CatchUpProgress, after.CatchUpProgress)
+	}
+	if before.CatchUpProgress < 0.29 {
+		t.Fatalf("test setup: expected ~0.30 progress, got %v", before.CatchUpProgress)
+	}
+}

@@ -13,22 +13,33 @@ import (
 // tuples' Vals order.
 type TableSchema = sqlparse.Schema
 
-// RegisterSchema attaches a SQL schema to a template so SQL requests can
-// resolve column names. The schema's Table is the name used in FROM.
-//
-// Both column lists are validated against the synopsis: PredCols must match
-// the template's predicate arity, and AggCols must match the synopsis's
+// validateSchema is the single schema admission predicate every
+// registration path shares — RegisterSchema for live attachment, and the
+// checkpoint/LoadTemplate restore paths (a stale checkpoint must not
+// register a schema the live path would reject). PredCols must match the
+// template's predicate arity, and AggCols must match the synopsis's
 // tracked NumVals — a longer AggCols would let SQL name a column whose
 // reads silently come back as zero (Tuple.Val defaults out-of-range
 // columns to 0), and a shorter one would hide real columns from SQL.
+func validateSchema(sc TableSchema, tmpl Template, numVals int) error {
+	if len(sc.PredCols) != len(tmpl.PredicateDims) {
+		return fmt.Errorf("janus: %w: schema has %d predicate columns, template %q has %d",
+			ErrSchemaMismatch, len(sc.PredCols), tmpl.Name, len(tmpl.PredicateDims))
+	}
+	if len(sc.AggCols) != numVals {
+		return fmt.Errorf("janus: %w: schema names %d aggregation columns, template %q tracks %d",
+			ErrSchemaMismatch, len(sc.AggCols), tmpl.Name, numVals)
+	}
+	return nil
+}
+
+// RegisterSchema attaches a SQL schema to a template so SQL requests can
+// resolve column names. The schema's Table is the name used in FROM; the
+// column lists are validated against the synopsis (see validateSchema).
 func (e *Engine) RegisterSchema(template string, sc TableSchema) error {
 	s, ok := e.lookup(template)
 	if !ok {
 		return fmt.Errorf("janus: %w %q", ErrUnknownTemplate, template)
-	}
-	if len(sc.PredCols) != len(s.tmpl.PredicateDims) {
-		return fmt.Errorf("janus: %w: schema has %d predicate columns, template %q has %d",
-			ErrSchemaMismatch, len(sc.PredCols), template, len(s.tmpl.PredicateDims))
 	}
 	// upd before reg.Lock, preserving the engine's lock order: a bare
 	// reg.Lock could go pending under forEachSynUpdLocked's long-held read
@@ -40,9 +51,8 @@ func (e *Engine) RegisterSchema(template string, sc TableSchema) error {
 	s.mu.RLock()
 	numVals := s.dpt.Config().NumVals
 	s.mu.RUnlock()
-	if len(sc.AggCols) != numVals {
-		return fmt.Errorf("janus: %w: schema names %d aggregation columns, template %q tracks %d",
-			ErrSchemaMismatch, len(sc.AggCols), template, numVals)
+	if err := validateSchema(sc, s.tmpl, numVals); err != nil {
+		return err
 	}
 	e.reg.Lock()
 	defer e.reg.Unlock()

@@ -3,6 +3,9 @@ package janus
 import (
 	"context"
 	"time"
+
+	"janusaqp/internal/broker"
+	"janusaqp/internal/core"
 )
 
 // PSoup-style stream consumption (Section 3.2): both data and queries are
@@ -77,6 +80,7 @@ func (e *Engine) SyncContext(ctx context.Context, source *Broker, state *SyncSta
 		// have reached this engine); they do not count as rejects.
 		e.DeleteBatch(ids)
 		state.DeleteOffset = next
+		e.noteSyncedDelete(next)
 		applied += len(recs)
 	}
 	return applied
@@ -107,6 +111,63 @@ func (e *Engine) applyStreamInserts(tuples []Tuple) (applied, rejected int) {
 		e.applyInsertsUpdLocked(good)
 	}
 	return len(good), rejected
+}
+
+// replayLogTail applies the engine's own broker log — inserts from
+// state.InsertOffset, deletes from state.DeleteOffset, merged in global
+// publish order — onto the archive and every synopsis, without
+// re-publishing anything: the records are already on the topics, having
+// been recovered from the durable segment log. This is the last step of a
+// warm restart: the checkpoint restored the synopses as of state, and the
+// tail carries the acknowledged writes that landed between that checkpoint
+// and the crash.
+//
+// Records that fail admission are skipped and counted exactly like the
+// stream path (EngineStats.StreamRejected); deletes of ids the rebuilt
+// archive does not hold are skipped silently, mirroring Sync. Triggers are
+// not evaluated during replay — recovery reproduces state, it does not
+// re-optimize; the next live batch re-arms them. state is advanced to the
+// topic ends.
+func (e *Engine) replayLogTail(state *SyncState) (inserts, deletes, rejected int) {
+	e.upd.Lock()
+	defer e.upd.Unlock()
+	insEnd := e.broker.Inserts.Len()
+	delEnd := e.broker.Deletes.Len()
+	arities := e.aritiesUpdLocked()
+	syns := e.snapshotSyns()
+	archive := e.broker.Archive()
+	e.broker.ReplayMerged(state.InsertOffset, insEnd, state.DeleteOffset, delEnd, func(r broker.Record) {
+		switch r.Kind {
+		case broker.KindInsert:
+			if err := e.admitUpdLocked(r.Tuple, arities); err != nil {
+				rejected++
+				return
+			}
+			archive.Insert(r.Tuple)
+			for _, s := range syns {
+				s.apply(func(dpt *core.DPT) { dpt.Insert(r.Tuple) })
+			}
+			inserts++
+		case broker.KindDelete:
+			t, ok := archive.Get(r.Tuple.ID)
+			if !ok {
+				return
+			}
+			archive.Delete(t.ID)
+			for _, s := range syns {
+				s.apply(func(dpt *core.DPT) { dpt.Delete(t) })
+			}
+			deletes++
+		}
+	})
+	state.InsertOffset = insEnd
+	state.DeleteOffset = delEnd
+	if rejected > 0 {
+		e.statsMu.Lock()
+		e.streamRejected += int64(rejected)
+		e.statsMu.Unlock()
+	}
+	return inserts, deletes, rejected
 }
 
 // Follow tails the source broker until ctx is canceled: it applies newly
