@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"janusaqp/internal/core"
 )
 
 // Request is the unified v2 query request: one type expresses structured
@@ -74,31 +76,9 @@ func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 	// Validate and resolve before any MinSyncOffset wait: a request that
 	// can only ever fail must fail fast, not park on a watermark that may
 	// never advance.
-	name := req.Template
-	q := req.Query
-	onKeys := req.OnKeys
-	switch {
-	case req.SQL != "" && req.Template != "":
-		return Response{}, fmt.Errorf("janus: %w: set either SQL or Template, not both", ErrInvalidRequest)
-	case req.SQL != "":
-		if req.OnKeys != nil {
-			return Response{}, fmt.Errorf("janus: %w: OnKeys does not apply to SQL requests", ErrInvalidRequest)
-		}
-		var err error
-		name, q, err = e.compileSQL(req.SQL)
-		if err != nil {
-			return Response{}, err
-		}
-		onKeys = nil
-	case req.Template == "":
-		return Response{}, fmt.Errorf("janus: %w: set SQL or Template", ErrInvalidRequest)
-	}
-	if req.Confidence != 0 {
-		if req.Confidence < 0 || req.Confidence >= 1 {
-			return Response{}, fmt.Errorf("janus: %w: confidence must be in (0,1), got %g",
-				ErrInvalidRequest, req.Confidence)
-		}
-		q.Confidence = req.Confidence
+	name, q, onKeys, err := e.resolveRequest(req)
+	if err != nil {
+		return Response{}, err
 	}
 	s, ok := e.lookup(name)
 	if !ok {
@@ -106,7 +86,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 	}
 
 	if req.MinSyncOffset > 0 {
-		if err := e.waitSynced(ctx, req.MinSyncOffset); err != nil {
+		if err := e.follow.wait(ctx, req.MinSyncOffset); err != nil {
 			return Response{}, err
 		}
 	}
@@ -118,10 +98,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var (
-		res Result
-		err error
-	)
+	var res Result
 	if onKeys != nil {
 		res, err = s.dpt.AnswerUniform(q, onKeys)
 	} else {
@@ -137,6 +114,74 @@ func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 		Population:      s.dpt.Population(),
 		CatchUpProgress: s.dpt.CatchUpProgress(),
 		Elapsed:         time.Since(start),
+	}, nil
+}
+
+// resolveRequest validates a Request's shape and resolves it to structured
+// form: the answering template's name, the compiled query (with any
+// per-request Confidence override folded in), and the on-keys dims. It is
+// the shared front half of Do and of a ShardGroup's scatter-gather, which
+// resolves once and fans the structured form out to every shard.
+func (e *Engine) resolveRequest(req Request) (name string, q Query, onKeys []int, err error) {
+	name = req.Template
+	q = req.Query
+	onKeys = req.OnKeys
+	switch {
+	case req.SQL != "" && req.Template != "":
+		return "", Query{}, nil, fmt.Errorf("janus: %w: set either SQL or Template, not both", ErrInvalidRequest)
+	case req.SQL != "":
+		if req.OnKeys != nil {
+			return "", Query{}, nil, fmt.Errorf("janus: %w: OnKeys does not apply to SQL requests", ErrInvalidRequest)
+		}
+		name, q, err = e.compileSQL(req.SQL)
+		if err != nil {
+			return "", Query{}, nil, err
+		}
+		onKeys = nil
+	case req.Template == "":
+		return "", Query{}, nil, fmt.Errorf("janus: %w: set SQL or Template", ErrInvalidRequest)
+	}
+	if req.Confidence != 0 {
+		if req.Confidence < 0 || req.Confidence >= 1 {
+			return "", Query{}, nil, fmt.Errorf("janus: %w: confidence must be in (0,1), got %g",
+				ErrInvalidRequest, req.Confidence)
+		}
+		q.Confidence = req.Confidence
+	}
+	return name, q, onKeys, nil
+}
+
+// answerPartial answers one already-resolved request in mergeable form —
+// the shard-local half of a ShardGroup's scatter-gather. MinSyncOffset is
+// the group's concern and is ignored here; the returned Response carries
+// only the metadata fields (Result stays zero until the merge).
+func (e *Engine) answerPartial(ctx context.Context, name string, q Query, onKeys []int) (core.Partial, Response, error) {
+	s, ok := e.lookup(name)
+	if !ok {
+		return core.Partial{}, Response{}, fmt.Errorf("janus: %w %q", ErrUnknownTemplate, name)
+	}
+	if err := ctx.Err(); err != nil {
+		return core.Partial{}, Response{}, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var (
+		p   core.Partial
+		err error
+	)
+	if onKeys != nil {
+		p, err = s.dpt.AnswerUniformPartial(q, onKeys)
+	} else {
+		p, err = s.dpt.AnswerPartial(q)
+	}
+	if err != nil {
+		return core.Partial{}, Response{}, err
+	}
+	return p, Response{
+		Template:        name,
+		SampleSize:      s.dpt.SampleSize(),
+		Population:      s.dpt.Population(),
+		CatchUpProgress: s.dpt.CatchUpProgress(),
 	}, nil
 }
 

@@ -25,6 +25,15 @@
 //
 //	janusd -addr :8080 -data /var/lib/janusd
 //
+// With -shards K (K > 1) the daemon serves a hash-sharded engine group:
+// ingest batches split by tuple id across K engines applied in parallel,
+// and every query scatter-gathers across the shards with merged confidence
+// intervals. Combined with -data, each shard persists to DIR/shard-k and
+// recovers independently; the shard count is fixed at the directory's
+// first boot:
+//
+//	janusd -addr :8080 -shards 4 -data /var/lib/janusd
+//
 // The /v1 endpoints remain as thin wrappers over the same paths. See
 // /v1/templates for the registered schema.
 package main
@@ -37,6 +46,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,13 +69,14 @@ func main() {
 	stream := flag.Float64("stream", 0, "fraction of rows held back and streamed through a followed broker after boot, in [0,1)")
 	dataDir := flag.String("data", "", "durable data directory: segment logs + checkpoints; restarts warm-boot from it")
 	checkpointEvery := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint cadence with -data (0 disables)")
+	shards := flag.Int("shards", 1, "engine shards: >1 hash-partitions ingest by tuple id across K engines and answers queries by scatter-gather")
 	flag.Parse()
 
 	if err := run(daemonConfig{
 		addr: *addr, dataset: *dataset, rows: *rows, seed: *seed,
 		leafNodes: *leafNodes, sampleRate: *sampleRate, catchUpRate: *catchUpRate,
 		catchUpEvery: *catchUpEvery, autoRepartition: *autoRepartition, stream: *stream,
-		dataDir: *dataDir, checkpointEvery: *checkpointEvery,
+		dataDir: *dataDir, checkpointEvery: *checkpointEvery, shards: *shards,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "janusd:", err)
 		os.Exit(1)
@@ -83,6 +95,7 @@ type daemonConfig struct {
 	stream          float64
 	dataDir         string
 	checkpointEvery time.Duration
+	shards          int
 }
 
 func (c daemonConfig) engineConfig() janus.Config {
@@ -99,20 +112,43 @@ func run(c daemonConfig) error {
 	if c.stream < 0 || c.stream >= 1 {
 		return fmt.Errorf("-stream must be in [0,1), got %g", c.stream)
 	}
+	if c.shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", c.shards)
+	}
+	if c.dataDir != "" {
+		if err := checkDataLayout(c.dataDir, c.shards); err != nil {
+			return err
+		}
+	}
 	opts := server.Options{CatchUpInterval: c.catchUpEvery}
 
 	var (
-		eng *janus.Engine
+		eng server.Engine
 		err error
 	)
-	if c.dataDir != "" {
+	switch {
+	case c.shards > 1 && c.dataDir != "":
+		var stores []*janus.Store
+		stores, eng, err = bootShardedDurable(c, &opts)
+		if err != nil {
+			return err
+		}
+		for _, st := range stores {
+			defer st.Close()
+		}
+	case c.shards > 1:
+		eng, err = bootShardedEphemeral(c, &opts)
+		if err != nil {
+			return err
+		}
+	case c.dataDir != "":
 		var st *janus.Store
 		st, eng, err = bootDurable(c, &opts)
 		if err != nil {
 			return err
 		}
 		defer st.Close()
-	} else {
+	default:
 		eng, err = bootEphemeral(c, &opts)
 		if err != nil {
 			return err
@@ -246,26 +282,196 @@ func coldBootDurable(c daemonConfig, st *janus.Store) (*janus.Engine, error) {
 	return eng, nil
 }
 
-// buildEngine constructs the engine and registers the bootstrap template
-// and schema over an already-populated broker.
-func buildEngine(c daemonConfig, b *janus.Broker) (*janus.Engine, error) {
-	eng := janus.NewEngine(c.engineConfig(), b)
+// bootstrapRegistrar is the slice of the engine surface bootstrap
+// registration needs — satisfied by *janus.Engine and *janus.ShardGroup.
+type bootstrapRegistrar interface {
+	AddTemplate(janus.Template) error
+	RegisterSchema(template string, sc janus.TableSchema) error
+}
+
+// registerBootstrap declares the bootstrap template and SQL schema on an
+// engine (or every shard of a group) over already-populated archives.
+func registerBootstrap(eng bootstrapRegistrar) error {
 	if err := eng.AddTemplate(janus.Template{
 		Name:          "trips",
 		PredicateDims: []int{0},
 		AggIndex:      0,
 		Agg:           janus.Sum,
 	}); err != nil {
-		return nil, err
+		return err
 	}
-	if err := eng.RegisterSchema("trips", janus.TableSchema{
+	return eng.RegisterSchema("trips", janus.TableSchema{
 		Table:    "trips",
 		PredCols: []string{"pickupTime"},
 		AggCols:  []string{"tripDistance", "fareAmount", "passengerCount"},
-	}); err != nil {
+	})
+}
+
+// buildEngine constructs the engine and registers the bootstrap template
+// and schema over an already-populated broker.
+func buildEngine(c daemonConfig, b *janus.Broker) (*janus.Engine, error) {
+	eng := janus.NewEngine(c.engineConfig(), b)
+	if err := registerBootstrap(eng); err != nil {
 		return nil, err
 	}
 	return eng, nil
+}
+
+// checkDataLayout refuses a -shards value that disagrees with an existing
+// data directory: hash routing is a pure function of (id, K), so reopening
+// K-sharded data under a different K would append new writes — and route
+// deletions — to the wrong shards' logs.
+func checkDataLayout(dir string, shards int) error {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	existing := 0
+	single := false
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+			existing++
+		}
+		if e.Name() == "inserts.log" {
+			single = true
+		}
+	}
+	switch {
+	case shards == 1 && existing > 0:
+		return fmt.Errorf("data dir %s holds %d shard directories; start with -shards %d", dir, existing, existing)
+	case shards > 1 && single:
+		return fmt.Errorf("data dir %s holds single-engine logs; move them aside or start with -shards 1", dir)
+	case shards > 1 && existing > 0 && existing != shards:
+		return fmt.Errorf("data dir %s holds %d shard directories but -shards is %d: the shard count is fixed at first boot", dir, existing, shards)
+	}
+	return nil
+}
+
+// bootShardedEphemeral hash-partitions the bootstrap dataset across K
+// fresh brokers and serves a ShardGroup over them.
+func bootShardedEphemeral(c daemonConfig, opts *server.Options) (server.Engine, error) {
+	tuples, err := workload.Generate(c.dataset, c.rows, 0, c.seed)
+	if err != nil {
+		return nil, err
+	}
+	initial := c.rows - int(c.stream*float64(c.rows))
+	parts := janus.SplitByShard(tuples[:initial], c.shards)
+	engines := make([]*janus.Engine, c.shards)
+	for i := range engines {
+		b := janus.NewBroker()
+		b.PublishInsertBatch(parts[i])
+		engines[i] = janus.NewEngine(c.engineConfig().WithShardSeed(i), b)
+	}
+	group, err := janus.NewShardGroup(engines)
+	if err != nil {
+		return nil, err
+	}
+	if err := registerBootstrap(group); err != nil {
+		return nil, err
+	}
+	startStream(c, opts, tuples[initial:])
+	fmt.Printf("janusd: serving %d rows of %s on %s across %d shards (%d streaming in)\n",
+		initial, c.dataset, c.addr, c.shards, c.rows-initial)
+	return group, nil
+}
+
+// bootShardedDurable opens one durable Store per shard under
+// DIR/shard-k and recovers each independently: warm shards restore their
+// checkpoint + log tail, cold shards (first boot, or a crash before their
+// first checkpoint) rebuild from their slice of the bootstrap dataset or
+// their bare log. The group checkpoint fans out to every shard's store.
+func bootShardedDurable(c daemonConfig, opts *server.Options) ([]*janus.Store, server.Engine, error) {
+	if c.stream > 0 {
+		return nil, nil, fmt.Errorf("-stream is not supported with -data (stream through /v2/ingest instead)")
+	}
+	var stores []*janus.Store
+	engines := make([]*janus.Engine, c.shards)
+	fail := func(err error) ([]*janus.Store, server.Engine, error) {
+		for _, st := range stores {
+			st.Close()
+		}
+		return nil, nil, err
+	}
+
+	start := time.Now()
+	var bootstrap [][]janus.Tuple // generated once, on the first empty cold shard
+	needInitialCheckpoint := false
+	warm := 0
+	for i := 0; i < c.shards; i++ {
+		st, err := janus.OpenStore(filepath.Join(c.dataDir, fmt.Sprintf("shard-%d", i)))
+		if err != nil {
+			return fail(err)
+		}
+		stores = append(stores, st)
+		cfg := c.engineConfig().WithShardSeed(i)
+		eng, _, err := st.Recover(cfg)
+		switch {
+		case err == nil:
+			warm++
+		case errors.Is(err, janus.ErrNoCheckpoint):
+			needInitialCheckpoint = true
+			if st.Broker().Archive().Len() == 0 {
+				if bootstrap == nil {
+					tuples, gerr := workload.Generate(c.dataset, c.rows, 0, c.seed)
+					if gerr != nil {
+						return fail(gerr)
+					}
+					bootstrap = janus.SplitByShard(tuples, c.shards)
+				}
+				st.Broker().PublishInsertBatch(bootstrap[i])
+			}
+			eng = janus.NewEngine(cfg, st.Broker())
+			if rerr := registerBootstrap(eng); rerr != nil {
+				return fail(rerr)
+			}
+		default:
+			return fail(err)
+		}
+		engines[i] = eng
+	}
+	group, err := janus.NewShardGroup(engines)
+	if err != nil {
+		return fail(err)
+	}
+
+	opts.Checkpoint = func() (janus.CheckpointInfo, error) {
+		// One snapshot per shard; offsets and bytes aggregate across the
+		// group (each shard's image is consistent with its own logs).
+		var total janus.CheckpointInfo
+		for i, st := range stores {
+			info, err := st.WriteCheckpoint(group.Shard(i))
+			if err != nil {
+				return janus.CheckpointInfo{}, fmt.Errorf("shard %d: %w", i, err)
+			}
+			total.Templates = info.Templates
+			total.InsertOffset += info.InsertOffset
+			total.DeleteOffset += info.DeleteOffset
+			total.Bytes += info.Bytes
+		}
+		return total, nil
+	}
+	opts.WriteHealth = func() error {
+		for i, st := range stores {
+			if err := st.WriteErr(); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	if c.checkpointEvery > 0 {
+		opts.CheckpointInterval = c.checkpointEvery
+	}
+	if needInitialCheckpoint {
+		if _, err := opts.Checkpoint(); err != nil {
+			return fail(err)
+		}
+	}
+	fmt.Printf("janusd: %d-shard boot from %s in %.2fs (%d warm, %d cold): %d rows; serving on %s\n",
+		c.shards, c.dataDir, time.Since(start).Seconds(), warm, c.shards-warm, group.Stats().ArchiveRows, c.addr)
+	return stores, group, nil
 }
 
 // startStream wires the -stream demo producer: held-back rows arrive on a

@@ -1,7 +1,6 @@
 package janus
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -97,15 +96,12 @@ type Engine struct {
 	// Stats() never parks behind a long re-initialization.
 	statsMu sync.Mutex
 
-	// syncMu guards the followed-stream watermark: the highest insert- and
-	// delete-topic offsets Sync has applied, and the channel
-	// read-your-writes waiters (Request.MinSyncOffset) park on until the
-	// insert side advances. Checkpoints persist both offsets so a restarted
-	// engine resumes Follow where it stopped instead of from zero.
-	syncMu       sync.Mutex
-	syncedInsert int64
-	syncedDelete int64
-	syncWake     chan struct{}
+	// follow is the followed-stream watermark: how far Sync has applied an
+	// external broker's topics, and the wake channel read-your-writes
+	// waiters (Request.MinSyncOffset) park on. Checkpoints persist both
+	// offsets so a restarted engine resumes Follow where it stopped
+	// instead of from zero.
+	follow watermark
 
 	// streamRejected counts stream records Sync skipped because they failed
 	// validation (schema mismatch, duplicate id) — guarded by statsMu.
@@ -872,32 +868,7 @@ func (e *Engine) NumVals(template string) int {
 // query results once SyncedInsertOffset() >= o+1 — which Engine.Do can wait
 // for via Request.MinSyncOffset.
 func (e *Engine) SyncedInsertOffset() int64 {
-	e.syncMu.Lock()
-	defer e.syncMu.Unlock()
-	return e.syncedInsert
-}
-
-// noteSynced advances the watermark and wakes MinSyncOffset waiters.
-func (e *Engine) noteSynced(offset int64) {
-	e.syncMu.Lock()
-	if offset > e.syncedInsert {
-		e.syncedInsert = offset
-		if e.syncWake != nil {
-			close(e.syncWake)
-			e.syncWake = nil
-		}
-	}
-	e.syncMu.Unlock()
-}
-
-// noteSyncedDelete advances the delete half of the follow watermark. It has
-// no waiters: read-your-writes is defined over insertions.
-func (e *Engine) noteSyncedDelete(offset int64) {
-	e.syncMu.Lock()
-	if offset > e.syncedDelete {
-		e.syncedDelete = offset
-	}
-	e.syncMu.Unlock()
+	return e.follow.insertOffset()
 }
 
 // FollowOffsets returns the followed-broker consumption watermark as a
@@ -908,31 +879,7 @@ func (e *Engine) noteSyncedDelete(offset int64) {
 // across it are deduplicated by the stream path's id validation
 // (at-least-once delivery, idempotent application).
 func (e *Engine) FollowOffsets() SyncState {
-	e.syncMu.Lock()
-	defer e.syncMu.Unlock()
-	return SyncState{InsertOffset: e.syncedInsert, DeleteOffset: e.syncedDelete}
-}
-
-// waitSynced blocks until the watermark reaches min or ctx ends. Callers
-// should bound ctx: with no follow loop running the watermark never moves.
-func (e *Engine) waitSynced(ctx context.Context, min int64) error {
-	for {
-		e.syncMu.Lock()
-		if e.syncedInsert >= min {
-			e.syncMu.Unlock()
-			return nil
-		}
-		if e.syncWake == nil {
-			e.syncWake = make(chan struct{})
-		}
-		wake := e.syncWake
-		e.syncMu.Unlock()
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-wake:
-		}
-	}
+	return e.follow.offsets()
 }
 
 // Templates lists the registered template names.

@@ -180,13 +180,25 @@ func (t *DPT) estimateSumCount(f Func, aggIdx int, rect geom.Rect, cover, partia
 // intervals use the AVG variance terms of Appendix C with weights
 // w_i = N̂_i/N̂_q.
 func (t *DPT) estimateAvg(aggIdx int, rect geom.Rect, cover, partial []*node, z float64) (Result, error) {
-	sumEst, _, _ := t.estimateSumCount(FuncSum, aggIdx, rect, cover, partial)
-	cntEst, _, _ := t.estimateSumCount(FuncCount, aggIdx, rect, cover, partial)
-	var est float64
+	est, nuC, nuS, _, _ := t.avgParts(aggIdx, rect, cover, partial)
+	return Result{
+		Estimate: est,
+		Interval: stats.NewInterval(est, nuC, nuS, z),
+		Covered:  len(cover), Partial: len(partial),
+	}, nil
+}
+
+// avgParts computes the AVG estimate, its two variance components, and the
+// matching SUM and COUNT estimates it is the ratio of — the pieces both
+// the local answer and the shard-mergeable Partial are assembled from.
+func (t *DPT) avgParts(aggIdx int, rect geom.Rect, cover, partial []*node) (est, nuC, nuS, sumEst, cntEst float64) {
+	sumEst, _, _ = t.estimateSumCount(FuncSum, aggIdx, rect, cover, partial)
+	cntEst, _, _ = t.estimateSumCount(FuncCount, aggIdx, rect, cover, partial)
 	if cntEst > 0 {
 		est = sumEst / cntEst
 	}
-	// N̂_q: total estimated size of all relevant partitions.
+	// N̂_q — the AVG variance weights' denominator: total estimated size of
+	// all relevant partitions.
 	var nq float64
 	for _, n := range cover {
 		nq += t.liveCount(n)
@@ -194,7 +206,6 @@ func (t *DPT) estimateAvg(aggIdx int, rect geom.Rect, cover, partial []*node, z 
 	for _, n := range partial {
 		nq += t.liveCount(n)
 	}
-	var nuC, nuS float64
 	if nq > 0 {
 		for _, n := range cover {
 			if _, _, exact := t.catchupScale(n); exact {
@@ -218,26 +229,40 @@ func (t *DPT) estimateAvg(aggIdx int, rect geom.Rect, cover, partial []*node, z 
 			nuS += stats.ScaledAvgVarianceTerm(matching, mi, matching.N, wi)
 		}
 	}
-	return Result{
-		Estimate: est,
-		Interval: stats.NewInterval(est, nuC, nuS, z),
-		Covered:  len(cover), Partial: len(partial),
-	}, nil
+	return est, nuC, nuS, sumEst, cntEst
 }
 
 // estimateMinMax combines heap extremes of covered nodes with matching
 // sample extremes of partial leaves. Deletion-exhausted heaps make the
 // answer an outer approximation (Section 4.1), reported via Result.Outer.
 func (t *DPT) estimateMinMax(f Func, aggIdx int, rect geom.Rect, cover, partial []*node) (Result, error) {
-	if aggIdx != t.cfg.AggIndex {
-		return Result{}, fmt.Errorf("core: MIN/MAX heaps track only the primary attribute %d", t.cfg.AggIndex)
+	best, seen, outer, err := t.minMaxParts(f, aggIdx, rect, cover, partial)
+	if err != nil {
+		return Result{}, err
 	}
-	best := math.Inf(1)
+	if !seen {
+		return Result{Covered: len(cover), Partial: len(partial), Outer: true}, nil
+	}
+	return Result{
+		Estimate: best,
+		Interval: stats.Interval{Estimate: best},
+		Covered:  len(cover), Partial: len(partial),
+		Outer: outer,
+	}, nil
+}
+
+// minMaxParts computes the MIN/MAX extreme, whether any value contributed,
+// and whether the answer is only an outer approximation — the mergeable
+// pieces of an extreme answer (the global extreme of a hash-partitioned
+// table is the extreme of the shard extremes).
+func (t *DPT) minMaxParts(f Func, aggIdx int, rect geom.Rect, cover, partial []*node) (best float64, seen, outer bool, err error) {
+	if aggIdx != t.cfg.AggIndex {
+		return 0, false, false, fmt.Errorf("core: MIN/MAX heaps track only the primary attribute %d", t.cfg.AggIndex)
+	}
+	best = math.Inf(1)
 	if f == FuncMax {
 		best = math.Inf(-1)
 	}
-	outer := false
-	seen := false
 	take := func(v float64) {
 		seen = true
 		if f == FuncMin && v < best {
@@ -266,13 +291,8 @@ func (t *DPT) estimateMinMax(f Func, aggIdx int, rect geom.Rect, cover, partial 
 			}
 		}
 	}
-	if !seen {
-		return Result{Covered: len(cover), Partial: len(partial), Outer: true}, nil
+	if len(partial) > 0 {
+		outer = true // sample extremes are inner bounds
 	}
-	return Result{
-		Estimate: best,
-		Interval: stats.Interval{Estimate: best},
-		Covered:  len(cover), Partial: len(partial),
-		Outer: outer || len(partial) > 0, // sample extremes are inner bounds
-	}, nil
+	return best, seen, outer, nil
 }

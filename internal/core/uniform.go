@@ -7,31 +7,23 @@ import (
 	"janusaqp/internal/stats"
 )
 
-// AnswerUniform answers a query whose predicate ranges over arbitrary
-// *original* key attributes (dims indexes into Tuple.Key), rather than this
-// synopsis's own predicate projection, by plain uniform estimation over the
-// pooled sample — heuristic (ii) of Section 5.5 for queries from templates
-// the tree was not built for. Accuracy and latency match uniform reservoir
-// sampling; re-partitioning on the new attribute restores DPT accuracy.
-func (t *DPT) AnswerUniform(q Query, dims []int) (Result, error) {
+// uniformMoments validates an on-keys query and scans the pooled sample
+// once, returning the moments of matching values and of the matching
+// indicator, the sample size m, and the population n — the shared substrate
+// of AnswerUniform and AnswerUniformPartial.
+func (t *DPT) uniformMoments(q Query, dims []int) (matching, ones stats.Moments, m int64, n float64, err error) {
 	if q.Rect.Dims() != len(dims) {
-		return Result{}, fmt.Errorf("core: predicate dims %d, rect dims %d", len(dims), q.Rect.Dims())
+		return matching, ones, 0, 0, fmt.Errorf("core: predicate dims %d, rect dims %d", len(dims), q.Rect.Dims())
 	}
 	aggIdx := q.AggIndex
 	if aggIdx < 0 {
 		aggIdx = t.cfg.AggIndex
 	}
 	if aggIdx >= t.cfg.NumVals {
-		return Result{}, fmt.Errorf("core: aggregation attribute %d out of range", aggIdx)
+		return matching, ones, 0, 0, fmt.Errorf("core: aggregation attribute %d out of range", aggIdx)
 	}
-	conf := q.Confidence
-	if conf == 0 {
-		conf = 0.95
-	}
-	z := stats.ZForConfidence(conf)
-	m := int64(t.res.Len())
-	n := float64(t.population)
-	var matching, ones stats.Moments
+	m = int64(t.res.Len())
+	n = float64(t.population)
 	for _, s := range t.res.Items() {
 		p := make(geom.Point, len(dims))
 		for i, d := range dims {
@@ -42,6 +34,25 @@ func (t *DPT) AnswerUniform(q Query, dims []int) (Result, error) {
 			ones.Add(1)
 		}
 	}
+	return matching, ones, m, n, nil
+}
+
+// AnswerUniform answers a query whose predicate ranges over arbitrary
+// *original* key attributes (dims indexes into Tuple.Key), rather than this
+// synopsis's own predicate projection, by plain uniform estimation over the
+// pooled sample — heuristic (ii) of Section 5.5 for queries from templates
+// the tree was not built for. Accuracy and latency match uniform reservoir
+// sampling; re-partitioning on the new attribute restores DPT accuracy.
+func (t *DPT) AnswerUniform(q Query, dims []int) (Result, error) {
+	matching, ones, m, n, err := t.uniformMoments(q, dims)
+	if err != nil {
+		return Result{}, err
+	}
+	conf := q.Confidence
+	if conf == 0 {
+		conf = 0.95
+	}
+	z := stats.ZForConfidence(conf)
 	switch q.Func {
 	case FuncSum:
 		est := stats.SumEstimate(matching.Sum, m, n)

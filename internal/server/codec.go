@@ -84,8 +84,9 @@ type QueryV2BatchResponse struct {
 }
 
 // IngestRequest is the POST /v2/ingest payload: one batch of insertions
-// and/or deletions. The insert batch is atomic (all tuples land or none
-// do); deletions of unknown ids are reported in Missing, not failed.
+// and/or deletions. The insert batch is atomic per engine shard (all
+// tuples land or none do on a single engine; per-shard on a sharded
+// daemon); deletions of unknown ids are reported in Missing, not failed.
 type IngestRequest struct {
 	Tuples    []WireTuple `json:"tuples,omitempty"`
 	DeleteIDs []int64     `json:"deleteIds,omitempty"`

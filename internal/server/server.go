@@ -39,6 +39,37 @@ import (
 	"janusaqp/internal/metrics"
 )
 
+// Engine is the v2 surface the server routes to. Both *janus.Engine (one
+// process-local engine) and *janus.ShardGroup (a hash-sharded engine group
+// answering by scatter-gather) implement it, so the same daemon scales from
+// one engine to K data-parallel shards behind one flag.
+type Engine interface {
+	// Do answers one unified v2 query request.
+	Do(ctx context.Context, req janus.Request) (janus.Response, error)
+	// InsertBatch ingests one batch atomically (per shard, for a group).
+	InsertBatch(tuples []janus.Tuple) error
+	// DeleteBatch removes ids, reporting unknown ones via *BatchIDError.
+	DeleteBatch(ids []int64) (int, error)
+	// PumpCatchUp folds one background catch-up batch.
+	PumpCatchUp() bool
+	// Follow tails an external broker until ctx is canceled.
+	Follow(ctx context.Context, source *janus.Broker, state *janus.SyncState, interval time.Duration) int
+	// Stats snapshots engine-wide counters and per-template state.
+	Stats() janus.EngineStats
+	// StatsFor snapshots one template's synopsis state.
+	StatsFor(template string) (janus.TemplateStats, error)
+	// Template returns the declaration of the named template.
+	Template(name string) (janus.Template, bool)
+	// Templates lists the registered template names.
+	Templates() []string
+}
+
+// Both engine forms must keep satisfying the routing surface.
+var (
+	_ Engine = (*janus.Engine)(nil)
+	_ Engine = (*janus.ShardGroup)(nil)
+)
+
 // Options configures a Server.
 type Options struct {
 	// CatchUpInterval is the cadence of the background catch-up pump; the
@@ -79,7 +110,7 @@ type Options struct {
 // Server serves one engine over HTTP. Create with New, expose with
 // Handler, stop background goroutines with Close.
 type Server struct {
-	eng *janus.Engine
+	eng Engine
 	mux *http.ServeMux
 	reg *metrics.Registry
 
@@ -109,9 +140,9 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// New returns a server over the engine and starts any background loops the
-// options request.
-func New(eng *janus.Engine, opts Options) *Server {
+// New returns a server over the engine — a single *janus.Engine or a
+// *janus.ShardGroup — and starts any background loops the options request.
+func New(eng Engine, opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 32 << 20
 	}
@@ -454,8 +485,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // --- ingest path ------------------------------------------------------------
 
 // ingest applies one insert batch and one delete batch through the v2
-// engine entry points. The insert batch is atomic: a schema-mismatch or
-// duplicate-id tuple rejects the whole batch with nothing applied.
+// engine entry points. The insert batch is atomic per engine: a
+// schema-mismatch or duplicate-id tuple rejects the whole batch with
+// nothing applied on a single engine, and rejects the offending shard's
+// whole sub-batch on a ShardGroup (other shards' sub-batches land — see
+// the ShardGroup type comment; the 4xx answer still reports the error).
 func (s *Server) ingest(req IngestRequest) (IngestResponse, int, error) {
 	tuples := make([]janus.Tuple, len(req.Tuples))
 	for i, t := range req.Tuples {

@@ -671,3 +671,128 @@ func TestBackgroundCheckpointer(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// newTestShardGroup boots a hash-sharded group over rows taxi tuples with
+// the same template and schema as newTestEngine.
+func newTestShardGroup(t testing.TB, rows, shards int) (*janus.ShardGroup, []janus.Tuple) {
+	t.Helper()
+	tuples, err := workload.Generate(workload.NYCTaxi, rows, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := janus.SplitByShard(tuples, shards)
+	engines := make([]*janus.Engine, shards)
+	for i := range engines {
+		b := janus.NewBroker()
+		b.PublishInsertBatch(parts[i])
+		engines[i] = janus.NewEngine(janus.Config{
+			LeafNodes: 32, SampleRate: 0.05, CatchUpRate: 1.0, Seed: 7,
+		}.WithShardSeed(i), b)
+	}
+	group, err := janus.NewShardGroup(engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := group.AddTemplate(janus.Template{
+		Name: "trips", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := group.RegisterSchema("trips", janus.TableSchema{
+		Table:    "trips",
+		PredCols: []string{"pickupTime"},
+		AggCols:  []string{"tripDistance", "fareAmount", "passengerCount"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for group.PumpCatchUp() {
+	}
+	return group, tuples
+}
+
+// TestServerOverShardGroup routes the whole v2 surface through a
+// ShardGroup behind the server interface: scatter-gather SQL and
+// structured queries, hash-partitioned ingest with deletions, and merged
+// stats, all over live HTTP.
+func TestServerOverShardGroup(t *testing.T) {
+	const rows = 16000
+	group, tuples := newTestShardGroup(t, rows, 4)
+	srv := New(group, Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var exactCount float64 = rows
+	var exactSum float64
+	for _, tp := range tuples {
+		exactSum += tp.Vals[0]
+	}
+
+	// Scatter-gather SQL over the full table: catch-up is complete, so the
+	// merged estimate is the exact sum.
+	resp, raw := postJSON(t, ts.URL+"/v2/query", map[string]any{
+		"sql": "SELECT SUM(tripDistance) FROM trips",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sql query: %d %s", resp.StatusCode, raw)
+	}
+	var qr QueryResultV2
+	decodeInto(t, raw, &qr)
+	if got := qr.Estimate; got < exactSum*0.999999 || got > exactSum*1.000001 {
+		t.Fatalf("merged SUM %g, want %g", got, exactSum)
+	}
+	if qr.Population != int64(rows) {
+		t.Fatalf("merged population %d, want %d", qr.Population, rows)
+	}
+
+	// Hash-partitioned ingest: the batch splits across all four shards.
+	batch := make([]map[string]any, 64)
+	for i := range batch {
+		batch[i] = map[string]any{
+			"id": 5_000_000 + i, "key": []float64{float64(i)}, "vals": []float64{1, 2, 3},
+		}
+	}
+	resp, raw = postJSON(t, ts.URL+"/v2/ingest", map[string]any{
+		"tuples":    batch,
+		"deleteIds": []int64{tuples[0].ID, tuples[1].ID, 9_999_999},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, raw)
+	}
+	var ir IngestResponse
+	decodeInto(t, raw, &ir)
+	if ir.Inserted != 64 || ir.Deleted != 2 || len(ir.Missing) != 1 || ir.Missing[0] != 9_999_999 {
+		t.Fatalf("ingest response = %+v, want 64 inserted, 2 deleted, missing [9999999]", ir)
+	}
+	exactCount += 64 - 2
+
+	resp, raw = postJSON(t, ts.URL+"/v2/query", map[string]any{
+		"template": "trips", "func": "COUNT",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("count query: %d %s", resp.StatusCode, raw)
+	}
+	decodeInto(t, raw, &qr)
+	if qr.Estimate != exactCount {
+		t.Fatalf("merged COUNT after ingest = %g, want exactly %g", qr.Estimate, exactCount)
+	}
+
+	// Merged stats: archive rows across shards, one template entry.
+	st, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	stRaw, err := io.ReadAll(st.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var es janus.EngineStats
+	decodeInto(t, stRaw, &es)
+	if es.ArchiveRows != int64(exactCount) {
+		t.Fatalf("merged archive rows = %d, want %g", es.ArchiveRows, exactCount)
+	}
+	if len(es.Templates) != 1 || es.Templates[0].Name != "trips" {
+		t.Fatalf("merged templates = %+v, want one trips entry", es.Templates)
+	}
+}

@@ -304,9 +304,6 @@ func OpenCheckpoint(r io.Reader, cfg Config, b *Broker) (*Engine, SyncState, err
 	e.TriggersRejected = hdr.TriggersRejected
 	e.streamRejected = hdr.StreamRejected
 	e.statsMu.Unlock()
-	e.syncMu.Lock()
-	e.syncedInsert = hdr.FollowInsertOffset
-	e.syncedDelete = hdr.FollowDeleteOffset
-	e.syncMu.Unlock()
+	e.follow.restore(SyncState{InsertOffset: hdr.FollowInsertOffset, DeleteOffset: hdr.FollowDeleteOffset})
 	return e, state, nil
 }

@@ -1,0 +1,513 @@
+package janus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"janusaqp/internal/core"
+	"janusaqp/internal/stats"
+)
+
+// ShardGroup is the scale-out form of the engine: K independent Engine
+// shards, each owning a disjoint hash-partition of the data (by tuple id),
+// presented behind the same v2 surface as a single Engine.
+//
+//   - Ingest is hash-partitioned: InsertBatch/DeleteBatch split the batch
+//     per shard and apply the sub-batches in parallel, so K update locks
+//     run concurrently instead of one — the per-process data parallelism
+//     a single engine's update lock caps out.
+//   - Queries scatter-gather: Do fans the request to every shard, each
+//     answers from its own synopsis in mergeable form (core.Partial), and
+//     the group combines per-shard sums, counts, and variances into one
+//     estimate with a valid combined confidence interval (shards are
+//     strata: SUM/COUNT estimates and variances add across disjoint
+//     partitions; AVG pools shard means with population weights; MIN/MAX
+//     take the extreme of extremes).
+//
+// Semantics versus a single Engine, worth knowing when scaling out:
+//
+//   - COUNT and SUM merged answers agree with a 1-shard engine up to
+//     floating-point summation order; with catch-up complete they are
+//     exactly the archive totals, shard count notwithstanding.
+//   - A cross-shard InsertBatch is atomic per shard, not across shards: a
+//     validation failure on one shard rejects that shard's sub-batch while
+//     other shards' sub-batches land. Producers wanting all-or-nothing
+//     batches should route batches to a single shard's id space or
+//     validate upstream.
+//   - AddTemplate/RegisterSchema fan out sequentially and do not roll back
+//     on partial failure; register templates at boot, before serving.
+//
+// ShardGroup methods are safe for concurrent use; each shard keeps its own
+// sharded locking underneath.
+type ShardGroup struct {
+	shards []*Engine
+
+	// follow is the group-level followed-stream watermark (the group
+	// routes a followed broker's records to shards itself, so
+	// read-your-writes waits park here, not on any single shard).
+	follow watermark
+}
+
+// NewShardGroup groups pre-built engines into one hash-sharded group. The
+// engines must all serve the same template set (register templates through
+// the group, or identically per shard before grouping — e.g. when each
+// shard was recovered from its own durable Store).
+func NewShardGroup(shards []*Engine) (*ShardGroup, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("janus: a shard group needs at least one engine")
+	}
+	for i, e := range shards {
+		if e == nil {
+			return nil, fmt.Errorf("janus: shard %d is nil", i)
+		}
+	}
+	g := &ShardGroup{shards: shards}
+	// Resume the group watermark from the shards' recovered follow
+	// offsets: the group's Sync advances every shard's watermark in step
+	// (each checkpoint persists it), so a group rebuilt over checkpoint-
+	// recovered engines is synced through the least-advanced shard and
+	// read-your-writes holds across the restart. Fresh engines report
+	// zeros, leaving a new group at the beginning of the stream.
+	least := shards[0].FollowOffsets()
+	for _, e := range shards[1:] {
+		st := e.FollowOffsets()
+		if st.InsertOffset < least.InsertOffset {
+			least.InsertOffset = st.InsertOffset
+		}
+		if st.DeleteOffset < least.DeleteOffset {
+			least.DeleteOffset = st.DeleteOffset
+		}
+	}
+	g.follow.restore(least)
+	return g, nil
+}
+
+// ShardIndex returns the shard a tuple id hashes to in a group of the
+// given size. The hash is a splitmix64 finalizer: sequential producer ids
+// spread uniformly instead of striping, and the mapping is a pure function
+// of (id, shards) — loaders can pre-partition bootstrap data with it and a
+// restarted group routes exactly as its first life did.
+func ShardIndex(id int64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	x := uint64(id)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
+
+// SplitByShard hash-partitions tuples into per-shard batches, preserving
+// each shard's relative order.
+func SplitByShard(tuples []Tuple, shards int) [][]Tuple {
+	out := make([][]Tuple, shards)
+	if shards <= 1 {
+		out[0] = tuples
+		return out
+	}
+	for _, t := range tuples {
+		i := ShardIndex(t.ID, shards)
+		out[i] = append(out[i], t)
+	}
+	return out
+}
+
+// WithShardSeed derives a per-shard configuration: identical tuning, but a
+// seed offset so shards draw independent samples (K shards with the same
+// seed would correlate their reservoirs, understating merged variance).
+func (c Config) WithShardSeed(shard int) Config {
+	c.Seed += int64(shard) * 1_000_003
+	return c
+}
+
+// NumShards returns the group size K.
+func (g *ShardGroup) NumShards() int { return len(g.shards) }
+
+// Shard returns the i-th shard engine (for per-shard operations like
+// durable checkpointing).
+func (g *ShardGroup) Shard(i int) *Engine { return g.shards[i] }
+
+// ShardFor returns the shard index the tuple id routes to.
+func (g *ShardGroup) ShardFor(id int64) int { return ShardIndex(id, len(g.shards)) }
+
+// AddTemplate builds the template's synopsis on every shard. Each shard
+// must hold bootstrap data (a synopsis cannot initialize from an empty
+// archive); hash partitioning spreads any non-trivial bootstrap across all
+// shards.
+func (g *ShardGroup) AddTemplate(t Template) error {
+	for i, e := range g.shards {
+		if err := e.AddTemplate(t); err != nil {
+			return fmt.Errorf("janus: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RegisterSchema attaches a SQL schema to the template on every shard.
+func (g *ShardGroup) RegisterSchema(template string, sc TableSchema) error {
+	for i, e := range g.shards {
+		if err := e.RegisterSchema(template, sc); err != nil {
+			return fmt.Errorf("janus: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// InsertBatch hash-partitions the batch and applies each shard's sub-batch
+// in parallel — K update locks run concurrently. Each sub-batch keeps
+// InsertBatch's atomicity on its shard; on error the failing shards'
+// sub-batches are rejected whole while other shards' land (see the type
+// comment). Duplicate ids — within the batch or against live rows — always
+// collide on their home shard, so validation loses nothing to sharding.
+func (g *ShardGroup) InsertBatch(tuples []Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	parts := SplitByShard(tuples, len(g.shards))
+	errs := make([]error, len(g.shards))
+	var wg sync.WaitGroup
+	for i, sub := range parts {
+		if len(sub) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sub []Tuple) {
+			defer wg.Done()
+			errs[i] = g.shards[i].InsertBatch(sub)
+		}(i, sub)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("janus: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DeleteBatch routes each id to its home shard and applies the per-shard
+// deletions in parallel, returning the total number removed. Ids no shard
+// holds are reported through one combined *BatchIDError (sorted), exactly
+// like a single engine's DeleteBatch.
+func (g *ShardGroup) DeleteBatch(ids []int64) (int, error) {
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	parts := make([][]int64, len(g.shards))
+	if len(g.shards) == 1 {
+		parts[0] = ids
+	} else {
+		for _, id := range ids {
+			i := ShardIndex(id, len(g.shards))
+			parts[i] = append(parts[i], id)
+		}
+	}
+	counts := make([]int, len(g.shards))
+	errs := make([]error, len(g.shards))
+	var wg sync.WaitGroup
+	for i, sub := range parts {
+		if len(sub) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sub []int64) {
+			defer wg.Done()
+			counts[i], errs[i] = g.shards[i].DeleteBatch(sub)
+		}(i, sub)
+	}
+	wg.Wait()
+	// Sum every shard's count before inspecting errors: a failing shard
+	// does not undo the deletions its peers already applied, and the total
+	// must say so even when an error is returned alongside it.
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	var missing []int64
+	for i, err := range errs {
+		var b *BatchIDError
+		switch {
+		case err == nil:
+		case errors.As(err, &b):
+			missing = append(missing, b.IDs...)
+		default:
+			return total, fmt.Errorf("janus: shard %d: %w", i, err)
+		}
+	}
+	if len(missing) > 0 {
+		slices.Sort(missing)
+		return total, &BatchIDError{IDs: missing}
+	}
+	return total, nil
+}
+
+// Do answers one Request by scatter-gather: resolve once (SQL compiles one
+// time, against shard 0's schemas — registration fans out identically), fan
+// the structured form to every shard in parallel, and merge the per-shard
+// partials into one estimate with a combined confidence interval.
+// MinSyncOffset waits on the group's own follow watermark (see SyncContext)
+// before the scatter.
+func (g *ShardGroup) Do(ctx context.Context, req Request) (Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	name, q, onKeys, err := g.shards[0].resolveRequest(req)
+	if err != nil {
+		return Response{}, err
+	}
+	if req.MinSyncOffset > 0 {
+		// Fail fast before parking on the watermark: an unknown template
+		// can only ever fail, and the watermark may never advance. SQL
+		// requests already resolved their table above.
+		if _, ok := g.shards[0].lookup(name); !ok {
+			return Response{}, fmt.Errorf("janus: %w %q", ErrUnknownTemplate, name)
+		}
+		if err := g.follow.wait(ctx, req.MinSyncOffset); err != nil {
+			return Response{}, err
+		}
+	}
+	start := time.Now()
+	parts := make([]core.Partial, len(g.shards))
+	metas := make([]Response, len(g.shards))
+	errs := make([]error, len(g.shards))
+	var wg sync.WaitGroup
+	for i := range g.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i], metas[i], errs[i] = g.shards[i].answerPartial(ctx, name, q, onKeys)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			// Deterministic: the lowest failing shard reports. Unknown
+			// templates and malformed queries fail identically everywhere.
+			return Response{}, fmt.Errorf("janus: shard %d: %w", i, err)
+		}
+	}
+	conf := q.Confidence
+	if conf == 0 {
+		conf = 0.95
+	}
+	res, err := core.MergePartials(parts, stats.ZForConfidence(conf))
+	if err != nil {
+		return Response{}, err
+	}
+	resp := Response{
+		Result:          res,
+		Template:        name,
+		CatchUpProgress: 1,
+		Elapsed:         time.Since(start),
+	}
+	for _, m := range metas {
+		resp.SampleSize += m.SampleSize
+		resp.Population += m.Population
+		// The merged answer is only as caught up as its least caught-up
+		// shard — the conservative bound a dashboard should see.
+		if m.CatchUpProgress < resp.CatchUpProgress {
+			resp.CatchUpProgress = m.CatchUpProgress
+		}
+	}
+	return resp, nil
+}
+
+// PumpCatchUp folds one catch-up batch on every shard in parallel,
+// reporting whether any shard did work.
+func (g *ShardGroup) PumpCatchUp() bool {
+	worked := make([]bool, len(g.shards))
+	var wg sync.WaitGroup
+	for i := range g.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			worked[i] = g.shards[i].PumpCatchUp()
+		}(i)
+	}
+	wg.Wait()
+	for _, w := range worked {
+		if w {
+			return true
+		}
+	}
+	return false
+}
+
+// Template returns the declaration of the named template (identical across
+// shards by construction).
+func (g *ShardGroup) Template(name string) (Template, bool) {
+	return g.shards[0].Template(name)
+}
+
+// Templates lists the registered template names.
+func (g *ShardGroup) Templates() []string {
+	return g.shards[0].Templates()
+}
+
+// StatsFor merges one template's per-shard synopsis stats: sizes and
+// populations add; catch-up progress reports the least caught-up shard.
+func (g *ShardGroup) StatsFor(template string) (TemplateStats, error) {
+	var out TemplateStats
+	for i, e := range g.shards {
+		st, err := e.StatsFor(template)
+		if err != nil {
+			return TemplateStats{}, err
+		}
+		if i == 0 {
+			out = st
+			continue
+		}
+		out.SynopsisBytes += st.SynopsisBytes
+		out.Leaves += st.Leaves
+		out.SampleSize += st.SampleSize
+		out.Population += st.Population
+		if st.CatchUpProgress < out.CatchUpProgress {
+			out.CatchUpProgress = st.CatchUpProgress
+		}
+	}
+	return out, nil
+}
+
+// Stats merges the per-shard engine stats into one group-wide snapshot:
+// counters and rows add, per-template stats merge by name, and the synced
+// insert offset reports the group watermark.
+func (g *ShardGroup) Stats() EngineStats {
+	var out EngineStats
+	byName := make(map[string]*TemplateStats)
+	var names []string
+	for _, e := range g.shards {
+		st := e.Stats()
+		out.Reinits += st.Reinits
+		out.TriggersFired += st.TriggersFired
+		out.TriggersRejected += st.TriggersRejected
+		out.PartialRepartitions += st.PartialRepartitions
+		out.ArchiveRows += st.ArchiveRows
+		out.StreamRejected += st.StreamRejected
+		for _, ts := range st.Templates {
+			agg, ok := byName[ts.Name]
+			if !ok {
+				copied := ts
+				byName[ts.Name] = &copied
+				names = append(names, ts.Name)
+				continue
+			}
+			agg.SynopsisBytes += ts.SynopsisBytes
+			agg.Leaves += ts.Leaves
+			agg.SampleSize += ts.SampleSize
+			agg.Population += ts.Population
+			if ts.CatchUpProgress < agg.CatchUpProgress {
+				agg.CatchUpProgress = ts.CatchUpProgress
+			}
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out.Templates = append(out.Templates, *byName[n])
+	}
+	out.SyncedInsertOffset = g.SyncedInsertOffset()
+	return out
+}
+
+// --- followed-stream consumption ---------------------------------------------
+
+// SyncedInsertOffset is the group's read-your-writes watermark: the highest
+// insert-topic offset of a followed broker the group has routed and applied.
+func (g *ShardGroup) SyncedInsertOffset() int64 {
+	return g.follow.insertOffset()
+}
+
+// Sync applies all records currently available on the source broker's
+// topics, routing each record to its home shard — the group form of
+// Engine.Sync. See SyncContext.
+func (g *ShardGroup) Sync(source *Broker, state *SyncState) int {
+	return g.SyncContext(context.Background(), source, state)
+}
+
+// SyncContext drains the source broker's insert and delete topics from the
+// offsets in state, hash-routing each polled batch across the shards and
+// applying the per-shard sub-batches in parallel — stream consumption at
+// the same K-way parallelism as direct ingest. Malformed records are
+// skipped and counted in the owning shard's StreamRejected, mirroring
+// Engine.Sync; the insert offset feeds the group watermark
+// Request.MinSyncOffset waits on.
+func (g *ShardGroup) SyncContext(ctx context.Context, source *Broker, state *SyncState) int {
+	applied := 0
+	const batch = 4096
+	for ctx.Err() == nil {
+		recs, next := source.Inserts.Poll(state.InsertOffset, batch)
+		if len(recs) == 0 {
+			break
+		}
+		tuples := make([]Tuple, 0, len(recs))
+		for _, r := range recs {
+			tuples = append(tuples, r.Tuple)
+		}
+		parts := SplitByShard(tuples, len(g.shards))
+		goods := make([]int, len(g.shards))
+		var wg sync.WaitGroup
+		for i, sub := range parts {
+			if len(sub) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, sub []Tuple) {
+				defer wg.Done()
+				var rejected int
+				goods[i], rejected = g.shards[i].applyStreamInserts(sub)
+				// Skips count on the owning shard, where the record was
+				// rejected — the merged Stats() sums them group-wide.
+				g.shards[i].noteStreamRejected(rejected)
+			}(i, sub)
+		}
+		wg.Wait()
+		state.InsertOffset = next
+		// Every shard is consistent through next — records at or below it
+		// that hash to the shard have been applied — so advance each
+		// shard's own follow watermark too: per-shard checkpoints persist
+		// it, and a restarted group resumes Follow from the recovered
+		// offsets instead of re-polling the whole topic (see NewShardGroup).
+		for _, e := range g.shards {
+			e.follow.note(next)
+		}
+		g.follow.note(next)
+		for _, n := range goods {
+			applied += n
+		}
+	}
+	for ctx.Err() == nil {
+		recs, next := source.Deletes.Poll(state.DeleteOffset, batch)
+		if len(recs) == 0 {
+			break
+		}
+		ids := make([]int64, 0, len(recs))
+		for _, r := range recs {
+			ids = append(ids, r.Tuple.ID)
+		}
+		// Unknown ids are routine on a delete stream; they do not fail it.
+		_, _ = g.DeleteBatch(ids)
+		state.DeleteOffset = next
+		for _, e := range g.shards {
+			e.follow.noteDelete(next)
+		}
+		g.follow.noteDelete(next)
+		applied += len(recs)
+	}
+	return applied
+}
+
+// Follow tails the source broker until ctx is canceled — the group form of
+// Engine.Follow: apply newly arrived records via SyncContext, fold catch-up
+// while idle, and poll at the given interval otherwise.
+func (g *ShardGroup) Follow(ctx context.Context, source *Broker, state *SyncState, interval time.Duration) int {
+	return followLoop(ctx, interval, func(ctx context.Context) int {
+		return g.SyncContext(ctx, source, state)
+	}, g.PumpCatchUp)
+}

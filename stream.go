@@ -2,6 +2,7 @@ package janus
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"janusaqp/internal/broker"
@@ -19,6 +20,110 @@ import (
 type SyncState struct {
 	InsertOffset int64
 	DeleteOffset int64
+}
+
+// watermark is the followed-stream consumption watermark shared by Engine
+// and ShardGroup: the highest insert- and delete-topic offsets applied so
+// far, plus the wake channel read-your-writes waiters (Request.
+// MinSyncOffset) park on until the insert side advances.
+type watermark struct {
+	mu     sync.Mutex
+	insert int64
+	delete int64
+	wake   chan struct{}
+}
+
+// note advances the insert watermark and wakes MinSyncOffset waiters.
+func (w *watermark) note(offset int64) {
+	w.mu.Lock()
+	if offset > w.insert {
+		w.insert = offset
+		if w.wake != nil {
+			close(w.wake)
+			w.wake = nil
+		}
+	}
+	w.mu.Unlock()
+}
+
+// noteDelete advances the delete half. It has no waiters:
+// read-your-writes is defined over insertions.
+func (w *watermark) noteDelete(offset int64) {
+	w.mu.Lock()
+	if offset > w.delete {
+		w.delete = offset
+	}
+	w.mu.Unlock()
+}
+
+// insertOffset reads the insert watermark.
+func (w *watermark) insertOffset() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.insert
+}
+
+// offsets snapshots both halves.
+func (w *watermark) offsets() SyncState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return SyncState{InsertOffset: w.insert, DeleteOffset: w.delete}
+}
+
+// restore sets both halves (checkpoint recovery).
+func (w *watermark) restore(state SyncState) {
+	w.mu.Lock()
+	w.insert = state.InsertOffset
+	w.delete = state.DeleteOffset
+	w.mu.Unlock()
+}
+
+// wait blocks until the insert watermark reaches min or ctx ends. Callers
+// should bound ctx: with no follow loop running the watermark never moves.
+func (w *watermark) wait(ctx context.Context, min int64) error {
+	for {
+		w.mu.Lock()
+		if w.insert >= min {
+			w.mu.Unlock()
+			return nil
+		}
+		if w.wake == nil {
+			w.wake = make(chan struct{})
+		}
+		wake := w.wake
+		w.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-wake:
+		}
+	}
+}
+
+// followLoop is the shared daemon-side consumption loop: apply newly
+// arrived records via sync, fold catch-up while the stream is idle, and
+// poll at the given interval when there is nothing to do.
+func followLoop(ctx context.Context, interval time.Duration, sync func(context.Context) int, pump func() bool) int {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		default:
+		}
+		n := sync(ctx)
+		total += n
+		if n == 0 && !pump() {
+			select {
+			case <-ctx.Done():
+				return total
+			case <-time.After(interval):
+			}
+		}
+	}
 }
 
 // Sync applies all records currently available on the source broker's
@@ -59,13 +164,9 @@ func (e *Engine) SyncContext(ctx context.Context, source *Broker, state *SyncSta
 		}
 		good, rejected := e.applyStreamInserts(tuples)
 		state.InsertOffset = next
-		e.noteSynced(next)
+		e.follow.note(next)
 		applied += good
-		if rejected > 0 {
-			e.statsMu.Lock()
-			e.streamRejected += int64(rejected)
-			e.statsMu.Unlock()
-		}
+		e.noteStreamRejected(rejected)
 	}
 	for ctx.Err() == nil {
 		recs, next := source.Deletes.Poll(state.DeleteOffset, batch)
@@ -80,10 +181,22 @@ func (e *Engine) SyncContext(ctx context.Context, source *Broker, state *SyncSta
 		// have reached this engine); they do not count as rejects.
 		e.DeleteBatch(ids)
 		state.DeleteOffset = next
-		e.noteSyncedDelete(next)
+		e.follow.noteDelete(next)
 		applied += len(recs)
 	}
 	return applied
+}
+
+// noteStreamRejected counts stream records the admission rules skipped
+// (EngineStats.StreamRejected). Both this engine's own Sync loop and a
+// ShardGroup routing records to it report skips here.
+func (e *Engine) noteStreamRejected(n int) {
+	if n == 0 {
+		return
+	}
+	e.statsMu.Lock()
+	e.streamRejected += int64(n)
+	e.statsMu.Unlock()
 }
 
 // applyStreamInserts ingests one polled batch, skipping records that fail
@@ -162,11 +275,7 @@ func (e *Engine) replayLogTail(state *SyncState) (inserts, deletes, rejected int
 	})
 	state.InsertOffset = insEnd
 	state.DeleteOffset = delEnd
-	if rejected > 0 {
-		e.statsMu.Lock()
-		e.streamRejected += int64(rejected)
-		e.statsMu.Unlock()
-	}
+	e.noteStreamRejected(rejected)
 	return inserts, deletes, rejected
 }
 
@@ -176,24 +285,7 @@ func (e *Engine) replayLogTail(state *SyncState) (inserts, deletes, rejected int
 // the daemon-side consumption loop the paper's Kafka deployment runs. It
 // returns the total number of records applied.
 func (e *Engine) Follow(ctx context.Context, source *Broker, state *SyncState, interval time.Duration) int {
-	if interval <= 0 {
-		interval = 10 * time.Millisecond
-	}
-	total := 0
-	for {
-		select {
-		case <-ctx.Done():
-			return total
-		default:
-		}
-		n := e.SyncContext(ctx, source, state)
-		total += n
-		if n == 0 && !e.PumpCatchUp() {
-			select {
-			case <-ctx.Done():
-				return total
-			case <-time.After(interval):
-			}
-		}
-	}
+	return followLoop(ctx, interval, func(ctx context.Context) int {
+		return e.SyncContext(ctx, source, state)
+	}, e.PumpCatchUp)
 }
