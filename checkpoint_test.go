@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/gob"
 	"errors"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -224,6 +226,40 @@ func TestOpenCheckpointRejectsOutOfRangeTemplateOffsets(t *testing.T) {
 	// In-range offsets still load.
 	if _, _, err := OpenCheckpoint(bytes.NewReader(forge(SyncState{InsertOffset: 5000})), Config{Seed: 11}, NewBroker()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCompactRefusesSnapshotlessCheckpoint pins the compaction anchor
+// rule: a version-1 checkpoint carries no live-table snapshot, so the log
+// prefix below it is the only copy of those records — Compact must refuse
+// to anchor on it (dropping the prefix would be unrecoverable data loss
+// returned as success) and must leave the logs untouched.
+func TestCompactRefusesSnapshotlessCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tuples, err := workload.Generate(workload.NYCTaxi, 200, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Broker().PublishInsertBatch(tuples)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&checkpointHeader{
+		Version: 1, InsertOffset: st.Broker().Inserts.Len(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, checkpointName), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Compact(); err == nil {
+		t.Fatal("Compact anchored on a snapshot-less checkpoint: the dropped prefix would exist nowhere")
+	}
+	if base := st.Broker().Inserts.BaseOffset(); base != 0 {
+		t.Fatalf("refused compaction still moved the base to %d", base)
 	}
 }
 

@@ -295,9 +295,13 @@ func writeJSON(path string, v any) error {
 // --- restart snapshot --------------------------------------------------------
 
 // restartReport is the JSON shape of the per-PR durability record
-// (BENCH_PR3.json): what a checkpoint costs to write, and what a warm
-// restart (checkpoint load + archive replay + log-tail replay) saves over
-// the cold rebuild (archive replay + full synopsis re-initialization).
+// (BENCH_PR3.json, extended by BENCH_PR5.json): what a checkpoint costs
+// to write, what a warm restart (checkpoint load + archive restore +
+// log-tail replay) saves over the cold rebuild (archive replay + full
+// synopsis re-initialization), and — since compaction — what rotating the
+// segment logs behind a checkpoint reclaims: the data-dir bytes and the
+// recovery tail-replay counts must drop to O(live data + post-checkpoint
+// tail) regardless of how much churned history the logs accumulated.
 type restartReport struct {
 	Rows                  int     `json:"rows"`
 	TailRecords           int     `json:"tailRecords"`
@@ -306,6 +310,23 @@ type restartReport struct {
 	WarmRestoreMillis     float64 `json:"warmRestoreMillis"`
 	ColdRebuildMillis     float64 `json:"coldRebuildMillis"`
 	WarmSpeedup           float64 `json:"warmSpeedup"`
+
+	// Compaction phase (zero in pre-compaction baselines, which the -check
+	// gate therefore skips): the data dir is churned past the live size,
+	// checkpointed, compacted, and recovered again.
+	ChurnRecords            int     `json:"churnRecords,omitempty"`
+	PostCompactTailRecords  int     `json:"postCompactTailRecords,omitempty"`
+	DataDirBytesPreCompact  int64   `json:"dataDirBytesPreCompact,omitempty"`
+	DataDirBytesPostCompact int64   `json:"dataDirBytesPostCompact,omitempty"`
+	CompactReclaimFactor    float64 `json:"compactReclaimFactor,omitempty"`
+	CompactMillis           float64 `json:"compactMillis,omitempty"`
+	TailReplayPreCompact    int     `json:"tailReplayPreCompact,omitempty"`
+	TailReplayPostCompact   int     `json:"tailReplayPostCompact"`
+	// CompactedRestoreMillis is the zero-to-serving time over the
+	// compacted layout — the steady-state restart a long-lived daemon
+	// pays: snapshot install plus the bounded post-checkpoint tail, with
+	// no O(history) log read in front.
+	CompactedRestoreMillis float64 `json:"compactedRestoreMillis,omitempty"`
 }
 
 // runRestart measures the durability subsystem and writes the snapshot.
@@ -320,6 +341,9 @@ func runRestart(path string, rows int, seed int64) error {
 	fmt.Printf("restart: warm %.1fms vs cold %.1fms (%.1fx), checkpoint %.1fms/%d bytes -> %s\n",
 		rep.WarmRestoreMillis, rep.ColdRebuildMillis, rep.WarmSpeedup,
 		rep.CheckpointWriteMillis, rep.CheckpointBytes, path)
+	fmt.Printf("compact: data dir %d -> %d bytes (%.2fx) in %.1fms; recovery tail replay %d -> %d records; compacted restore %.1fms\n",
+		rep.DataDirBytesPreCompact, rep.DataDirBytesPostCompact, rep.CompactReclaimFactor,
+		rep.CompactMillis, rep.TailReplayPreCompact, rep.TailReplayPostCompact, rep.CompactedRestoreMillis)
 	return nil
 }
 
@@ -404,6 +428,7 @@ func measureRestart(rows int, seed int64) (restartReport, error) {
 	if rec.TailInserts != tailN {
 		return fail(fmt.Errorf("warm restart replayed %d tail records, want %d", rec.TailInserts, tailN))
 	}
+	tailReplayPre := rec.TailInserts + rec.TailDeletes
 	if got := len(warm.Templates()); got != len(templates) {
 		return fail(fmt.Errorf("warm restart restored %d templates, want %d", got, len(templates)))
 	}
@@ -438,7 +463,89 @@ func measureRestart(rows int, seed int64) (restartReport, error) {
 	if got := st3.Broker().Archive().Len(); got != wantRows {
 		return fail(fmt.Errorf("cold rebuild restored %d rows, want %d", got, wantRows))
 	}
+
+	// Compaction: churn the store well past its live size (insert + delete
+	// the same rows, the pattern that makes archival logs grow without
+	// bound), checkpoint, rotate the logs behind it, and recover once more
+	// — the data dir and the recovery tail replay must both land at
+	// O(live data + post-checkpoint tail), independent of the churn.
+	const (
+		churnN    = 20000
+		postTailN = 512
+	)
+	churn, err := workload.Generate(workload.NYCTaxi, churnN, 50_000_000, seed+13)
+	if err != nil {
+		return fail(err)
+	}
+	churnIDs := make([]int64, len(churn))
+	for i, t := range churn {
+		churnIDs[i] = t.ID
+	}
+	for lo := 0; lo < len(churn); lo += 512 {
+		hi := min(lo+512, len(churn))
+		if err := cold.InsertBatch(churn[lo:hi]); err != nil {
+			return fail(err)
+		}
+		if _, err := cold.DeleteBatch(churnIDs[lo:hi]); err != nil {
+			return fail(err)
+		}
+	}
+	if _, err := st3.WriteCheckpoint(cold); err != nil {
+		return fail(err)
+	}
+	postTail, err := workload.Generate(workload.NYCTaxi, postTailN, 60_000_000, seed+17)
+	if err != nil {
+		return fail(err)
+	}
+	if err := cold.InsertBatch(postTail); err != nil {
+		return fail(err)
+	}
+	preBytes, err := dirBytes(dir)
+	if err != nil {
+		return fail(err)
+	}
+	start = time.Now()
+	cinfo, err := st3.Compact()
+	if err != nil {
+		return fail(err)
+	}
+	compactMillis := float64(time.Since(start).Microseconds()) / 1000
+	if cinfo.InsertsDropped == 0 || cinfo.DeletesDropped == 0 {
+		return fail(fmt.Errorf("compaction dropped %d/%d records, want both > 0", cinfo.InsertsDropped, cinfo.DeletesDropped))
+	}
+	postBytes, err := dirBytes(dir)
+	if err != nil {
+		return fail(err)
+	}
 	if err := st3.Close(); err != nil {
+		return fail(err)
+	}
+
+	// Recover the compacted layout: only the post-checkpoint tail replays.
+	start = time.Now()
+	st4, err := janus.OpenStore(dir)
+	if err != nil {
+		return fail(err)
+	}
+	compacted, rec4, err := st4.Recover(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	compactedRestoreMillis := float64(time.Since(start).Microseconds()) / 1000
+	if got := len(compacted.Templates()); got != len(templates) {
+		return fail(fmt.Errorf("post-compaction restart restored %d templates, want %d", got, len(templates)))
+	}
+	if got := st4.Broker().Archive().Len(); got != wantRows+postTailN {
+		return fail(fmt.Errorf("post-compaction restart restored %d rows, want %d", got, wantRows+postTailN))
+	}
+	if base := st4.Broker().Inserts.BaseOffset(); base == 0 {
+		return fail(fmt.Errorf("post-compaction insert log still starts at offset 0"))
+	}
+	tailReplayPost := rec4.TailInserts + rec4.TailDeletes
+	if tailReplayPost != postTailN {
+		return fail(fmt.Errorf("post-compaction restart replayed %d tail records, want %d", tailReplayPost, postTailN))
+	}
+	if err := st4.Close(); err != nil {
 		return fail(err)
 	}
 
@@ -450,7 +557,36 @@ func measureRestart(rows int, seed int64) (restartReport, error) {
 		WarmRestoreMillis:     warmMillis,
 		ColdRebuildMillis:     coldMillis,
 		WarmSpeedup:           coldMillis / warmMillis,
+
+		ChurnRecords:            2 * churnN,
+		PostCompactTailRecords:  postTailN,
+		DataDirBytesPreCompact:  preBytes,
+		DataDirBytesPostCompact: postBytes,
+		CompactReclaimFactor:    float64(preBytes) / float64(postBytes),
+		CompactMillis:           compactMillis,
+		TailReplayPreCompact:    tailReplayPre,
+		TailReplayPostCompact:   tailReplayPost,
+		CompactedRestoreMillis:  compactedRestoreMillis,
 	}, nil
+}
+
+// dirBytes sums the file sizes under dir (one level: data dirs are flat).
+func dirBytes(dir string) (int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			return 0, err
+		}
+		if fi.Mode().IsRegular() {
+			total += fi.Size()
+		}
+	}
+	return total, nil
 }
 
 // --- shard-scaling snapshot --------------------------------------------------
@@ -713,16 +849,29 @@ func runCheck(path string, seed int64, tol float64) error {
 		fmt.Printf("check: rerunning restart suite vs %s (rows=%d, best of %d, tolerance %.0f%%)\n",
 			path, base.Rows, checkRuns, tol*100)
 		bestSpeedup := 0.0
+		bestReclaim := 0.0
+		bestTailReplay := math.MaxInt
 		for r := 0; r < checkRuns; r++ {
 			cur, err := measureRestart(base.Rows, seed)
 			if err != nil {
 				return err
 			}
 			bestSpeedup = math.Max(bestSpeedup, cur.WarmSpeedup)
+			bestReclaim = math.Max(bestReclaim, cur.CompactReclaimFactor)
+			bestTailReplay = min(bestTailReplay, cur.TailReplayPostCompact)
 		}
 		// Absolute restore times track machine speed; the warm/cold ratio is
 		// the durability subsystem's own contribution, so gate on that.
 		g.lower("warm-restart speedup (cold/warm)", base.WarmSpeedup, bestSpeedup)
+		if base.CompactReclaimFactor > 0 {
+			// Compaction-era baseline (BENCH_PR5.json): the data-dir shrink
+			// is a byte ratio at fixed scale and seed — if it decays, churned
+			// history is surviving compaction (the unbounded-growth bug
+			// coming back). The post-compact tail replay is exact at a fixed
+			// seed, so it gates with no slack at all.
+			g.lower("data-dir compaction reclaim factor", base.CompactReclaimFactor, bestReclaim)
+			g.higher("post-compact tail replay records", float64(base.TailReplayPostCompact), float64(bestTailReplay), 0)
+		}
 	default:
 		return fmt.Errorf("%s: unrecognized baseline shape (want a -perf, -restart, or -shards snapshot)", path)
 	}

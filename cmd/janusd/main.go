@@ -25,6 +25,14 @@
 //
 //	janusd -addr :8080 -data /var/lib/janusd
 //
+// By default (-retain compact) the segment logs are rotated behind every
+// checkpoint: the prefix a checkpoint's live-table snapshot made redundant
+// is dropped, so disk, heap, and restart time stay proportional to the
+// live data plus one checkpoint interval of tail rather than growing with
+// total ingest history. -retain all keeps the full archival log; POST
+// /v2/admin/compact triggers a checkpoint-anchored compaction on demand
+// either way.
+//
 // With -shards K (K > 1) the daemon serves a hash-sharded engine group:
 // ingest batches split by tuple id across K engines applied in parallel,
 // and every query scatter-gathers across the shards with merged confidence
@@ -69,6 +77,8 @@ func main() {
 	stream := flag.Float64("stream", 0, "fraction of rows held back and streamed through a followed broker after boot, in [0,1)")
 	dataDir := flag.String("data", "", "durable data directory: segment logs + checkpoints; restarts warm-boot from it")
 	checkpointEvery := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint cadence with -data (0 disables)")
+	retain := flag.String("retain", retainCompact,
+		"durable log retention with -data: 'compact' rotates the segment logs behind every checkpoint (data dir stays O(live data + tail)); 'all' keeps the full Kafka-style archival history")
 	shards := flag.Int("shards", 1, "engine shards: >1 hash-partitions ingest by tuple id across K engines and answers queries by scatter-gather")
 	flag.Parse()
 
@@ -76,12 +86,25 @@ func main() {
 		addr: *addr, dataset: *dataset, rows: *rows, seed: *seed,
 		leafNodes: *leafNodes, sampleRate: *sampleRate, catchUpRate: *catchUpRate,
 		catchUpEvery: *catchUpEvery, autoRepartition: *autoRepartition, stream: *stream,
-		dataDir: *dataDir, checkpointEvery: *checkpointEvery, shards: *shards,
+		dataDir: *dataDir, checkpointEvery: *checkpointEvery, retain: *retain, shards: *shards,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "janusd:", err)
 		os.Exit(1)
 	}
 }
+
+// Retention policies for the durable segment logs.
+const (
+	// retainCompact rotates the logs behind every checkpoint: disk, heap,
+	// and restart cost stay proportional to the live data plus one
+	// checkpoint interval of tail — the default, because a long-lived
+	// daemon's history grows without bound.
+	retainCompact = "compact"
+	// retainAll keeps the full archival history on the logs (the broker's
+	// Kafka-framing default before compaction existed). Compaction then
+	// runs only on demand through POST /v2/admin/compact.
+	retainAll = "all"
+)
 
 type daemonConfig struct {
 	addr, dataset   string
@@ -95,6 +118,7 @@ type daemonConfig struct {
 	stream          float64
 	dataDir         string
 	checkpointEvery time.Duration
+	retain          string
 	shards          int
 }
 
@@ -114,6 +138,9 @@ func run(c daemonConfig) error {
 	}
 	if c.shards < 1 {
 		return fmt.Errorf("-shards must be >= 1, got %d", c.shards)
+	}
+	if c.retain != retainCompact && c.retain != retainAll {
+		return fmt.Errorf("-retain must be %q or %q, got %q", retainCompact, retainAll, c.retain)
 	}
 	if c.dataDir != "" {
 		if err := checkDataLayout(c.dataDir, c.shards); err != nil {
@@ -180,10 +207,17 @@ func run(c daemonConfig) error {
 		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		// Shutdown order: checkpoint, then compact, then (via the boot
+		// paths' defers) Store.Close — the final checkpoint makes the next
+		// boot's log tail empty, compaction shrinks the data dir at rest,
+		// and closing last means no publish ever races a closed log.
 		if opts.Checkpoint != nil {
-			// A final checkpoint makes the next boot's log tail empty.
 			if _, err := opts.Checkpoint(); err != nil {
 				fmt.Fprintln(os.Stderr, "janusd: shutdown checkpoint:", err)
+			} else if opts.Compact != nil && opts.CompactAfterCheckpoint {
+				if _, err := opts.Compact(); err != nil {
+					fmt.Fprintln(os.Stderr, "janusd: shutdown compaction:", err)
+				}
 			}
 		}
 		return nil
@@ -250,6 +284,8 @@ func bootDurable(c daemonConfig, opts *server.Options) (*janus.Store, *janus.Eng
 	}
 
 	opts.Checkpoint = func() (janus.CheckpointInfo, error) { return st.WriteCheckpoint(eng) }
+	opts.Compact = st.Compact
+	opts.CompactAfterCheckpoint = c.retain == retainCompact
 	opts.WriteHealth = st.WriteErr
 	if c.checkpointEvery > 0 {
 		opts.CheckpointInterval = c.checkpointEvery
@@ -449,10 +485,28 @@ func bootShardedDurable(c daemonConfig, opts *server.Options) ([]*janus.Store, s
 			total.Templates = info.Templates
 			total.InsertOffset += info.InsertOffset
 			total.DeleteOffset += info.DeleteOffset
+			total.ArchiveRows += info.ArchiveRows
 			total.Bytes += info.Bytes
 		}
 		return total, nil
 	}
+	opts.Compact = func() (janus.CompactInfo, error) {
+		// Each shard's store compacts independently against its own latest
+		// checkpoint; the reclaim totals aggregate across the group.
+		var total janus.CompactInfo
+		for i, st := range stores {
+			info, err := st.Compact()
+			if err != nil {
+				return janus.CompactInfo{}, fmt.Errorf("shard %d: %w", i, err)
+			}
+			total.InsertsDropped += info.InsertsDropped
+			total.DeletesDropped += info.DeletesDropped
+			total.LogBytesBefore += info.LogBytesBefore
+			total.LogBytesAfter += info.LogBytesAfter
+		}
+		return total, nil
+	}
+	opts.CompactAfterCheckpoint = c.retain == retainCompact
 	opts.WriteHealth = func() error {
 		for i, st := range stores {
 			if err := st.WriteErr(); err != nil {

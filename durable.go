@@ -19,11 +19,15 @@ import (
 //	checkpoint.db   latest engine checkpoint (atomically replaced)
 //
 // Every publish through the store's broker is written through to the logs
-// by the topic layer; WriteCheckpoint snapshots the engine, then fsyncs
-// the logs before publishing the snapshot, so a surviving checkpoint never
-// references records the disk does not hold. Recover composes the two into a warm restart: load the
-// checkpoint, rebuild the archive to the checkpointed offsets, replay the
-// log tail, and hand back an engine that has lost no acknowledged write.
+// by the topic layer; WriteCheckpoint snapshots the engine (synopses,
+// counters, and the live-table archive), then fsyncs the logs before
+// publishing the snapshot, so a surviving checkpoint never references
+// records the disk does not hold. Recover composes the two into a warm
+// restart: load the checkpoint, restore the archive from its snapshot,
+// replay the log tail, and hand back an engine that has lost no
+// acknowledged write. Compact, run after a checkpoint, drops the log
+// prefix the snapshot made redundant, so the data dir holds O(live data +
+// post-checkpoint tail) bytes instead of the full ingest history.
 //
 // Durability granularity: appends reach the operating system on every
 // batch (a process crash loses nothing) and reach stable storage on every
@@ -36,7 +40,8 @@ type Store struct {
 	inserts *os.File
 	deletes *os.File
 	broker  *Broker
-	ckptMu  sync.Mutex // serializes WriteCheckpoint's tmp-and-rename dance
+	ckptMu  sync.Mutex // serializes WriteCheckpoint/Compact/Close I-O
+	closed  bool       // guarded by ckptMu; Close is idempotent
 }
 
 // Store file names.
@@ -52,6 +57,12 @@ const (
 // checkpoint. Match with errors.Is.
 var ErrNoCheckpoint = errors.New("janus: store has no checkpoint")
 
+// ErrStoreClosed is the write error a topic latches when a record is
+// published after Store.Close detached the segment logs: the publish
+// stayed in memory only, and WriteErr reports this sentinel instead of a
+// confusing "file already closed" from the OS. Match with errors.Is.
+var ErrStoreClosed = broker.ErrLogClosed
+
 // OpenStore opens (creating if needed) a durable data directory and
 // recovers its segment logs: invalid tails — a torn append from a crashed
 // writer, or an unflushed region garbled by power loss — are truncated,
@@ -64,7 +75,21 @@ func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("janus: creating data dir: %w", err)
 	}
-	ckIns, ckDel := checkpointedOffsets(dir)
+	// Sweep temp files a crashed checkpoint or compaction left behind:
+	// they were never renamed into place, so they are not data.
+	for _, name := range []string{checkpointName, insertsLogName, deletesLogName} {
+		_ = os.Remove(filepath.Join(dir, name+".tmp"))
+	}
+	ckIns, ckDel, _, err := checkpointedOffsets(dir)
+	if err != nil {
+		// The checkpoint exists but cannot be read, so the safe truncation
+		// bound for the logs is unknown: opening now could destroy
+		// checkpointed bytes an operator could still repair. Refuse before
+		// touching anything. NOTE for operators: do not delete
+		// checkpoint.db to get past this — on a compacted store it holds
+		// the only copy of every record below the logs' base offsets.
+		return nil, fmt.Errorf("janus: %s exists but is unreadable (%v): refusing to recover the segment logs against an unknown bound; restore or repair the checkpoint first", checkpointName, err)
+	}
 	st := &Store{dir: dir}
 	ins, insTopic, err := openLog(filepath.Join(dir, insertsLogName), ckIns)
 	if err != nil {
@@ -81,23 +106,34 @@ func OpenStore(dir string) (*Store, error) {
 }
 
 // checkpointedOffsets reads the topic offsets the latest checkpoint
-// references, or zeros when there is no (readable) checkpoint — the log
-// recovery bound: records below these offsets must never be truncated
-// away. Corruption here is not an error: Recover re-reads and fully
-// validates the checkpoint, and with zero offsets log recovery simply
-// keeps every valid prefix.
-func checkpointedOffsets(dir string) (ins, del int64) {
+// references, or zeros when there is no checkpoint — the log recovery
+// bound: records below these offsets must never be truncated away.
+// hasArchive reports whether that checkpoint carries a live-table
+// snapshot (Compact may only anchor on one that does). A checkpoint file
+// that exists but does not yield a sane header is an error, not a zero:
+// treating unreadable as absent would let openLog truncate bytes that
+// hold checkpointed records before Recover ever got the chance to
+// validate anything.
+func checkpointedOffsets(dir string) (ins, del int64, hasArchive bool, err error) {
 	f, err := os.Open(filepath.Join(dir, checkpointName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, false, nil
+	}
 	if err != nil {
-		return 0, 0
+		return 0, 0, false, err
 	}
 	defer f.Close()
 	var hdr checkpointHeader
-	if gob.NewDecoder(f).Decode(&hdr) != nil || hdr.Version != checkpointVersion ||
-		hdr.InsertOffset < 0 || hdr.DeleteOffset < 0 {
-		return 0, 0
+	if derr := gob.NewDecoder(f).Decode(&hdr); derr != nil {
+		return 0, 0, false, fmt.Errorf("decoding header: %w", derr)
 	}
-	return hdr.InsertOffset, hdr.DeleteOffset
+	if hdr.Version != 1 && hdr.Version != checkpointVersion {
+		return 0, 0, false, fmt.Errorf("unsupported checkpoint version %d", hdr.Version)
+	}
+	if hdr.InsertOffset < 0 || hdr.DeleteOffset < 0 {
+		return 0, 0, false, fmt.Errorf("negative checkpoint offsets %d/%d", hdr.InsertOffset, hdr.DeleteOffset)
+	}
+	return hdr.InsertOffset, hdr.DeleteOffset, hdr.HasArchive, nil
 }
 
 // openLog opens one segment log file, truncates any invalid tail, and
@@ -171,14 +207,103 @@ func (st *Store) Sync() error {
 	return st.broker.Deletes.Sync()
 }
 
-// Close releases the store's file handles. It does not checkpoint; callers
-// wanting a warm next boot should WriteCheckpoint first.
+// Close detaches the topics' write-through writers (under each topic's
+// lock) and then releases the store's file handles, in that order: a
+// publish racing or following Close latches the clean ErrStoreClosed
+// sentinel instead of the OS's "file already closed". Close is
+// idempotent. It does not checkpoint; callers wanting a warm next boot
+// should WriteCheckpoint (and optionally Compact) first, then Close.
 func (st *Store) Close() error {
+	st.ckptMu.Lock()
+	defer st.ckptMu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	st.broker.Inserts.DetachLog()
+	st.broker.Deletes.DetachLog()
 	err := st.inserts.Close()
 	if err2 := st.deletes.Close(); err == nil {
 		err = err2
 	}
 	return err
+}
+
+// CompactInfo describes what one Store.Compact pass reclaimed.
+type CompactInfo struct {
+	// InsertsDropped and DeletesDropped count the records removed from the
+	// segment logs (and from topic memory).
+	InsertsDropped int64 `json:"insertsDropped"`
+	DeletesDropped int64 `json:"deletesDropped"`
+	// LogBytesBefore and LogBytesAfter are the combined segment-log sizes
+	// around the rotation.
+	LogBytesBefore int64 `json:"logBytesBefore"`
+	LogBytesAfter  int64 `json:"logBytesAfter"`
+}
+
+// Compact drops the segment-log prefix the latest durable checkpoint has
+// made redundant: the checkpoint's archive snapshot is the net effect of
+// every record below its offsets, so those records are rewritten away —
+// from disk (each log is atomically replaced by a version-2 segment
+// anchored at the checkpoint's offset) and from topic memory. Published
+// offsets and Seq numbers are untouched: pollers, followers, and
+// MinSyncOffset waiters observe nothing.
+//
+// Compact anchors on the checkpoint that is durably on disk, not on any
+// in-flight snapshot, and each rotation is tmp+rename+dir-fsync — a crash
+// at any point (before either rotation, between them, or before the
+// directory fsync) leaves a directory Recover handles. Call it after
+// WriteCheckpoint returns; a store with no checkpoint reports
+// ErrNoCheckpoint. Compacting is safe to repeat — a second pass against
+// the same checkpoint is a no-op.
+func (st *Store) Compact() (CompactInfo, error) {
+	st.ckptMu.Lock()
+	defer st.ckptMu.Unlock()
+	if st.closed {
+		return CompactInfo{}, ErrStoreClosed
+	}
+	ckIns, ckDel, hasArchive, err := checkpointedOffsets(st.dir)
+	if err != nil {
+		return CompactInfo{}, fmt.Errorf("janus: compaction anchor: %w", err)
+	}
+	if _, serr := os.Stat(filepath.Join(st.dir, checkpointName)); errors.Is(serr, os.ErrNotExist) {
+		return CompactInfo{}, ErrNoCheckpoint
+	}
+	if !hasArchive {
+		// A version-1 checkpoint carries no live-table snapshot: the log
+		// prefix is the ONLY copy of those records, and dropping it would
+		// be unrecoverable data loss dressed up as success. Write a fresh
+		// checkpoint (always version 2) and compact against that.
+		return CompactInfo{}, fmt.Errorf("janus: the durable checkpoint predates archive snapshots and cannot anchor a compaction; write a new checkpoint first")
+	}
+	info := CompactInfo{LogBytesBefore: st.logBytes()}
+	insPath := filepath.Join(st.dir, insertsLogName)
+	delPath := filepath.Join(st.dir, deletesLogName)
+	if f, stats, err := st.broker.Inserts.CompactTo(ckIns, insPath); err != nil {
+		return CompactInfo{}, fmt.Errorf("janus: compacting %s: %w", insertsLogName, err)
+	} else if f != nil {
+		st.inserts = f
+		info.InsertsDropped = stats.Dropped
+	}
+	if f, stats, err := st.broker.Deletes.CompactTo(ckDel, delPath); err != nil {
+		return info, fmt.Errorf("janus: compacting %s: %w", deletesLogName, err)
+	} else if f != nil {
+		st.deletes = f
+		info.DeletesDropped = stats.Dropped
+	}
+	info.LogBytesAfter = st.logBytes()
+	return info, nil
+}
+
+// logBytes sums the current segment-log file sizes.
+func (st *Store) logBytes() int64 {
+	var total int64
+	for _, name := range []string{insertsLogName, deletesLogName} {
+		if fi, err := os.Stat(filepath.Join(st.dir, name)); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
 }
 
 // WriteCheckpoint snapshots the engine into the store. Ordering is what
@@ -244,11 +369,15 @@ type RecoveryInfo struct {
 	Follow SyncState
 }
 
-// Recover performs the warm-restart read path over the store: it loads the
-// latest checkpoint into a fresh engine over the store's broker, rebuilds
-// the archive to the checkpointed offsets, replays the durable log tail
-// onto the archive and the synopses, and returns the engine ready to
-// serve — every acknowledged write on disk is reflected, none twice.
+// Recover performs the warm-restart read path over the store: it loads
+// the latest checkpoint into a fresh engine over the store's broker,
+// restores the archive to the checkpointed offsets — from the image's
+// live-table snapshot when it carries one, else by replaying the full log
+// prefix — replays the durable log tail onto the archive and the
+// synopses, and returns the engine ready to serve: every acknowledged
+// write on disk is reflected, none twice. Over a compacted store the
+// whole restart is bounded by O(live data + post-checkpoint tail), never
+// by total ingest history.
 //
 // A store with no checkpoint returns ErrNoCheckpoint after replaying any
 // existing log records into the archive, so a process that crashed before
@@ -265,7 +394,7 @@ func (st *Store) Recover(cfg Config) (*Engine, RecoveryInfo, error) {
 		return nil, RecoveryInfo{}, fmt.Errorf("janus: opening checkpoint: %w", err)
 	}
 	defer f.Close()
-	eng, state, err := OpenCheckpoint(f, cfg, st.broker)
+	eng, state, hasArchive, err := openCheckpoint(f, cfg, st.broker)
 	if err != nil {
 		return nil, RecoveryInfo{}, err
 	}
@@ -277,9 +406,23 @@ func (st *Store) Recover(cfg Config) (*Engine, RecoveryInfo, error) {
 			"janus: checkpoint is ahead of the durable log (checkpoint %d/%d, log %d/%d): data dir is corrupt",
 			state.InsertOffset, state.DeleteOffset, st.broker.Inserts.Len(), st.broker.Deletes.Len())
 	}
+	if ib, db := st.broker.Inserts.BaseOffset(), st.broker.Deletes.BaseOffset(); state.InsertOffset < ib || state.DeleteOffset < db {
+		// The logs were compacted past this checkpoint (e.g. an older
+		// checkpoint.db restored by hand over a compacted layout): the gap
+		// between the checkpoint and the log base exists nowhere, so
+		// serving would silently lose it.
+		return nil, RecoveryInfo{}, fmt.Errorf(
+			"janus: checkpoint (offsets %d/%d) predates the compacted log base (%d/%d): the records between them are gone; restore the checkpoint the logs were compacted against",
+			state.InsertOffset, state.DeleteOffset, ib, db)
+	}
 	info := RecoveryInfo{Templates: len(eng.Templates()), Checkpoint: state}
-	if err := st.broker.RestoreArchive(state.InsertOffset, state.DeleteOffset); err != nil {
-		return nil, RecoveryInfo{}, err
+	if !hasArchive {
+		// Version-1 image: the archive is not in the checkpoint, so the
+		// full log prefix must still be on disk (RestoreArchive refuses
+		// compacted logs).
+		if err := st.broker.RestoreArchive(state.InsertOffset, state.DeleteOffset); err != nil {
+			return nil, RecoveryInfo{}, err
+		}
 	}
 	info.TailInserts, info.TailDeletes, info.TailRejected = eng.replayLogTail(&state)
 	info.Follow = eng.FollowOffsets()

@@ -15,6 +15,9 @@
 //     maintains a live-table Archive supporting uniform random sampling of
 //     the *current* database state, used for reservoir re-draws and
 //     catch-up sampling (Section 2.1 allows offline access to cold storage).
+//     Durable deployments may trade the archival property for bounded
+//     growth: once a checkpoint pins a live-table snapshot, the log prefix
+//     below it is redundant and CompactTo drops it from memory and disk.
 //
 // Network and API overheads are modeled with a deterministic per-poll cost
 // model instead of real I/O so that the Table 4 sampler experiment is
@@ -59,20 +62,33 @@ type Record struct {
 // OpenTopic): every append is then encoded and written through to the
 // attached writer under the topic lock, so the on-disk log is always a
 // prefix-consistent image of the in-memory one.
+//
+// A topic may be compacted (CompactTo): records below a base offset are
+// dropped from memory and disk once a checkpoint pins an equivalent
+// live-table snapshot. Offsets are stable across compaction — Append keeps
+// returning globally monotone offsets, Len keeps counting from record
+// zero, and Poll simply cannot reach below BaseOffset anymore.
 type Topic struct {
-	mu   sync.RWMutex
+	mu sync.RWMutex
+	// base is the global offset of recs[0]: records below it were
+	// compacted away after a checkpoint made them redundant. Zero for a
+	// topic that retains its full history.
+	base int64
 	recs []Record
 
 	// Durable backing state (persist.go). persisted counts records already
-	// encoded to w; magicOnLog records that the attached log already starts
-	// with the log magic (set by OpenTopic, or by Persist after writing it),
-	// so a topic restored from a header-only log never writes a second
-	// header; werr latches the first write-through failure so Sync can
-	// report it.
+	// encoded to w (as an index into recs, i.e. relative to base);
+	// magicOnLog records that the attached log already starts with the log
+	// magic (set by OpenTopic, or by Persist after writing it), so a topic
+	// restored from a header-only log never writes a second header; werr
+	// latches the first write-through failure so Sync can report it;
+	// detached marks a log deliberately closed (Store.Close), so a later
+	// append latches ErrLogClosed instead of a confusing file error.
 	w          io.Writer
 	persisted  int
 	magicOnLog bool
 	werr       error
+	detached   bool
 }
 
 // Append adds a record to the end of the log and returns its offset.
@@ -81,7 +97,7 @@ func (t *Topic) Append(r Record) int64 {
 	defer t.mu.Unlock()
 	t.recs = append(t.recs, r)
 	t.writeThroughLocked()
-	return int64(len(t.recs) - 1)
+	return t.base + int64(len(t.recs)-1)
 }
 
 // AppendBatch adds records to the end of the log under one lock
@@ -89,28 +105,41 @@ func (t *Topic) Append(r Record) int64 {
 func (t *Topic) AppendBatch(recs []Record) int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	first := int64(len(t.recs))
+	first := t.base + int64(len(t.recs))
 	t.recs = append(t.recs, recs...)
 	t.writeThroughLocked()
 	return first
 }
 
-// Len returns the number of records in the log.
+// Len returns the number of records ever appended to the log — the next
+// offset to be assigned. Compaction does not change it: offsets published
+// to pollers, followers, and checkpoints stay stable.
 func (t *Topic) Len() int64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return int64(len(t.recs))
+	return t.base + int64(len(t.recs))
+}
+
+// BaseOffset returns the lowest offset the topic still holds. Zero until
+// the topic is compacted; records below it live only in checkpoints.
+func (t *Topic) BaseOffset() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.base
 }
 
 // Poll returns up to max records starting at offset, mirroring the Kafka
 // consumer poll() API. It returns the batch and the next offset to poll
-// from. Polling past the end returns an empty batch.
+// from. Polling past the end returns an empty batch; polling below the
+// compaction base returns records from the base (consumers needing the
+// compacted prefix must bootstrap from a checkpoint's archive snapshot —
+// check BaseOffset when attaching below it).
 func (t *Topic) Poll(offset int64, max int) ([]Record, int64) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	n := int64(len(t.recs))
-	if offset < 0 {
-		offset = 0
+	n := t.base + int64(len(t.recs))
+	if offset < t.base {
+		offset = t.base
 	}
 	if offset >= n {
 		return nil, n
@@ -120,7 +149,7 @@ func (t *Topic) Poll(offset int64, max int) ([]Record, int64) {
 		end = n
 	}
 	out := make([]Record, end-offset)
-	copy(out, t.recs[offset:end])
+	copy(out, t.recs[offset-t.base:end-t.base])
 	return out, end
 }
 
@@ -235,6 +264,19 @@ type Archive struct {
 // NewArchive returns an empty archive.
 func NewArchive() *Archive {
 	return &Archive{pos: make(map[int64]int)}
+}
+
+// grow pre-sizes an empty archive for n upcoming rows, so a bulk restore
+// pays one allocation instead of a rehash cascade. A no-op once the
+// archive holds anything, or for a non-positive n.
+func (a *Archive) grow(n int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.items) != 0 || n <= 0 {
+		return
+	}
+	a.pos = make(map[int64]int, n)
+	a.items = make([]data.Tuple, 0, n)
 }
 
 // Insert stores t. Inserting a live ID twice panics: stream producers must

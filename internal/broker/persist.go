@@ -13,18 +13,57 @@
 // reports how many bytes it spans, so recovery truncates the file there
 // and appending resumes from a clean end. Corruption never panics — a log
 // that fails its CRC simply ends early, exactly like a crash mid-append.
+//
+// A compacted segment (written by CompactTo after a checkpoint made the
+// prefix redundant) carries a version-2 header recording the base offset
+// its first frame sits at, CRC-protected like every frame — a flipped
+// bit in the base would silently shift every record's offset:
+//
+//	"JANUSLOG2\n"
+//	[uint64 base offset][uint32 CRC-32 of the base word]
+//	repeat: [uint32 payload length][uint32 CRC-32 of payload][payload]
+//
+// Both versions stay readable; fresh logs are written as version 1 (base
+// zero needs no header word).
 package broker
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
+
+	"janusaqp/internal/data"
 )
 
 // logMagic heads every segment log file.
 const logMagic = "JANUSLOG1\n"
+
+// logMagicV2 heads a compacted segment log; an 8-byte little-endian base
+// offset and its 4-byte CRC-32 follow it before the first frame.
+const logMagicV2 = "JANUSLOG2\n"
+
+// logBaseLen is the size of the v2 header's base word plus its CRC.
+const logBaseLen = 8 + 4
+
+// ErrLogClosed is latched as a topic's write error when a record is
+// appended after its segment log was deliberately detached (Store.Close):
+// the append stays in memory, the log stops persisting, and durability
+// checks report this sentinel instead of a confusing file error.
+var ErrLogClosed = errors.New("broker: segment log closed")
+
+// ErrOversizedRecord is latched as a topic's write error when a single
+// record's frame would exceed MaxTornBytes: writing it would violate the
+// torn-write bound recovery relies on, and even a fully written oversized
+// frame could never be read back (OpenTopic caps frames at
+// maxRecordBytes), stranding every record behind it. The record stays in
+// memory only; the log stops persisting so nothing after it is
+// acknowledged as durable.
+var ErrOversizedRecord = errors.New("broker: record exceeds the maximum durable frame size")
 
 // maxRecordBytes caps one framed payload. A record is a tuple plus a few
 // words of framing; anything larger is corruption, and bounding the length
@@ -46,46 +85,38 @@ const MaxTupleAttrs = (maxRecordBytes - 25) / 8
 // truncate it rather than silently discard acknowledged records.
 const MaxTornBytes = 8 + maxRecordBytes
 
-// encodeRecord appends r's payload encoding to buf and returns it.
-func encodeRecord(buf []byte, r Record) []byte {
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Seq))
-	buf = append(buf, byte(r.Kind))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Tuple.ID))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Tuple.Key)))
-	for _, v := range r.Tuple.Key {
+// encodeTuple appends t's fixed-width little-endian encoding to buf: id,
+// then each attribute vector as a length word followed by float64 bits.
+func encodeTuple(buf []byte, t data.Tuple) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.ID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.Key)))
+	for _, v := range t.Key {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 	}
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Tuple.Vals)))
-	for _, v := range r.Tuple.Vals {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.Vals)))
+	for _, v := range t.Vals {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 	}
 	return buf
 }
 
-// decodeRecord parses one payload produced by encodeRecord.
-func decodeRecord(p []byte) (Record, error) {
-	var r Record
-	need := func(n int) error {
-		if len(p) < n {
-			return fmt.Errorf("broker: truncated record payload")
-		}
-		return nil
+// decodeTuple parses one tuple produced by encodeTuple from the front of
+// p, returning the rest of p.
+func decodeTuple(p []byte) (data.Tuple, []byte, error) {
+	var t data.Tuple
+	if len(p) < 8+4 {
+		return t, nil, fmt.Errorf("broker: truncated tuple encoding")
 	}
-	if err := need(8 + 1 + 8 + 4); err != nil {
-		return r, err
-	}
-	r.Seq = int64(binary.LittleEndian.Uint64(p))
-	r.Kind = Kind(p[8])
-	if r.Kind != KindInsert && r.Kind != KindDelete {
-		return r, fmt.Errorf("broker: unknown record kind %d", r.Kind)
-	}
-	r.Tuple.ID = int64(binary.LittleEndian.Uint64(p[9:]))
-	p = p[17:]
+	t.ID = int64(binary.LittleEndian.Uint64(p))
+	p = p[8:]
 	readFloats := func() ([]float64, error) {
+		if len(p) < 4 {
+			return nil, fmt.Errorf("broker: truncated tuple encoding")
+		}
 		n := int(binary.LittleEndian.Uint32(p))
 		p = p[4:]
 		if n < 0 || n > maxRecordBytes/8 || len(p) < 8*n {
-			return nil, fmt.Errorf("broker: record declares %d attributes in %d bytes", n, len(p))
+			return nil, fmt.Errorf("broker: tuple declares %d attributes in %d bytes", n, len(p))
 		}
 		if n == 0 {
 			return nil, nil
@@ -99,20 +130,118 @@ func decodeRecord(p []byte) (Record, error) {
 	}
 	key, err := readFloats()
 	if err != nil {
-		return r, err
-	}
-	if err := need(4); err != nil {
-		return r, err
+		return t, nil, err
 	}
 	vals, err := readFloats()
 	if err != nil {
-		return r, err
+		return t, nil, err
+	}
+	t.Key = key
+	t.Vals = vals
+	return t, p, nil
+}
+
+// EncodeTupleChunk encodes a batch of tuples as one length-prefixed
+// binary blob — the engine checkpoint's archive-snapshot chunk format
+// (the fixed-width codec decodes an order of magnitude faster than
+// reflective encodings, and restart latency rides on it).
+func EncodeTupleChunk(tuples []data.Tuple) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(tuples)))
+	for _, t := range tuples {
+		buf = encodeTuple(buf, t)
+	}
+	return buf
+}
+
+// DecodeTupleChunk parses a chunk produced by EncodeTupleChunk. Every
+// byte must be consumed and the declared count must hold — snapshot bytes
+// are untrusted, and a short chunk is corruption, never a panic. All
+// attribute vectors of a chunk share one backing array: a restart decodes
+// hundreds of thousands of tuples, and per-tuple slice allocations turn
+// recovery into a garbage-collection benchmark.
+func DecodeTupleChunk(p []byte) ([]data.Tuple, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("broker: truncated tuple chunk")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	// A tuple encodes to at least 16 bytes (id + two length words), so the
+	// payload bounds the count tightly — a corrupt count must fail here,
+	// not allocate gigabytes before the per-entry checks see it.
+	if n < 0 || n > len(p)/16 {
+		return nil, fmt.Errorf("broker: tuple chunk declares %d tuples in %d bytes", n, len(p))
+	}
+	// Every float64 takes 8 encoded bytes, so the payload bounds the arena;
+	// the arena must never regrow or earlier subslices would detach.
+	arena := make([]float64, 0, len(p)/8)
+	carve := func() ([]float64, error) {
+		if len(p) < 4 {
+			return nil, fmt.Errorf("broker: truncated tuple chunk")
+		}
+		k := int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		if k < 0 || len(p) < 8*k {
+			return nil, fmt.Errorf("broker: tuple declares %d attributes in %d bytes", k, len(p))
+		}
+		if k == 0 {
+			return nil, nil
+		}
+		lo := len(arena)
+		for i := 0; i < k; i++ {
+			arena = append(arena, math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:])))
+		}
+		p = p[8*k:]
+		return arena[lo : lo+k : lo+k], nil
+	}
+	out := make([]data.Tuple, n)
+	for i := range out {
+		if len(p) < 8 {
+			return nil, fmt.Errorf("broker: tuple chunk entry %d/%d: truncated", i+1, n)
+		}
+		out[i].ID = int64(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+		key, err := carve()
+		if err != nil {
+			return nil, fmt.Errorf("broker: tuple chunk entry %d/%d: %w", i+1, n, err)
+		}
+		vals, err := carve()
+		if err != nil {
+			return nil, fmt.Errorf("broker: tuple chunk entry %d/%d: %w", i+1, n, err)
+		}
+		out[i].Key, out[i].Vals = key, vals
 	}
 	if len(p) != 0 {
-		return r, fmt.Errorf("broker: %d trailing bytes in record payload", len(p))
+		return nil, fmt.Errorf("broker: %d trailing bytes in tuple chunk", len(p))
 	}
-	r.Tuple.Key = key
-	r.Tuple.Vals = vals
+	return out, nil
+}
+
+// encodeRecord appends r's payload encoding to buf and returns it.
+func encodeRecord(buf []byte, r Record) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Seq))
+	buf = append(buf, byte(r.Kind))
+	return encodeTuple(buf, r.Tuple)
+}
+
+// decodeRecord parses one payload produced by encodeRecord.
+func decodeRecord(p []byte) (Record, error) {
+	var r Record
+	if len(p) < 8+1 {
+		return r, fmt.Errorf("broker: truncated record payload")
+	}
+	r.Seq = int64(binary.LittleEndian.Uint64(p))
+	r.Kind = Kind(p[8])
+	if r.Kind != KindInsert && r.Kind != KindDelete {
+		return r, fmt.Errorf("broker: unknown record kind %d", r.Kind)
+	}
+	t, rest, err := decodeTuple(p[9:])
+	if err != nil {
+		return r, err
+	}
+	if len(rest) != 0 {
+		return r, fmt.Errorf("broker: %d trailing bytes in record payload", len(rest))
+	}
+	r.Tuple = t
 	return r, nil
 }
 
@@ -144,12 +273,37 @@ func OpenTopic(r io.Reader) (*Topic, int64, error) {
 		// Shorter than the magic: a crash during the very first write.
 		return t, 0, nil
 	}
-	if string(all[:len(logMagic)]) != logMagic {
+	header := int64(len(logMagic))
+	switch string(all[:len(logMagic)]) {
+	case logMagic:
+	case logMagicV2:
+		// Compacted segment: the base offset (and its CRC) follows the
+		// magic. CompactTo fsyncs the whole rewrite before renaming it into
+		// place, so a visible v2 log always carries its full header — a
+		// shorter file is corruption, not a torn append, and guessing a
+		// base would replay records at the wrong offsets. The CRC matters
+		// for the same reason: a flipped bit in the base shifts every
+		// record, turning tail replay into double-apply or silent loss.
+		if len(all) < len(logMagicV2)+logBaseLen {
+			return nil, 0, fmt.Errorf("broker: compacted segment log is missing its base offset")
+		}
+		word := all[len(logMagicV2) : len(logMagicV2)+8]
+		sum := binary.LittleEndian.Uint32(all[len(logMagicV2)+8:])
+		if crc32.ChecksumIEEE(word) != sum {
+			return nil, 0, fmt.Errorf("broker: compacted segment log base offset fails its checksum")
+		}
+		base := int64(binary.LittleEndian.Uint64(word))
+		if base < 0 {
+			return nil, 0, fmt.Errorf("broker: compacted segment log declares negative base offset %d", base)
+		}
+		t.base = base
+		header += logBaseLen
+	default:
 		return nil, 0, fmt.Errorf("broker: not a segment log (bad magic)")
 	}
 	t.magicOnLog = true
-	valid := int64(len(logMagic))
-	p := all[len(logMagic):]
+	valid := header
+	p := all[header:]
 	for len(p) >= 8 {
 		n := int(binary.LittleEndian.Uint32(p))
 		sum := binary.LittleEndian.Uint32(p[4:])
@@ -208,9 +362,19 @@ func (t *Topic) Persist(w io.Writer) error {
 // Writes are chunked to at most MaxTornBytes each: recovery's torn-tail
 // bound assumes a crashed writer can leave at most one partial write
 // behind, so a single unbounded batch write would let a mid-batch crash
-// produce an invalid suffix recovery refuses to truncate.
+// produce an invalid suffix recovery refuses to truncate. A single frame
+// that already exceeds the bound (a tuple wider than MaxTupleAttrs,
+// appended by a caller that bypassed ingest admission) is never written:
+// it latches ErrOversizedRecord instead, because one unbounded write would
+// break the same invariant and the frame could not be read back anyway.
 func (t *Topic) writeThroughLocked() {
-	if t.w == nil || t.werr != nil || t.persisted >= len(t.recs) {
+	if t.w == nil {
+		if t.detached && t.werr == nil && t.persisted < len(t.recs) {
+			t.werr = ErrLogClosed
+		}
+		return
+	}
+	if t.werr != nil || t.persisted >= len(t.recs) {
 		return
 	}
 	var buf []byte
@@ -226,6 +390,14 @@ func (t *Topic) writeThroughLocked() {
 	}
 	for _, r := range t.recs[t.persisted:] {
 		frame := frameRecord(nil, r)
+		if len(frame) > MaxTornBytes {
+			if !flush() {
+				return
+			}
+			t.werr = fmt.Errorf("broker: record at offset %d frames to %d bytes (max %d): %w",
+				t.base+int64(t.persisted), len(frame), MaxTornBytes, ErrOversizedRecord)
+			return
+		}
 		if len(buf) > 0 && len(buf)+len(frame) > MaxTornBytes {
 			if !flush() {
 				return
@@ -237,6 +409,130 @@ func (t *Topic) writeThroughLocked() {
 	if len(buf) > 0 {
 		flush()
 	}
+}
+
+// DetachLog detaches the topic's segment log without flushing or closing
+// it (the caller owns the file handle): the next append — which can no
+// longer be persisted — latches ErrLogClosed so durability checks fail
+// cleanly instead of hitting a closed file. Records already written stay
+// on the log; a clean shutdown (checkpoint, detach, close) latches
+// nothing.
+func (t *Topic) DetachLog() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.w = nil
+	t.detached = true
+}
+
+// CompactStats reports what one segment rotation dropped.
+type CompactStats struct {
+	// Dropped is the number of records removed from memory and disk.
+	Dropped int64
+	// BytesAfter is the size of the rewritten segment file.
+	BytesAfter int64
+}
+
+// CompactTo drops every record below newBase from the topic — memory and
+// disk — by rewriting the segment log at path to hold only the surviving
+// tail under a version-2 header that records the base. The caller must
+// hold a durable checkpoint at or beyond newBase: the dropped prefix
+// survives only as the checkpoint's archive snapshot.
+//
+// The rewrite is crash-consistent the same way a checkpoint publish is:
+// the tail is streamed to path+".tmp" and fsynced, the temp file is
+// atomically renamed over path, and the directory is fsynced. A crash at
+// any point leaves either the full old segment or the complete compacted
+// one, never a mix. On success the returned file is the topic's new
+// write-through target (the old writer is closed) and the caller should
+// retain it for Close. A newBase at or below the current base is a no-op
+// returning a nil file — the caller keeps its old handle.
+//
+// The topic lock is held for the whole rewrite, so publishes stall for
+// its duration; callers compact right after a checkpoint, when the
+// surviving tail is small.
+func (t *Topic) CompactTo(newBase int64, path string) (*os.File, CompactStats, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if newBase <= t.base {
+		return nil, CompactStats{}, nil
+	}
+	if t.werr != nil {
+		return nil, CompactStats{}, fmt.Errorf("broker: refusing to compact a log that stopped persisting: %w", t.werr)
+	}
+	if t.w == nil {
+		return nil, CompactStats{}, fmt.Errorf("broker: topic has no segment log attached")
+	}
+	end := t.base + int64(len(t.recs))
+	if newBase > end {
+		return nil, CompactStats{}, fmt.Errorf("broker: compaction base %d is beyond the log end %d", newBase, end)
+	}
+	drop := int(newBase - t.base)
+	if drop > t.persisted {
+		// Unreachable when anchored at a durable checkpoint (its records
+		// were written through before the checkpoint published), but never
+		// drop bytes the disk does not hold.
+		return nil, CompactStats{}, fmt.Errorf("broker: compaction base %d is past the persisted watermark %d",
+			newBase, t.base+int64(t.persisted))
+	}
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, CompactStats{}, fmt.Errorf("broker: creating compacted segment: %w", err)
+	}
+	fail := func(err error) (*os.File, CompactStats, error) {
+		f.Close()
+		os.Remove(tmp)
+		return nil, CompactStats{}, err
+	}
+	hdr := make([]byte, 0, len(logMagicV2)+logBaseLen)
+	hdr = append(hdr, logMagicV2...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(newBase))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(hdr[len(logMagicV2):]))
+	if _, err := f.Write(hdr); err != nil {
+		return fail(fmt.Errorf("broker: writing compacted segment header: %w", err))
+	}
+	var buf []byte
+	for _, r := range t.recs[drop:] {
+		buf = frameRecord(buf, r)
+		if len(buf) > MaxTornBytes {
+			if _, err := f.Write(buf); err != nil {
+				return fail(fmt.Errorf("broker: writing compacted segment: %w", err))
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := f.Write(buf); err != nil {
+			return fail(fmt.Errorf("broker: writing compacted segment: %w", err))
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("broker: syncing compacted segment: %w", err))
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fail(fmt.Errorf("broker: publishing compacted segment: %w", err))
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+
+	// The renamed handle is the new write-through target; the old one is
+	// ours to discard (its inode was just replaced).
+	if c, ok := t.w.(io.Closer); ok {
+		_ = c.Close()
+	}
+	t.w = f
+	t.recs = append([]Record(nil), t.recs[drop:]...)
+	t.base = newBase
+	t.persisted = len(t.recs)
+	t.magicOnLog = true
+	return f, CompactStats{Dropped: int64(drop), BytesAfter: size}, nil
 }
 
 // WriteErr reports the latched write-through failure, if any, without
@@ -320,6 +616,15 @@ func (b *Broker) RestoreArchive(insTo, delTo int64) (err error) {
 	if n := b.archive.Len(); n != 0 {
 		return fmt.Errorf("broker: archive replay needs an empty archive, have %d rows", n)
 	}
+	if base := b.Inserts.BaseOffset(); base > 0 {
+		return fmt.Errorf("broker: cannot replay the archive from offset 0: the insert log was compacted to base %d (the prefix lives in the checkpoint's archive snapshot)", base)
+	}
+	if base := b.Deletes.BaseOffset(); base > 0 {
+		return fmt.Errorf("broker: cannot replay the archive from offset 0: the delete log was compacted to base %d (the prefix lives in the checkpoint's archive snapshot)", base)
+	}
+	// The replay applies at most insTo inserts; pre-sizing spares the
+	// archive a rehash cascade on big logs.
+	b.archive.grow(insTo)
 	b.ReplayMerged(0, insTo, 0, delTo, func(r Record) {
 		switch r.Kind {
 		case KindInsert:
@@ -330,3 +635,29 @@ func (b *Broker) RestoreArchive(insTo, delTo int64) (err error) {
 	})
 	return nil
 }
+
+// RestoreArchiveSnapshot appends one chunk of a checkpoint's live-table
+// image to the archive, preserving the saved iteration order — the
+// compacted counterpart of RestoreArchive: instead of replaying the log
+// prefix the checkpoint already reflects, the snapshot is the prefix's
+// net effect, streamed in chunks. Order matters for determinism: the
+// archive's internal layout feeds uniform sampling, so a restored engine
+// must see exactly the layout the checkpointed one had. The caller is
+// responsible for starting from an empty archive; a duplicate id in the
+// snapshot errors rather than panicking — recovery fails loudly, it does
+// not take the daemon down.
+func (b *Broker) RestoreArchiveSnapshot(tuples []data.Tuple) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("broker: archive snapshot install: %v", r)
+		}
+	}()
+	b.archive.InsertBatch(tuples)
+	return nil
+}
+
+// GrowArchive pre-sizes an empty archive for n upcoming rows. Restores
+// call it once the row count is trustworthy (after the first snapshot
+// chunk decodes cleanly) so a bulk install pays one allocation instead of
+// a rehash cascade; it is a no-op on a non-empty archive.
+func (b *Broker) GrowArchive(n int64) { b.archive.grow(n) }

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -264,6 +265,292 @@ func TestWriteThroughChunksLargeBatches(t *testing.T) {
 	}
 	if got.Len() != 12 || valid != int64(w.buf.Len()) {
 		t.Fatalf("chunked log restored %d records with %d/%d valid bytes", got.Len(), valid, w.buf.Len())
+	}
+}
+
+// TestCompactToRoundTrip pins the rotation contract: records below the
+// base vanish from memory and disk, published offsets stay stable,
+// appends keep flowing through the new segment, and a reopen restores the
+// same base and records.
+func TestCompactToRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inserts.log")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := &Topic{}
+	if err := tp.Persist(f); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		tp.Append(Record{Kind: KindInsert, Tuple: ptup(int64(i), float64(i), 1), Seq: int64(i)})
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nf, stats, err := tp.CompactTo(7, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nf.Close()
+	if stats.Dropped != 7 {
+		t.Fatalf("compaction dropped %d records, want 7", stats.Dropped)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", before.Size(), after.Size())
+	}
+	if tp.Len() != 10 || tp.BaseOffset() != 7 {
+		t.Fatalf("after compaction Len=%d base=%d, want 10/7", tp.Len(), tp.BaseOffset())
+	}
+	// Polling below the base clamps to it; offsets above are untouched.
+	recs, next := tp.Poll(0, 100)
+	if len(recs) != 3 || recs[0].Tuple.ID != 8 || next != 10 {
+		t.Fatalf("Poll(0) after compaction: %d records starting at id %d, next %d", len(recs), recs[0].Tuple.ID, next)
+	}
+	// Appends continue with stable offsets, written through to the new file.
+	if off := tp.Append(Record{Kind: KindInsert, Tuple: ptup(11, 11, 1), Seq: 11}); off != 10 {
+		t.Fatalf("post-compaction append at offset %d, want 10", off)
+	}
+	if err := tp.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	tp2, valid, err := openLogFile(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := os.Stat(path)
+	if valid != fi.Size() {
+		t.Fatalf("reopened compacted log valid to %d of %d bytes", valid, fi.Size())
+	}
+	if tp2.Len() != 11 || tp2.BaseOffset() != 7 {
+		t.Fatalf("reopened compacted log Len=%d base=%d, want 11/7", tp2.Len(), tp2.BaseOffset())
+	}
+	recs, _ = tp2.Poll(7, 10)
+	if len(recs) != 4 || recs[0].Tuple.ID != 8 || recs[3].Tuple.ID != 11 {
+		t.Fatalf("reopened compacted records: %+v", recs)
+	}
+
+	// A second compaction at or below the base is a no-op.
+	if nf2, stats2, err := tp2.CompactTo(7, path); err != nil || nf2 != nil || stats2.Dropped != 0 {
+		t.Fatalf("re-compaction at the base: file=%v stats=%+v err=%v", nf2, stats2, err)
+	}
+	// Compacting beyond the end refuses.
+	f3, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f3.Close()
+	if _, err := f3.Seek(valid, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp2.Persist(f3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tp2.CompactTo(12, path); err == nil {
+		t.Fatal("compaction past the log end must error")
+	}
+}
+
+// TestCompactToEmptyTail covers full compaction: every record dropped,
+// the segment is header-plus-base only, and the topic stays appendable.
+func TestCompactToEmptyTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "deletes.log")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := &Topic{}
+	if err := tp.Persist(f); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		tp.Append(Record{Kind: KindDelete, Tuple: data.Tuple{ID: int64(i)}, Seq: int64(i)})
+	}
+	nf, stats, err := tp.CompactTo(5, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nf.Close()
+	if stats.Dropped != 5 || stats.BytesAfter != int64(len(logMagicV2)+logBaseLen) {
+		t.Fatalf("full compaction stats %+v", stats)
+	}
+	if off := tp.Append(Record{Kind: KindDelete, Tuple: data.Tuple{ID: 6}, Seq: 6}); off != 5 {
+		t.Fatalf("append after full compaction at offset %d, want 5", off)
+	}
+	tp2, _, err := openLogFile(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp2.Len() != 6 || tp2.BaseOffset() != 5 {
+		t.Fatalf("reopened fully compacted log Len=%d base=%d, want 6/5", tp2.Len(), tp2.BaseOffset())
+	}
+}
+
+// TestOpenTopicRejectsShortV2Header pins the corruption rules for
+// compacted segments: a v2 log cut inside its base word has no safe
+// interpretation (rotation fsyncs before renaming, so a crash cannot
+// produce it), and a base word failing its CRC would silently shift
+// every record's offset; both must error rather than guess.
+func TestOpenTopicRejectsShortV2Header(t *testing.T) {
+	if _, _, err := OpenTopic(bytes.NewReader([]byte(logMagicV2 + "abc"))); err == nil {
+		t.Fatal("v2 log without a full base word must error")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inserts.log")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := &Topic{}
+	if err := tp.Persist(f); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		tp.Append(Record{Kind: KindInsert, Tuple: ptup(int64(i), float64(i), 1), Seq: int64(i)})
+	}
+	nf, _, err := tp.CompactTo(2, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(logMagicV2)] ^= 0x02 // flip a bit of the base word: 2 -> 0
+	if _, _, err := OpenTopic(bytes.NewReader(raw)); err == nil {
+		t.Fatal("v2 log with a corrupted base word must fail its checksum, not shift offsets")
+	}
+}
+
+// TestOversizedRecordLatchesInsteadOfWriting pins the torn-write bound on
+// single frames: a record whose frame exceeds MaxTornBytes must never
+// reach the log (one unbounded write could tear into an invalid suffix
+// recovery refuses to truncate, and the frame could not be read back
+// anyway). The topic latches ErrOversizedRecord, stops persisting so the
+// log stays a prefix of memory, and the on-disk prefix reopens cleanly.
+func TestOversizedRecordLatchesInsteadOfWriting(t *testing.T) {
+	var w chunkRecorder
+	tp := &Topic{}
+	if err := tp.Persist(&w); err != nil {
+		t.Fatal(err)
+	}
+	tp.Append(Record{Kind: KindInsert, Tuple: ptup(1, 1, 1), Seq: 1})
+	good := w.buf.Len()
+
+	wide := make([]float64, MaxTupleAttrs+1)
+	tp.Append(Record{Kind: KindInsert, Tuple: data.Tuple{ID: 2, Vals: wide}, Seq: 2})
+	if err := tp.WriteErr(); !errors.Is(err, ErrOversizedRecord) {
+		t.Fatalf("WriteErr after oversized append = %v, want ErrOversizedRecord", err)
+	}
+	if w.buf.Len() != good {
+		t.Fatalf("oversized frame reached the log: %d -> %d bytes", good, w.buf.Len())
+	}
+	for _, n := range w.sizes {
+		if n > MaxTornBytes {
+			t.Fatalf("a write spanned %d bytes, over the %d torn-tail bound", n, MaxTornBytes)
+		}
+	}
+	// Later appends stay in memory only: persisting them would break the
+	// log-is-a-prefix-of-memory invariant.
+	tp.Append(Record{Kind: KindInsert, Tuple: ptup(3, 3, 3), Seq: 3})
+	if w.buf.Len() != good {
+		t.Fatalf("append after the latch reached the log: %d -> %d bytes", good, w.buf.Len())
+	}
+	got, _, err := OpenTopic(bytes.NewReader(w.buf.Bytes()))
+	if err != nil || got.Len() != 1 {
+		t.Fatalf("log after oversized latch reopened to %d records (%v), want 1", got.Len(), err)
+	}
+	// A maximally-sized legal record still persists.
+	tp2 := &Topic{}
+	var w2 chunkRecorder
+	if err := tp2.Persist(&w2); err != nil {
+		t.Fatal(err)
+	}
+	tp2.Append(Record{Kind: KindInsert, Tuple: data.Tuple{ID: 1, Vals: make([]float64, MaxTupleAttrs)}, Seq: 1})
+	if err := tp2.WriteErr(); err != nil {
+		t.Fatalf("maximal legal record latched %v", err)
+	}
+}
+
+// TestDetachLogLatchesCleanSentinel pins the Store.Close half of the
+// contract: appends after a deliberate detach latch ErrLogClosed, while a
+// detach with nothing pending latches nothing.
+func TestDetachLogLatchesCleanSentinel(t *testing.T) {
+	var buf bytes.Buffer
+	tp := &Topic{}
+	if err := tp.Persist(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tp.Append(Record{Kind: KindInsert, Tuple: ptup(1, 1, 1), Seq: 1})
+	tp.DetachLog()
+	if err := tp.WriteErr(); err != nil {
+		t.Fatalf("detach with nothing pending latched %v", err)
+	}
+	tp.Append(Record{Kind: KindInsert, Tuple: ptup(2, 2, 2), Seq: 2})
+	if err := tp.WriteErr(); !errors.Is(err, ErrLogClosed) {
+		t.Fatalf("append after detach latched %v, want ErrLogClosed", err)
+	}
+}
+
+// TestTupleChunkRoundTrip covers the checkpoint archive-snapshot codec:
+// order and values survive exactly, and corrupted chunks error.
+func TestTupleChunkRoundTrip(t *testing.T) {
+	tuples := []data.Tuple{
+		ptup(3, 1.5, -2),
+		{ID: 9}, // nil Key and Vals
+		ptup(1, -0.25, 1e9),
+	}
+	raw := EncodeTupleChunk(tuples)
+	got, err := DecodeTupleChunk(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tuples) {
+		t.Fatalf("decoded %d tuples, want %d", len(got), len(tuples))
+	}
+	for i, want := range tuples {
+		g := got[i]
+		if g.ID != want.ID || len(g.Key) != len(want.Key) || len(g.Vals) != len(want.Vals) {
+			t.Fatalf("tuple %d = %+v, want %+v", i, g, want)
+		}
+		for j := range want.Key {
+			if g.Key[j] != want.Key[j] {
+				t.Fatalf("tuple %d key %d = %v, want %v", i, j, g.Key[j], want.Key[j])
+			}
+		}
+		for j := range want.Vals {
+			if g.Vals[j] != want.Vals[j] {
+				t.Fatalf("tuple %d val %d = %v, want %v", i, j, g.Vals[j], want.Vals[j])
+			}
+		}
+	}
+	// Corruption: truncations and trailing garbage error, never panic.
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := DecodeTupleChunk(raw[:cut]); err == nil && cut < len(raw) {
+			t.Fatalf("truncation to %d bytes decoded without error", cut)
+		}
+	}
+	if _, err := DecodeTupleChunk(append(append([]byte(nil), raw...), 0xff)); err == nil {
+		t.Fatal("trailing garbage must error")
+	}
+	// A corrupt count must fail the payload bound up front (a tuple takes
+	// at least 16 encoded bytes), not allocate a huge output slice first.
+	huge := make([]byte, 4+32)
+	for i := range huge {
+		huge[i] = 0xee
+	}
+	if _, err := DecodeTupleChunk(huge); err == nil {
+		t.Fatal("a count far beyond the payload bound must error")
 	}
 }
 

@@ -146,8 +146,21 @@ type CheckpointResponse struct {
 	Templates     int   `json:"templates"`
 	InsertOffset  int64 `json:"insertOffset"`
 	DeleteOffset  int64 `json:"deleteOffset"`
+	ArchiveRows   int64 `json:"archiveRows"`
 	Bytes         int64 `json:"bytes"`
-	ElapsedMicros int64 `json:"elapsedMicros"`
+	ElapsedMicros int64 `json:"elapsedMicros,omitempty"`
+}
+
+// CompactResponse is the POST /v2/admin/compact payload: the checkpoint
+// the compaction anchored on, and what rotating the segment logs behind
+// it reclaimed.
+type CompactResponse struct {
+	InsertsDropped int64              `json:"insertsDropped"`
+	DeletesDropped int64              `json:"deletesDropped"`
+	LogBytesBefore int64              `json:"logBytesBefore"`
+	LogBytesAfter  int64              `json:"logBytesAfter"`
+	Checkpoint     CheckpointResponse `json:"checkpoint"`
+	ElapsedMicros  int64              `json:"elapsedMicros"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

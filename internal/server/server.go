@@ -12,6 +12,10 @@
 //	POST /v2/admin/checkpoint
 //	                   write a durable point-in-time engine snapshot now
 //	                   (requires a configured checkpoint sink; see Options)
+//	POST /v2/admin/compact
+//	                   checkpoint, then drop the segment-log prefix the
+//	                   snapshot made redundant (requires a configured
+//	                   compaction sink; see Options)
 //	POST /v1/query     v1 single query (thin wrapper over the v2 path)
 //	POST /v1/insert    v1 row ingestion (now atomic, via InsertBatch)
 //	POST /v1/delete    v1 row deletion
@@ -96,6 +100,16 @@ type Options struct {
 	// zero disables it (checkpoints then happen only on demand through the
 	// admin endpoint). Requires Checkpoint.
 	CheckpointInterval time.Duration
+	// Compact, when non-nil, drops the durable log prefix the latest
+	// checkpoint made redundant (typically Store.Compact, fanned out per
+	// shard on a sharded daemon). It powers POST /v2/admin/compact.
+	Compact func() (janus.CompactInfo, error)
+	// CompactAfterCheckpoint makes the background checkpointer follow
+	// every successful checkpoint with a Compact pass — the bounded-growth
+	// retention policy (janusd -retain compact): the data dir then holds
+	// O(live data + one checkpoint interval of tail) instead of the full
+	// ingest history. Requires Compact.
+	CompactAfterCheckpoint bool
 	// WriteHealth, when non-nil, reports the durable store's latched
 	// segment-log write failure (typically Store.WriteErr). The ingest
 	// paths check it after applying each batch: once the log has stopped
@@ -130,8 +144,15 @@ type Server struct {
 	checkpointLatency *metrics.Histogram
 	checkpoints       *metrics.Counter
 	checkpointErrors  *metrics.Counter
-	// checkpointMu serializes the admin endpoint against the background
-	// checkpointer, so two snapshots never interleave their I/O.
+
+	compact          func() (janus.CompactInfo, error)
+	compactLatency   *metrics.Histogram
+	compactions      *metrics.Counter
+	compactionErrors *metrics.Counter
+	compactedRecords *metrics.Counter
+	// checkpointMu serializes the admin endpoints against the background
+	// checkpointer, so two snapshots (or a snapshot and a log rotation)
+	// never interleave their I/O.
 	checkpointMu sync.Mutex
 
 	maxBody int64
@@ -172,10 +193,18 @@ func New(eng Engine, opts Options) *Server {
 			"Durable checkpoint write latency."),
 		checkpoints:      reg.Counter("janusd_checkpoints_total", "Checkpoints written successfully."),
 		checkpointErrors: reg.Counter("janusd_checkpoint_errors_total", "Checkpoint attempts that failed."),
+		compact:          opts.Compact,
+		compactLatency: reg.Histogram("janusd_compaction_seconds",
+			"Durable log compaction (segment rotation) latency."),
+		compactions:      reg.Counter("janusd_compactions_total", "Compaction passes completed successfully."),
+		compactionErrors: reg.Counter("janusd_compaction_errors_total", "Compaction passes that failed."),
+		compactedRecords: reg.Counter("janusd_compacted_records_total",
+			"Log records dropped by compaction (checkpointed prefix)."),
 	}
 	s.mux.HandleFunc("POST /v2/query", s.handleQueryV2)
 	s.mux.HandleFunc("POST /v2/ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v2/admin/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /v2/admin/compact", s.handleCompact)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
@@ -235,11 +264,17 @@ func New(eng Engine, opts Options) *Server {
 				case <-ctx.Done():
 					return
 				case <-t.C:
-					// Failures are surfaced through the error counter (and
+					// Failures are surfaced through the error counters (and
 					// the next admin-endpoint call); the checkpointer keeps
 					// trying — a transient disk error must not end
 					// durability for the life of the process.
-					_, _ = s.runCheckpoint()
+					if _, err := s.runCheckpoint(); err == nil &&
+						opts.CompactAfterCheckpoint && s.compact != nil {
+						// Compact only behind a fresh checkpoint: rotation
+						// anchors on the snapshot just published, keeping
+						// the data dir at O(live data + one cycle of tail).
+						_, _ = s.runCompact()
+					}
 				}
 			}
 		}()
@@ -263,6 +298,60 @@ func (s *Server) runCheckpoint() (janus.CheckpointInfo, error) {
 	return info, nil
 }
 
+// runCompact drops the checkpointed log prefix under the checkpoint mutex
+// and records its metrics.
+func (s *Server) runCompact() (janus.CompactInfo, error) {
+	s.checkpointMu.Lock()
+	defer s.checkpointMu.Unlock()
+	start := time.Now()
+	info, err := s.compact()
+	s.compactLatency.ObserveSince(start)
+	if err != nil {
+		s.compactionErrors.Inc()
+		return janus.CompactInfo{}, err
+	}
+	s.compactions.Inc()
+	s.compactedRecords.Add(uint64(info.InsertsDropped + info.DeletesDropped))
+	return info, nil
+}
+
+// handleCompact serves POST /v2/admin/compact: write a checkpoint, then
+// drop the log prefix it made redundant, and report what was reclaimed.
+// The checkpoint comes first so the rotation is anchored at now, not at
+// the last background cycle. Without a durable store the endpoint answers
+// 503.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if s.checkpoint == nil || s.compact == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no durable store configured (start janusd with -data)")
+		return
+	}
+	start := time.Now()
+	ck, err := s.runCheckpoint()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "checkpoint before compaction failed: %v", err)
+		return
+	}
+	info, err := s.runCompact()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "compaction failed: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, CompactResponse{
+		InsertsDropped: info.InsertsDropped,
+		DeletesDropped: info.DeletesDropped,
+		LogBytesBefore: info.LogBytesBefore,
+		LogBytesAfter:  info.LogBytesAfter,
+		Checkpoint: CheckpointResponse{
+			Templates:    ck.Templates,
+			InsertOffset: ck.InsertOffset,
+			DeleteOffset: ck.DeleteOffset,
+			ArchiveRows:  ck.ArchiveRows,
+			Bytes:        ck.Bytes,
+		},
+		ElapsedMicros: time.Since(start).Microseconds(),
+	})
+}
+
 // handleCheckpoint serves POST /v2/admin/checkpoint: write a durable
 // point-in-time snapshot now and report what it covered. Without a durable
 // store configured (janusd -data) the endpoint answers 503.
@@ -281,6 +370,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		Templates:     info.Templates,
 		InsertOffset:  info.InsertOffset,
 		DeleteOffset:  info.DeleteOffset,
+		ArchiveRows:   info.ArchiveRows,
 		Bytes:         info.Bytes,
 		ElapsedMicros: time.Since(start).Microseconds(),
 	})

@@ -7,7 +7,9 @@ import (
 	"io"
 	"sort"
 
+	"janusaqp/internal/broker"
 	"janusaqp/internal/core"
+	"janusaqp/internal/data"
 )
 
 // Synopsis and engine persistence. Two granularities:
@@ -20,16 +22,21 @@ import (
 //     exactly the writes published through the recorded offsets, and
 //     nothing after them.
 //
-// A checkpoint deliberately excludes the archive and the catch-up
-// snapshots. The archive is cold-storage data, reconstructed at restore
-// time by replaying the broker's durable segment log (see Store) up to
-// the recorded offsets. A catch-up snapshot is NOT reconstructed: a
-// restored synopsis keeps its saved catch-up progress (and the interval
-// widths it implies) but folds no further catch-up samples until its
-// next re-initialization draws a fresh snapshot — resuming mid-stream
-// over a different sample population would bias the folded statistics.
-// Both exclusions keep checkpoint size proportional to the synopses —
-// the thing that is expensive to rebuild — not the data.
+// A checkpoint carries the live-table archive snapshot alongside the
+// synopses (format version 2): the snapshot is the net effect of the log
+// prefix the recorded offsets cover, which is what lets Store.Compact
+// drop that prefix from disk and memory afterwards — recovery installs
+// the snapshot and replays only the bounded post-checkpoint tail, so
+// restart cost is O(live data + tail) instead of O(total history).
+// Version-1 images (no snapshot) still load; recovering them rebuilds
+// the archive by replaying the full log, which therefore must not have
+// been compacted.
+//
+// A catch-up snapshot is NOT reconstructed: a restored synopsis keeps
+// its saved catch-up progress (and the interval widths it implies) but
+// folds no further catch-up samples until its next re-initialization
+// draws a fresh snapshot — resuming mid-stream over a different sample
+// population would bias the folded statistics.
 
 // SaveTemplate writes the named synopsis to w so a later process can
 // restore it with LoadTemplate instead of paying a full re-initialization.
@@ -121,8 +128,14 @@ func (e *Engine) loadTemplateUpdLocked(t Template, schema *TableSchema, r io.Rea
 // --- engine-wide checkpoints -------------------------------------------------
 
 // checkpointVersion versions the engine checkpoint container; the
-// per-synopsis image carries its own version inside core.
-const checkpointVersion = 1
+// per-synopsis image carries its own version inside core. Version 2 added
+// the live-table archive snapshot (HasArchive/ArchiveRows plus the tuple
+// chunks after the templates); version-1 images remain loadable.
+const checkpointVersion = 2
+
+// archiveChunkLen bounds one gob-encoded snapshot chunk so neither side
+// ever materializes the whole live table as a single value.
+const archiveChunkLen = 4096
 
 // checkpointHeader opens a checkpoint stream.
 type checkpointHeader struct {
@@ -142,6 +155,13 @@ type checkpointHeader struct {
 	StreamRejected                           int64
 	// Templates is the number of checkpointTemplate records that follow.
 	Templates int
+	// HasArchive reports that ArchiveRows live tuples follow the templates
+	// in chunks of at most archiveChunkLen — the live-table snapshot at the
+	// recorded offsets, in archive iteration order (order feeds uniform
+	// sampling, so it must survive the round trip exactly). Version-1
+	// images decode both fields as zero.
+	HasArchive  bool
+	ArchiveRows int64
 }
 
 // checkpointTemplate is one template's slice of a checkpoint.
@@ -163,6 +183,7 @@ type CheckpointInfo struct {
 	Templates    int   `json:"templates"`
 	InsertOffset int64 `json:"insertOffset"`
 	DeleteOffset int64 `json:"deleteOffset"`
+	ArchiveRows  int64 `json:"archiveRows"`
 	Bytes        int64 `json:"bytes"`
 }
 
@@ -216,6 +237,14 @@ func (e *Engine) Checkpoint(w io.Writer) (CheckpointInfo, error) {
 	sort.Strings(names)
 	hdr.Templates = len(names)
 
+	// The live table rides along (see the file comment): it is what makes
+	// the log prefix below the offsets disposable. Its iteration order is
+	// already deterministic for a given publish history, and a restored
+	// archive must reproduce it exactly — the layout feeds uniform draws.
+	archive := e.broker.Archive()
+	hdr.HasArchive = true
+	hdr.ArchiveRows = archive.Len()
+
 	cw := &countingWriter{w: w}
 	enc := gob.NewEncoder(cw)
 	if err := enc.Encode(&hdr); err != nil {
@@ -241,34 +270,76 @@ func (e *Engine) Checkpoint(w io.Writer) (CheckpointInfo, error) {
 			return CheckpointInfo{}, fmt.Errorf("janus: writing template %q: %w", name, err)
 		}
 	}
+	// Stream the snapshot in bounded chunks so neither side materializes
+	// the live table as one value; the update lock already excludes every
+	// mutator, so the image stays consistent with the header offsets. Each
+	// chunk is the broker's fixed-width tuple encoding carried as one gob
+	// byte slice — restart latency rides on decode speed, and the binary
+	// codec is an order of magnitude faster than reflective gob tuples.
+	chunk := make([]data.Tuple, 0, archiveChunkLen)
+	var encErr error
+	flush := func() {
+		encErr = enc.Encode(broker.EncodeTupleChunk(chunk))
+		chunk = chunk[:0]
+	}
+	archive.ForEach(func(t data.Tuple) bool {
+		chunk = append(chunk, t)
+		if len(chunk) == archiveChunkLen {
+			flush()
+		}
+		return encErr == nil
+	})
+	if encErr == nil && len(chunk) > 0 {
+		flush()
+	}
+	if encErr != nil {
+		return CheckpointInfo{}, fmt.Errorf("janus: writing archive snapshot: %w", encErr)
+	}
 	return CheckpointInfo{
 		Templates:    len(names),
 		InsertOffset: hdr.InsertOffset,
 		DeleteOffset: hdr.DeleteOffset,
+		ArchiveRows:  hdr.ArchiveRows,
 		Bytes:        cw.n,
 	}, nil
 }
 
 // OpenCheckpoint restores an engine from a checkpoint written by
 // Checkpoint: a fresh engine over b with every template, schema, counter,
-// and watermark the image carries. It returns the SyncState the image is
-// consistent with — the engine broker offsets the caller must rebuild the
-// archive to and replay the log tail from (Store.Recover does both).
+// and watermark the image carries, plus — for a version-2 image — the
+// live-table archive snapshot installed into b's archive. It returns the
+// SyncState the image is consistent with — the engine broker offsets the
+// caller must replay the log tail from (Store.Recover does; for a
+// version-1 image it must first rebuild the archive by replaying the full
+// log prefix).
 //
 // Every template rides the same validation as LoadTemplate and
 // RegisterSchema; corrupted synopsis bytes error (never panic), and a
 // mismatched schema or template declaration wraps ErrSchemaMismatch.
 func OpenCheckpoint(r io.Reader, cfg Config, b *Broker) (*Engine, SyncState, error) {
+	e, state, _, err := openCheckpoint(r, cfg, b)
+	return e, state, err
+}
+
+// openCheckpoint is OpenCheckpoint plus the snapshot manifest: hasArchive
+// tells Store.Recover whether the archive was installed from the image
+// (bounded-tail recovery) or must be rebuilt by replaying the full log
+// prefix (version-1 images, which predate compaction).
+func openCheckpoint(r io.Reader, cfg Config, b *Broker) (*Engine, SyncState, bool, error) {
+	fail := func(err error) (*Engine, SyncState, bool, error) {
+		return nil, SyncState{}, false, err
+	}
 	dec := gob.NewDecoder(r)
 	var hdr checkpointHeader
 	if err := dec.Decode(&hdr); err != nil {
-		return nil, SyncState{}, fmt.Errorf("janus: reading checkpoint header: %w", err)
+		return fail(fmt.Errorf("janus: reading checkpoint header: %w", err))
 	}
-	if hdr.Version != checkpointVersion {
-		return nil, SyncState{}, fmt.Errorf("janus: unsupported checkpoint version %d", hdr.Version)
+	if hdr.Version != 1 && hdr.Version != checkpointVersion {
+		return fail(fmt.Errorf("janus: unsupported checkpoint version %d", hdr.Version))
 	}
-	if hdr.Templates < 0 || hdr.InsertOffset < 0 || hdr.DeleteOffset < 0 {
-		return nil, SyncState{}, fmt.Errorf("janus: corrupt checkpoint header")
+	if hdr.Templates < 0 || hdr.InsertOffset < 0 || hdr.DeleteOffset < 0 ||
+		hdr.ArchiveRows < 0 || (!hdr.HasArchive && hdr.ArchiveRows != 0) {
+		return fail(fmt.Errorf("janus: corrupt checkpoint header"))
 	}
 	e := NewEngine(cfg, b)
 	state := SyncState{InsertOffset: hdr.InsertOffset, DeleteOffset: hdr.DeleteOffset}
@@ -277,13 +348,13 @@ func OpenCheckpoint(r io.Reader, cfg Config, b *Broker) (*Engine, SyncState, err
 	for i := 0; i < hdr.Templates; i++ {
 		var ct checkpointTemplate
 		if err := dec.Decode(&ct); err != nil {
-			return nil, SyncState{}, fmt.Errorf("janus: reading checkpoint template %d/%d: %w", i+1, hdr.Templates, err)
+			return fail(fmt.Errorf("janus: reading checkpoint template %d/%d: %w", i+1, hdr.Templates, err))
 		}
 		if ct.Template.Name == "" {
-			return nil, SyncState{}, fmt.Errorf("janus: checkpoint template %d has no name", i+1)
+			return fail(fmt.Errorf("janus: checkpoint template %d has no name", i+1))
 		}
 		if err := e.loadTemplateUpdLocked(ct.Template, ct.Schema, bytes.NewReader(ct.Synopsis)); err != nil {
-			return nil, SyncState{}, err
+			return fail(err)
 		}
 		// Checkpoint bytes are untrusted, and Checkpoint only ever writes
 		// per-template offsets equal to the header's (the snapshot is taken
@@ -292,10 +363,45 @@ func OpenCheckpoint(r io.Reader, cfg Config, b *Broker) (*Engine, SyncState, err
 		// and double-apply records into synopses that already reflect them
 		// — corrupt answers, not an error — so require equality.
 		if ct.Sync != state {
-			return nil, SyncState{}, fmt.Errorf(
+			return fail(fmt.Errorf(
 				"janus: checkpoint template %q offsets %d/%d disagree with the header's %d/%d",
 				ct.Template.Name, ct.Sync.InsertOffset, ct.Sync.DeleteOffset,
-				hdr.InsertOffset, hdr.DeleteOffset)
+				hdr.InsertOffset, hdr.DeleteOffset))
+		}
+	}
+	if hdr.HasArchive {
+		// Decode and install the live-table snapshot chunk by chunk; the
+		// declared row count is untrusted, so progress is driven by what
+		// actually decodes and the total must land exactly on it.
+		if n := b.Archive().Len(); n != 0 {
+			return fail(fmt.Errorf("janus: checkpoint carries an archive snapshot but the broker archive already holds %d rows", n))
+		}
+		var installed int64
+		for installed < hdr.ArchiveRows {
+			var raw []byte
+			if err := dec.Decode(&raw); err != nil {
+				return fail(fmt.Errorf("janus: reading archive snapshot (%d/%d rows): %w",
+					installed, hdr.ArchiveRows, err))
+			}
+			chunk, err := broker.DecodeTupleChunk(raw)
+			if err != nil {
+				return fail(fmt.Errorf("janus: archive snapshot at %d/%d rows: %w",
+					installed, hdr.ArchiveRows, err))
+			}
+			if len(chunk) == 0 || installed+int64(len(chunk)) > hdr.ArchiveRows {
+				return fail(fmt.Errorf("janus: corrupt archive snapshot chunk (%d rows at %d/%d)",
+					len(chunk), installed, hdr.ArchiveRows))
+			}
+			if installed == 0 {
+				// The first chunk decoding cleanly is the point where the
+				// declared row count stops being attacker-convenient fiction;
+				// pre-sizing here turns the install into one allocation.
+				b.GrowArchive(hdr.ArchiveRows)
+			}
+			if err := b.RestoreArchiveSnapshot(chunk); err != nil {
+				return fail(err)
+			}
+			installed += int64(len(chunk))
 		}
 	}
 	e.statsMu.Lock()
@@ -305,5 +411,5 @@ func OpenCheckpoint(r io.Reader, cfg Config, b *Broker) (*Engine, SyncState, err
 	e.streamRejected = hdr.StreamRejected
 	e.statsMu.Unlock()
 	e.follow.restore(SyncState{InsertOffset: hdr.FollowInsertOffset, DeleteOffset: hdr.FollowDeleteOffset})
-	return e, state, nil
+	return e, state, hdr.HasArchive, nil
 }

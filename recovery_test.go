@@ -456,6 +456,331 @@ func TestOpenStoreRefusesHeadCorruptLog(t *testing.T) {
 	}
 }
 
+// assertSameAnswers requires byte-identical answers (see the file
+// comment: every nondeterminism knob is pinned) from two engines across a
+// mixed workload — the fidelity bar every recovered layout must clear.
+func assertSameAnswers(t *testing.T, layout string, ref, got *janus.Engine, seedTuples []janus.Tuple) {
+	t.Helper()
+	gen := workload.NewQueryGen(3, seedTuples, []int{0})
+	for _, fn := range []janus.Func{janus.FuncSum, janus.FuncCount, janus.FuncAvg, janus.FuncMin, janus.FuncMax} {
+		for _, q := range gen.Workload(25, fn) {
+			want, errW := ref.Query("trips", q)
+			have, errG := got.Query("trips", q)
+			if (errW == nil) != (errG == nil) {
+				t.Fatalf("%s: func %v over %v: error mismatch %v vs %v", layout, fn, q.Rect, errW, errG)
+			}
+			if errW != nil {
+				continue
+			}
+			if want.Estimate != have.Estimate ||
+				want.Interval.Lo() != have.Interval.Lo() ||
+				want.Interval.Hi() != have.Interval.Hi() {
+				t.Fatalf("%s: func %v over %v: recovered answers %v±[%v,%v], reference %v±[%v,%v]",
+					layout, fn, q.Rect, have.Estimate, have.Interval.Lo(), have.Interval.Hi(),
+					want.Estimate, want.Interval.Lo(), want.Interval.Hi())
+			}
+		}
+	}
+}
+
+// copyDataDir snapshots a data directory's regular files — the layout a
+// hard stop at that instant would leave on disk (appends are written
+// through unbuffered, so file contents are current).
+func copyDataDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestCompactionCrashDrills hard-stops the checkpoint→compact sequence at
+// every interesting boundary and requires each surviving layout to
+// recover with zero acknowledged-write loss and byte-identical answers:
+//
+//	A: checkpoint published, crash before any log rotation (full logs);
+//	B: both logs rotated (the complete compacted layout — also what a
+//	   crash after rename but before the directory fsync exposes once the
+//	   rename has reached the directory);
+//	C: crash between the two rotations — inserts.log rotated, deletes.log
+//	   still full;
+//	D: layout B plus stray .tmp litter from an interrupted next rotation;
+//	E: compacted layout that kept serving — acknowledged post-compaction
+//	   batches form the bounded tail a restart must replay from the base.
+func TestCompactionCrashDrills(t *testing.T) {
+	live := t.TempDir()
+	boot, err := workload.Generate(workload.NYCTaxi, recoveryBootRows, 0, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, deletes := recoveryStream(t)
+	half := recoveryBatches / 2
+
+	st, err := janus.OpenStore(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Broker().PublishInsertBatch(boot)
+	eng := bootRecoveryEngine(t, st.Broker())
+	apply := func(e *janus.Engine, lo, hi int) {
+		t.Helper()
+		for i := lo; i < hi; i++ {
+			if err := e.InsertBatch(batches[i]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.DeleteBatch(deletes[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	apply(eng, 0, half)
+	if _, err := st.WriteCheckpoint(eng); err != nil {
+		t.Fatal(err)
+	}
+	layoutA := copyDataDir(t, live)
+	cinfo, err := st.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cinfo.InsertsDropped == 0 || cinfo.DeletesDropped == 0 || cinfo.LogBytesAfter >= cinfo.LogBytesBefore {
+		t.Fatalf("compaction reclaimed nothing: %+v", cinfo)
+	}
+	layoutB := copyDataDir(t, live)
+	// C: the compacted inserts.log next to the still-full deletes.log.
+	layoutC := copyDataDir(t, live)
+	rawDel, err := os.ReadFile(filepath.Join(layoutA, "deletes.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(layoutC, "deletes.log"), rawDel, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// D: tmp litter from an interrupted follow-up checkpoint + rotation.
+	layoutD := copyDataDir(t, live)
+	for _, litter := range []string{"checkpoint.db.tmp", "inserts.log.tmp"} {
+		if err := os.WriteFile(filepath.Join(layoutD, litter), []byte("half-written garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// E: the compacted store keeps serving acknowledged batches (the
+	// bounded tail), then hard-stops.
+	apply(eng, half, recoveryBatches)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	layoutE := copyDataDir(t, live)
+
+	// References that never crashed, at both stream positions.
+	refHalfBroker := janus.NewBroker()
+	refHalfBroker.PublishInsertBatch(boot)
+	refHalf := bootRecoveryEngine(t, refHalfBroker)
+	apply(refHalf, 0, half)
+	refFullBroker := janus.NewBroker()
+	refFullBroker.PublishInsertBatch(boot)
+	refFull := bootRecoveryEngine(t, refFullBroker)
+	apply(refFull, 0, recoveryBatches)
+
+	recoverLayout := func(name, dir string) (*janus.Engine, janus.RecoveryInfo, *janus.Store) {
+		t.Helper()
+		st, err := janus.OpenStore(dir)
+		if err != nil {
+			t.Fatalf("%s: OpenStore: %v", name, err)
+		}
+		e, info, err := st.Recover(recoveryConfig())
+		if err != nil {
+			t.Fatalf("%s: Recover: %v", name, err)
+		}
+		return e, info, st
+	}
+	for _, tc := range []struct {
+		name, dir string
+		batches   int // acknowledged batches the layout must reflect
+		tail      int // insert records recovery must replay beyond the checkpoint
+	}{
+		{"A: checkpoint, no rotation", layoutA, half, 0},
+		{"B: both logs rotated", layoutB, half, 0},
+		{"C: between rotations", layoutC, half, 0},
+		{"D: rotated + tmp litter", layoutD, half, 0},
+		{"E: compacted + served tail", layoutE, recoveryBatches, (recoveryBatches - half) * recoveryBatchLen},
+	} {
+		e, info, lst := recoverLayout(tc.name, tc.dir)
+		if info.TailInserts != tc.tail {
+			t.Fatalf("%s: replayed %d tail inserts, want %d", tc.name, info.TailInserts, tc.tail)
+		}
+		// Zero acknowledged-write loss at the layout's stream position.
+		archive := lst.Broker().Archive()
+		for i := 0; i < tc.batches; i++ {
+			for _, tp := range batches[i] {
+				if _, ok := archive.Get(tp.ID); !ok {
+					t.Fatalf("%s: acknowledged insert %d lost", tc.name, tp.ID)
+				}
+			}
+			for _, id := range deletes[i] {
+				if _, ok := archive.Get(id); ok {
+					t.Fatalf("%s: acknowledged delete %d resurrected", tc.name, id)
+				}
+			}
+		}
+		ref := refHalf
+		if tc.batches == recoveryBatches {
+			ref = refFull
+		}
+		assertSameAnswers(t, tc.name, ref, e, boot)
+		lst.Close()
+	}
+
+	// The compacted layouts actually shrank: B's data dir must be smaller
+	// than A's even though both answer identically.
+	sum := func(dir string) int64 {
+		var n int64
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if fi, err := e.Info(); err == nil && fi.Mode().IsRegular() {
+				n += fi.Size()
+			}
+		}
+		return n
+	}
+	if a, b := sum(layoutA), sum(layoutB); b >= a {
+		t.Fatalf("compacted layout is not smaller: %d -> %d bytes", a, b)
+	}
+}
+
+// TestOpenStoreRefusesUnreadableCheckpoint is the regression test for the
+// destructive-truncation gap: checkpointedOffsets used to answer 0,0 for
+// a *present but unreadable* checkpoint.db, which let openLog truncate
+// invalid bytes that actually held checkpointed records — destroying what
+// an operator could still repair, before Recover ever validated anything.
+// A store whose checkpoint exists but cannot be read must refuse to open
+// and must leave every log byte in place.
+func TestOpenStoreRefusesUnreadableCheckpoint(t *testing.T) {
+	build := func(t *testing.T) string {
+		t.Helper()
+		dir := t.TempDir()
+		st, err := janus.OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boot, err := workload.Generate(workload.NYCTaxi, 500, 0, 47)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Broker().PublishInsertBatch(boot)
+		if _, err := st.WriteCheckpoint(janus.NewEngine(recoveryConfig(), st.Broker())); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Garble the checkpoint header in place.
+		f, err := os.OpenFile(filepath.Join(dir, "checkpoint.db"), os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(bytes.Repeat([]byte{0xff}, 16), 0); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return dir
+	}
+
+	// Corrupt mid-log frame: the invalid suffix holds checkpointed records.
+	dir := build(t)
+	logPath := filepath.Join(dir, "inserts.log")
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[32] ^= 0xff
+	if err := os.WriteFile(logPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := janus.OpenStore(dir); err == nil {
+		t.Fatal("OpenStore with an unreadable checkpoint must refuse, not recover against an unknown bound")
+	}
+	after, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() {
+		t.Fatalf("refusing open must not touch the log: %d -> %d bytes", before.Size(), after.Size())
+	}
+
+	// A merely torn tail (garbage appended past the valid prefix) must
+	// also keep its bytes: with the bound unreadable, truncation cannot
+	// tell a torn tail from a corrupt head, so it is deferred entirely.
+	dir2 := build(t)
+	logPath2 := filepath.Join(dir2, "inserts.log")
+	f, err := os.OpenFile(logPath2, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn garbage tail")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before2, _ := os.Stat(logPath2)
+	if _, err := janus.OpenStore(dir2); err == nil {
+		t.Fatal("OpenStore with an unreadable checkpoint and a torn tail must refuse")
+	}
+	after2, _ := os.Stat(logPath2)
+	if after2.Size() != before2.Size() {
+		t.Fatalf("deferred truncation shrank the log anyway: %d -> %d bytes", before2.Size(), after2.Size())
+	}
+}
+
+// TestPublishAfterCloseLatchesErrStoreClosed pins the clean-shutdown
+// contract: Store.Close detaches the write-through writers under the
+// topic locks, so a straggler publish latches the ErrStoreClosed sentinel
+// — not the OS's "file already closed" — and a clean close with no
+// stragglers latches nothing. Close is idempotent.
+func TestPublishAfterCloseLatchesErrStoreClosed(t *testing.T) {
+	dir := t.TempDir()
+	st, err := janus.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot, err := workload.Generate(workload.NYCTaxi, 200, 0, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Broker().PublishInsertBatch(boot)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteErr(); err != nil {
+		t.Fatalf("clean close latched %v", err)
+	}
+	st.Broker().PublishInsert(janus.Tuple{ID: 900001, Key: janus.Point{1}, Vals: []float64{1}})
+	if err := st.WriteErr(); !errors.Is(err, janus.ErrStoreClosed) {
+		t.Fatalf("publish after Close latched %v, want ErrStoreClosed", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close = %v, want idempotent nil", err)
+	}
+}
+
 // TestIngestRefusesAckAfterLogWriteFailure pins the acknowledgment
 // contract: once the segment log stops persisting (the topic latches its
 // first write-through failure), a 200 would promise durability the disk

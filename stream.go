@@ -233,7 +233,9 @@ func (e *Engine) applyStreamInserts(tuples []Tuple) (applied, rejected int) {
 // been recovered from the durable segment log. This is the last step of a
 // warm restart: the checkpoint restored the synopses as of state, and the
 // tail carries the acknowledged writes that landed between that checkpoint
-// and the crash.
+// and the crash. Over a compacted store the replay starts at the log's
+// base — the checkpoint offsets — never at zero, so its cost is bounded by
+// the post-checkpoint tail, not by the total ingest history.
 //
 // Records that fail admission are skipped and counted exactly like the
 // stream path (EngineStats.StreamRejected); deletes of ids the rebuilt
