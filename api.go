@@ -39,6 +39,11 @@ type Request struct {
 	// only by ctx, so pass a deadline: with no Follow/Sync loop running the
 	// watermark never advances.
 	MinSyncOffset int64
+
+	// Trace, when set, returns a per-stage timing breakdown in
+	// Response.Trace. An untraced request takes the identical code path
+	// with no extra clock reads — tracing is pay-for-use.
+	Trace bool
 }
 
 // Response carries a query's Result plus the metadata the v1 entry points
@@ -57,8 +62,12 @@ type Response struct {
 	// answer at low progress carries wider intervals (Section 4.3).
 	CatchUpProgress float64
 	// Elapsed is the engine-side answering time, excluding any
-	// MinSyncOffset wait.
+	// MinSyncOffset wait. For a traced request it is exactly the sum of
+	// the group-level trace stages (Shard < 0) other than StageSyncWait.
 	Elapsed time.Duration
+	// Trace is the per-stage breakdown of a traced request (Request.Trace);
+	// nil otherwise. See TraceStage for the summing contract.
+	Trace []TraceStage
 }
 
 // Do answers one Request — the single v2 read entry point behind which
@@ -73,6 +82,12 @@ func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Trace timestamps are taken only when requested: the untraced path
+	// reads the clock exactly as often as it did before tracing existed.
+	var t0 time.Time
+	if req.Trace {
+		t0 = time.Now()
+	}
 	// Validate and resolve before any MinSyncOffset wait: a request that
 	// can only ever fail must fail fast, not park on a watermark that may
 	// never advance.
@@ -84,18 +99,28 @@ func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 	if !ok {
 		return Response{}, fmt.Errorf("janus: %w %q", ErrUnknownTemplate, name)
 	}
-
+	var resolved, waited time.Time
+	if req.Trace {
+		resolved = time.Now()
+	}
 	if req.MinSyncOffset > 0 {
 		if err := e.follow.wait(ctx, req.MinSyncOffset); err != nil {
 			return Response{}, err
 		}
 	}
 	start := time.Now()
+	if req.Trace {
+		// Contiguous stamps make the stage durations sum exactly to
+		// Elapsed: [t0,resolved] resolve, [resolved,waited] syncWait,
+		// [waited,·] answer.
+		waited = start
+	}
 	// A canceled context must not consume a read lock the caller no longer
 	// wants; past this point the answer is pure in-memory computation.
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
 	}
+	sp := e.spans.start()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var res Result
@@ -107,14 +132,26 @@ func (e *Engine) Do(ctx context.Context, req Request) (Response, error) {
 	if err != nil {
 		return Response{}, err
 	}
-	return Response{
+	e.spans.end(SpanShardAnswer, 0, sp)
+	resp := Response{
 		Result:          res,
 		Template:        name,
 		SampleSize:      s.dpt.SampleSize(),
 		Population:      s.dpt.Population(),
 		CatchUpProgress: s.dpt.CatchUpProgress(),
 		Elapsed:         time.Since(start),
-	}, nil
+	}
+	if req.Trace {
+		resolveDur := resolved.Sub(t0)
+		answerDur := time.Since(waited)
+		resp.Elapsed = resolveDur + answerDur
+		resp.Trace = []TraceStage{{Stage: StageResolve, Shard: -1, Dur: resolveDur}}
+		if req.MinSyncOffset > 0 {
+			resp.Trace = append(resp.Trace, TraceStage{Stage: StageSyncWait, Shard: -1, Dur: waited.Sub(resolved)})
+		}
+		resp.Trace = append(resp.Trace, TraceStage{Stage: StageAnswer, Shard: -1, Dur: answerDur})
+	}
+	return resp, nil
 }
 
 // resolveRequest validates a Request's shape and resolves it to structured
@@ -163,6 +200,7 @@ func (e *Engine) answerPartial(ctx context.Context, name string, q Query, onKeys
 	if err := ctx.Err(); err != nil {
 		return core.Partial{}, Response{}, err
 	}
+	sp := e.spans.start()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var (
@@ -177,6 +215,9 @@ func (e *Engine) answerPartial(ctx context.Context, name string, q Query, onKeys
 	if err != nil {
 		return core.Partial{}, Response{}, err
 	}
+	// Emitted as shard 0 here; a grouped shard's installed observer stamps
+	// the true index (see ShardGroup.SetSpanObserver).
+	e.spans.end(SpanShardAnswer, 0, sp)
 	return p, Response{
 		Template:        name,
 		SampleSize:      s.dpt.SampleSize(),

@@ -9,6 +9,7 @@
 //	janusbench -perf BENCH_PR2.json   # serving-perf trajectory snapshot
 //	janusbench -restart BENCH_PR3.json # warm restore vs cold rebuild
 //	janusbench -shards BENCH_PR4.json  # shard-group scaling experiment
+//	janusbench -shards BENCH_PR6.json -procs 1,2,4  # multi-core matrix
 //	janusbench -check BENCH_PR2.json   # CI perf-regression gate
 //	janusbench -list
 //
@@ -28,6 +29,9 @@
 // -shards measures scale-out serving: batched ingest throughput and
 // scatter-gather query latency through a hash-sharded ShardGroup at 1, 2,
 // 4, and 8 shards (parallel wins require cores; GOMAXPROCS is recorded).
+// With -procs it instead writes a multi-core matrix — every (GOMAXPROCS,
+// shard-count) cell over procs × {1, 4} — separating what cores buy a
+// fixed topology from what sharding buys at fixed cores.
 //
 // -check is the CI perf-regression gate: it detects which suite the given
 // baseline JSON records (by shape), reruns that suite at the baseline's
@@ -47,6 +51,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	janus "janusaqp"
@@ -91,6 +97,7 @@ func main() {
 	perf := flag.String("perf", "", "write the serving-perf JSON snapshot to this file and exit")
 	restart := flag.String("restart", "", "write the warm-restart vs cold-rebuild JSON snapshot to this file and exit")
 	shards := flag.String("shards", "", "write the shard-scaling JSON snapshot (1/2/4/8-shard ingest throughput + query latency) to this file and exit")
+	procs := flag.String("procs", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4): with -shards, write a procs × shard-count multi-core matrix snapshot instead of the single-setting scaling curve")
 	check := flag.String("check", "", "rerun the suite a committed BENCH_*.json baseline records and exit non-zero if it regressed beyond -tolerance")
 	tolerance := flag.Float64("tolerance", 0.25, "relative regression the -check gate allows before failing")
 	flag.Parse()
@@ -110,6 +117,13 @@ func main() {
 		return
 	}
 	if *shards != "" {
+		if *procs != "" {
+			if err := runMatrix(*shards, *rows, *seed, *procs); err != nil {
+				fmt.Fprintln(os.Stderr, "matrix:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := runShards(*shards, *rows, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "shards:", err)
 			os.Exit(1)
@@ -645,60 +659,72 @@ func measureShards(rows int, seed int64) (shardReport, error) {
 	}
 	var oneShardTPS float64
 	for _, k := range []int{1, 2, 4, 8} {
-		parts := janus.SplitByShard(tuples, k)
-		engines := make([]*janus.Engine, k)
-		for i := range engines {
-			b := janus.NewBroker()
-			b.PublishInsertBatch(parts[i])
-			engines[i] = janus.NewEngine(janus.Config{
-				LeafNodes: 128, SampleRate: 0.01, CatchUpRate: 0.10, Seed: seed,
-			}.WithShardSeed(i), b)
-		}
-		group, err := janus.NewShardGroup(engines)
+		p, err := measureGroupPoint(ctx, k, ingestN, batchSize, queryN, seed, tuples, queries)
 		if err != nil {
 			return shardReport{}, err
 		}
-		if err := group.AddTemplate(janus.Template{
-			Name: "trips", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum,
-		}); err != nil {
-			return shardReport{}, err
-		}
-
-		fresh, err := workload.Generate(workload.NYCTaxi, ingestN, 10_000_000, seed+int64(k))
-		if err != nil {
-			return shardReport{}, err
-		}
-		start := time.Now()
-		for lo := 0; lo < len(fresh); lo += batchSize {
-			hi := min(lo+batchSize, len(fresh))
-			if err := group.InsertBatch(fresh[lo:hi]); err != nil {
-				return shardReport{}, err
-			}
-		}
-		tps := float64(ingestN) / time.Since(start).Seconds()
-
-		lats := make([]float64, 0, queryN)
-		for i := 0; i < queryN; i++ {
-			resp, err := group.Do(ctx, janus.Request{Template: "trips", Query: queries[i%len(queries)]})
-			if err != nil {
-				return shardReport{}, err
-			}
-			lats = append(lats, float64(resp.Elapsed.Microseconds()))
-		}
-		rep.Points = append(rep.Points, shardPoint{
-			Shards:             k,
-			IngestTuplesPerSec: tps,
-			QueryP50Micros:     stats.Percentile(lats, 0.50),
-			QueryP95Micros:     stats.Percentile(lats, 0.95),
-		})
+		rep.Points = append(rep.Points, p)
 		if k == 1 {
-			oneShardTPS = tps
+			oneShardTPS = p.IngestTuplesPerSec
 		}
 		if k == 4 && oneShardTPS > 0 {
-			rep.Speedup4Shard = tps / oneShardTPS
+			rep.Speedup4Shard = p.IngestTuplesPerSec / oneShardTPS
 		}
 	}
 	return rep, nil
+}
+
+// measureGroupPoint builds a fresh K-shard group over tuples and measures
+// the serving hot paths through the group surface: InsertBatch (split per
+// shard, K update locks in parallel) and Do (scatter-gather with merged
+// confidence intervals).
+func measureGroupPoint(ctx context.Context, k, ingestN, batchSize, queryN int, seed int64, tuples []janus.Tuple, queries []janus.Query) (shardPoint, error) {
+	parts := janus.SplitByShard(tuples, k)
+	engines := make([]*janus.Engine, k)
+	for i := range engines {
+		b := janus.NewBroker()
+		b.PublishInsertBatch(parts[i])
+		engines[i] = janus.NewEngine(janus.Config{
+			LeafNodes: 128, SampleRate: 0.01, CatchUpRate: 0.10, Seed: seed,
+		}.WithShardSeed(i), b)
+	}
+	group, err := janus.NewShardGroup(engines)
+	if err != nil {
+		return shardPoint{}, err
+	}
+	if err := group.AddTemplate(janus.Template{
+		Name: "trips", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum,
+	}); err != nil {
+		return shardPoint{}, err
+	}
+
+	fresh, err := workload.Generate(workload.NYCTaxi, ingestN, 10_000_000, seed+int64(k))
+	if err != nil {
+		return shardPoint{}, err
+	}
+	start := time.Now()
+	for lo := 0; lo < len(fresh); lo += batchSize {
+		hi := min(lo+batchSize, len(fresh))
+		if err := group.InsertBatch(fresh[lo:hi]); err != nil {
+			return shardPoint{}, err
+		}
+	}
+	tps := float64(ingestN) / time.Since(start).Seconds()
+
+	lats := make([]float64, 0, queryN)
+	for i := 0; i < queryN; i++ {
+		resp, err := group.Do(ctx, janus.Request{Template: "trips", Query: queries[i%len(queries)]})
+		if err != nil {
+			return shardPoint{}, err
+		}
+		lats = append(lats, float64(resp.Elapsed.Microseconds()))
+	}
+	return shardPoint{
+		Shards:             k,
+		IngestTuplesPerSec: tps,
+		QueryP50Micros:     stats.Percentile(lats, 0.50),
+		QueryP95Micros:     stats.Percentile(lats, 0.95),
+	}, nil
 }
 
 // runShards measures the scaling experiment and writes the snapshot.
@@ -716,6 +742,123 @@ func runShards(path string, rows int, seed int64) error {
 	}
 	fmt.Printf("shards: 4-shard ingest speedup %.2fx over 1 shard (GOMAXPROCS=%d) -> %s\n",
 		rep.Speedup4Shard, rep.GoMaxProcs, path)
+	return nil
+}
+
+// --- multi-core matrix snapshot ----------------------------------------------
+
+// matrixRow is one cell of the multi-core matrix: the serving hot paths
+// through a K-shard group with GOMAXPROCS pinned to Procs for the whole
+// measurement.
+type matrixRow struct {
+	Procs              int     `json:"procs"`
+	Shards             int     `json:"shards"`
+	IngestTuplesPerSec float64 `json:"ingestTuplesPerSec"`
+	QueryP50Micros     float64 `json:"queryP50Micros"`
+	QueryP95Micros     float64 `json:"queryP95Micros"`
+}
+
+// matrixReport is the JSON shape of the per-PR multi-core record
+// (BENCH_PR6.json): the procs × shard-count grid that separates the two
+// parallelism stories — GOMAXPROCS rows show what cores buy a fixed
+// topology, shard columns show what sharding buys at fixed cores. NumCPU
+// is recorded because rows with procs > NumCPU measure oversubscription,
+// not speedup; the -check gate is one-sided so baselines cut on a small
+// machine stay passable on bigger CI runners.
+type matrixReport struct {
+	Rows         int         `json:"rows"`
+	IngestTuples int         `json:"ingestTuples"`
+	BatchSize    int         `json:"batchSize"`
+	Queries      int         `json:"queries"`
+	NumCPU       int         `json:"numCpu"`
+	Procs        []int       `json:"procs"`
+	Matrix       []matrixRow `json:"matrix"`
+}
+
+// matrixShardCounts are the shard columns of the matrix: the single-engine
+// baseline and the topology the scale-out acceptance target names.
+var matrixShardCounts = []int{1, 4}
+
+// parseProcs parses the -procs flag: comma-separated positive GOMAXPROCS
+// values, e.g. "1,2,4".
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("-procs wants comma-separated positive integers, got %q", s)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// measureMatrix measures every (procs, shards) cell, pinning GOMAXPROCS
+// around each row and restoring the caller's setting afterwards.
+func measureMatrix(rows int, seed int64, procs []int) (matrixReport, error) {
+	if rows <= 0 {
+		rows = 120000
+	}
+	const (
+		ingestN   = 30000
+		batchSize = 512
+		queryN    = 1000
+	)
+	tuples, err := workload.Generate(workload.NYCTaxi, rows, 0, seed)
+	if err != nil {
+		return matrixReport{}, err
+	}
+	gen := workload.NewQueryGen(seed+3, tuples, []int{0})
+	queries := gen.Workload(256, janus.FuncSum)
+	ctx := context.Background()
+
+	rep := matrixReport{
+		Rows:         rows,
+		IngestTuples: ingestN,
+		BatchSize:    batchSize,
+		Queries:      queryN,
+		NumCPU:       runtime.NumCPU(),
+		Procs:        procs,
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		for _, k := range matrixShardCounts {
+			pt, err := measureGroupPoint(ctx, k, ingestN, batchSize, queryN, seed, tuples, queries)
+			if err != nil {
+				return matrixReport{}, err
+			}
+			rep.Matrix = append(rep.Matrix, matrixRow{
+				Procs:              p,
+				Shards:             k,
+				IngestTuplesPerSec: pt.IngestTuplesPerSec,
+				QueryP50Micros:     pt.QueryP50Micros,
+				QueryP95Micros:     pt.QueryP95Micros,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// runMatrix measures the multi-core matrix and writes the snapshot.
+func runMatrix(path string, rows int, seed int64, procsFlag string) error {
+	procs, err := parseProcs(procsFlag)
+	if err != nil {
+		return err
+	}
+	rep, err := measureMatrix(rows, seed, procs)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(path, rep); err != nil {
+		return err
+	}
+	for _, r := range rep.Matrix {
+		fmt.Printf("procs=%d shards=%d: ingest %.0f t/s, query p50 %.0fµs p95 %.0fµs\n",
+			r.Procs, r.Shards, r.IngestTuplesPerSec, r.QueryP50Micros, r.QueryP95Micros)
+	}
+	fmt.Printf("matrix: %d cells (NumCPU=%d) -> %s\n", len(rep.Matrix), rep.NumCPU, path)
 	return nil
 }
 
@@ -784,6 +927,41 @@ func runCheck(path string, seed int64, tol float64) error {
 	}
 	g := &gate{tol: tol}
 	switch {
+	case probe["matrix"] != nil:
+		var base matrixReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		fmt.Printf("check: rerunning multi-core matrix suite vs %s (rows=%d, procs=%v, best of %d, tolerance %.0f%%)\n",
+			path, base.Rows, base.Procs, checkRuns, tol*100)
+		type cell struct{ procs, shards int }
+		now := make(map[cell]matrixRow)
+		for r := 0; r < checkRuns; r++ {
+			cur, err := measureMatrix(base.Rows, seed, base.Procs)
+			if err != nil {
+				return err
+			}
+			for _, row := range cur.Matrix {
+				key := cell{row.Procs, row.Shards}
+				best, ok := now[key]
+				if !ok {
+					now[key] = row
+					continue
+				}
+				best.IngestTuplesPerSec = math.Max(best.IngestTuplesPerSec, row.IngestTuplesPerSec)
+				best.QueryP50Micros = math.Min(best.QueryP50Micros, row.QueryP50Micros)
+				best.QueryP95Micros = math.Min(best.QueryP95Micros, row.QueryP95Micros)
+				now[key] = best
+			}
+		}
+		for _, br := range base.Matrix {
+			nr, ok := now[cell{br.Procs, br.Shards}]
+			if !ok {
+				return fmt.Errorf("rerun produced no procs=%d shards=%d cell", br.Procs, br.Shards)
+			}
+			g.lower(fmt.Sprintf("procs=%d shards=%d ingest tuples/sec", br.Procs, br.Shards), br.IngestTuplesPerSec, nr.IngestTuplesPerSec)
+			g.higher(fmt.Sprintf("procs=%d shards=%d query p95 µs", br.Procs, br.Shards), br.QueryP95Micros, nr.QueryP95Micros, latencySlackMicros)
+		}
 	case probe["points"] != nil:
 		var base shardReport
 		if err := json.Unmarshal(raw, &base); err != nil {

@@ -51,6 +51,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -60,6 +61,7 @@ import (
 	"time"
 
 	janus "janusaqp"
+	"janusaqp/internal/obs"
 	"janusaqp/internal/server"
 	"janusaqp/internal/workload"
 )
@@ -80,6 +82,10 @@ func main() {
 	retain := flag.String("retain", retainCompact,
 		"durable log retention with -data: 'compact' rotates the segment logs behind every checkpoint (data dir stays O(live data + tail)); 'all' keeps the full Kafka-style archival history")
 	shards := flag.Int("shards", 1, "engine shards: >1 hash-partitions ingest by tuple id across K engines and answers queries by scatter-gather")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error (debug logs every request)")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	slowQuery := flag.Duration("slow-query", 0, "log any query slower than this threshold at warn level (0 disables)")
+	admin := flag.Bool("admin", false, "expose GET /v2/admin/debug and the net/http/pprof profiling handlers")
 	flag.Parse()
 
 	if err := run(daemonConfig{
@@ -87,6 +93,7 @@ func main() {
 		leafNodes: *leafNodes, sampleRate: *sampleRate, catchUpRate: *catchUpRate,
 		catchUpEvery: *catchUpEvery, autoRepartition: *autoRepartition, stream: *stream,
 		dataDir: *dataDir, checkpointEvery: *checkpointEvery, retain: *retain, shards: *shards,
+		logLevel: *logLevel, logFormat: *logFormat, slowQuery: *slowQuery, admin: *admin,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "janusd:", err)
 		os.Exit(1)
@@ -120,6 +127,15 @@ type daemonConfig struct {
 	checkpointEvery time.Duration
 	retain          string
 	shards          int
+	logLevel        string
+	logFormat       string
+	slowQuery       time.Duration
+	admin           bool
+
+	// logger is built by run() from logLevel/logFormat; the boot helpers
+	// log through it so boot events carry the same structured encoding as
+	// the serving-path logs.
+	logger *slog.Logger
 }
 
 func (c daemonConfig) engineConfig() janus.Config {
@@ -142,48 +158,57 @@ func run(c daemonConfig) error {
 	if c.retain != retainCompact && c.retain != retainAll {
 		return fmt.Errorf("-retain must be %q or %q, got %q", retainCompact, retainAll, c.retain)
 	}
+	if f := strings.ToLower(strings.TrimSpace(c.logFormat)); f != "text" && f != "json" {
+		return fmt.Errorf("-log-format must be \"text\" or \"json\", got %q", c.logFormat)
+	}
 	if c.dataDir != "" {
 		if err := checkDataLayout(c.dataDir, c.shards); err != nil {
 			return err
 		}
 	}
-	opts := server.Options{CatchUpInterval: c.catchUpEvery}
+	c.logger = obs.NewLogger(os.Stderr, obs.ParseLevel(c.logLevel), c.logFormat, "janusd")
+	opts := server.Options{
+		CatchUpInterval: c.catchUpEvery,
+		Logger:          c.logger,
+		SlowQuery:       c.slowQuery,
+		EnableAdmin:     c.admin,
+	}
 
+	// stores collects every durable store the boot path opened (one per
+	// shard), so the server's span observer can be attached to each with
+	// its shard index stamped on the emitted I/O spans.
 	var (
-		eng server.Engine
-		err error
+		eng    server.Engine
+		stores []*janus.Store
+		err    error
 	)
 	switch {
 	case c.shards > 1 && c.dataDir != "":
-		var stores []*janus.Store
 		stores, eng, err = bootShardedDurable(c, &opts)
-		if err != nil {
-			return err
-		}
-		for _, st := range stores {
-			defer st.Close()
-		}
 	case c.shards > 1:
 		eng, err = bootShardedEphemeral(c, &opts)
-		if err != nil {
-			return err
-		}
 	case c.dataDir != "":
 		var st *janus.Store
 		st, eng, err = bootDurable(c, &opts)
-		if err != nil {
-			return err
+		if err == nil {
+			stores = []*janus.Store{st}
 		}
-		defer st.Close()
 	default:
 		eng, err = bootEphemeral(c, &opts)
-		if err != nil {
-			return err
-		}
+	}
+	if err != nil {
+		return err
+	}
+	for _, st := range stores {
+		defer st.Close()
 	}
 
 	srv := server.New(eng, opts)
 	defer srv.Close()
+	for i, st := range stores {
+		shard, fn := i, srv.SpanObserver()
+		st.SetSpanObserver(func(span string, _ int, d time.Duration) { fn(span, shard, d) })
+	}
 
 	httpSrv := &http.Server{
 		Addr:              c.addr,
@@ -201,7 +226,7 @@ func run(c daemonConfig) error {
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		fmt.Printf("janusd: received %s, shutting down\n", sig)
+		c.logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -213,10 +238,10 @@ func run(c daemonConfig) error {
 		// and closing last means no publish ever races a closed log.
 		if opts.Checkpoint != nil {
 			if _, err := opts.Checkpoint(); err != nil {
-				fmt.Fprintln(os.Stderr, "janusd: shutdown checkpoint:", err)
+				c.logger.Error("shutdown checkpoint failed", "error", err)
 			} else if opts.Compact != nil && opts.CompactAfterCheckpoint {
 				if _, err := opts.Compact(); err != nil {
-					fmt.Fprintln(os.Stderr, "janusd: shutdown compaction:", err)
+					c.logger.Error("shutdown compaction failed", "error", err)
 				}
 			}
 		}
@@ -241,7 +266,8 @@ func bootEphemeral(c daemonConfig, opts *server.Options) (*janus.Engine, error) 
 		return nil, err
 	}
 	startStream(c, opts, tuples[initial:])
-	fmt.Printf("janusd: serving %d rows of %s on %s (%d streaming in)\n", initial, c.dataset, c.addr, c.rows-initial)
+	c.logger.Info("serving", "boot", "ephemeral", "rows", initial, "dataset", c.dataset,
+		"addr", c.addr, "streamingIn", c.rows-initial)
 	return eng, nil
 }
 
@@ -270,9 +296,10 @@ func bootDurable(c daemonConfig, opts *server.Options) (*janus.Store, *janus.Eng
 	switch {
 	case err == nil:
 		opts.FollowState = rec.Follow
-		fmt.Printf("janusd: warm restart from %s in %.2fs: %d templates, %d rows, replayed %d+%d log-tail records; serving on %s\n",
-			c.dataDir, time.Since(start).Seconds(), rec.Templates, st.Broker().Archive().Len(),
-			rec.TailInserts, rec.TailDeletes, c.addr)
+		opts.RecoveryTailRecords = int64(rec.TailInserts + rec.TailDeletes)
+		c.logger.Info("warm restart", "dataDir", c.dataDir, "seconds", time.Since(start).Seconds(),
+			"templates", rec.Templates, "rows", st.Broker().Archive().Len(),
+			"tailInserts", rec.TailInserts, "tailDeletes", rec.TailDeletes, "addr", c.addr)
 	case errors.Is(err, janus.ErrNoCheckpoint):
 		needInitialCheckpoint = true
 		eng, err = coldBootDurable(c, st)
@@ -314,7 +341,8 @@ func coldBootDurable(c daemonConfig, st *janus.Store) (*janus.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("janusd: cold boot into %s: %d rows of %s; serving on %s\n", c.dataDir, b.Archive().Len(), c.dataset, c.addr)
+	c.logger.Info("cold boot", "dataDir", c.dataDir, "rows", b.Archive().Len(),
+		"dataset", c.dataset, "addr", c.addr)
 	return eng, nil
 }
 
@@ -409,8 +437,8 @@ func bootShardedEphemeral(c daemonConfig, opts *server.Options) (server.Engine, 
 		return nil, err
 	}
 	startStream(c, opts, tuples[initial:])
-	fmt.Printf("janusd: serving %d rows of %s on %s across %d shards (%d streaming in)\n",
-		initial, c.dataset, c.addr, c.shards, c.rows-initial)
+	c.logger.Info("serving", "boot", "sharded-ephemeral", "rows", initial, "dataset", c.dataset,
+		"addr", c.addr, "shards", c.shards, "streamingIn", c.rows-initial)
 	return group, nil
 }
 
@@ -436,6 +464,7 @@ func bootShardedDurable(c daemonConfig, opts *server.Options) ([]*janus.Store, s
 	var bootstrap [][]janus.Tuple // generated once, on the first empty cold shard
 	needInitialCheckpoint := false
 	warm := 0
+	var tailRecords int64
 	for i := 0; i < c.shards; i++ {
 		st, err := janus.OpenStore(filepath.Join(c.dataDir, fmt.Sprintf("shard-%d", i)))
 		if err != nil {
@@ -443,10 +472,11 @@ func bootShardedDurable(c daemonConfig, opts *server.Options) ([]*janus.Store, s
 		}
 		stores = append(stores, st)
 		cfg := c.engineConfig().WithShardSeed(i)
-		eng, _, err := st.Recover(cfg)
+		eng, rec, err := st.Recover(cfg)
 		switch {
 		case err == nil:
 			warm++
+			tailRecords += int64(rec.TailInserts + rec.TailDeletes)
 		case errors.Is(err, janus.ErrNoCheckpoint):
 			needInitialCheckpoint = true
 			if st.Broker().Archive().Len() == 0 {
@@ -523,8 +553,10 @@ func bootShardedDurable(c daemonConfig, opts *server.Options) ([]*janus.Store, s
 			return fail(err)
 		}
 	}
-	fmt.Printf("janusd: %d-shard boot from %s in %.2fs (%d warm, %d cold): %d rows; serving on %s\n",
-		c.shards, c.dataDir, time.Since(start).Seconds(), warm, c.shards-warm, group.Stats().ArchiveRows, c.addr)
+	opts.RecoveryTailRecords = tailRecords
+	c.logger.Info("sharded boot", "shards", c.shards, "dataDir", c.dataDir,
+		"seconds", time.Since(start).Seconds(), "warm", warm, "cold", c.shards-warm,
+		"tailRecords", tailRecords, "rows", group.Stats().ArchiveRows, "addr", c.addr)
 	return stores, group, nil
 }
 

@@ -42,7 +42,19 @@ type Store struct {
 	broker  *Broker
 	ckptMu  sync.Mutex // serializes WriteCheckpoint/Compact/Close I-O
 	closed  bool       // guarded by ckptMu; Close is idempotent
+
+	// spans receives checkpoint-fsync and compaction-rotation durations
+	// when an observer is installed (SetSpanObserver); nil-safe and free
+	// otherwise.
+	spans spanSink
 }
+
+// SetSpanObserver installs fn to receive the store's I/O span durations —
+// SpanCheckpointFsync (log + checkpoint fsync through rename) and
+// SpanCompactRotate (both log rotations). nil uninstalls. The shard
+// argument delivered is always 0; a multi-shard daemon installs a distinct
+// wrapper per store.
+func (st *Store) SetSpanObserver(fn SpanObserver) { st.spans.set(fn) }
 
 // Store file names.
 const (
@@ -276,6 +288,8 @@ func (st *Store) Compact() (CompactInfo, error) {
 		// checkpoint (always version 2) and compact against that.
 		return CompactInfo{}, fmt.Errorf("janus: the durable checkpoint predates archive snapshots and cannot anchor a compaction; write a new checkpoint first")
 	}
+	sp := st.spans.start()
+	defer func() { st.spans.end(SpanCompactRotate, 0, sp) }()
 	info := CompactInfo{LogBytesBefore: st.logBytes()}
 	insPath := filepath.Join(st.dir, insertsLogName)
 	delPath := filepath.Join(st.dir, deletesLogName)
@@ -331,6 +345,10 @@ func (st *Store) WriteCheckpoint(e *Engine) (CheckpointInfo, error) {
 		return CheckpointInfo{}, fmt.Errorf("janus: creating checkpoint: %w", err)
 	}
 	info, err := e.Checkpoint(f)
+	// The fsync span covers the durability half only — log sync, snapshot
+	// sync, rename, dir sync — the encoding above reports separately as
+	// SpanCheckpointSave.
+	sp := st.spans.start()
 	if err == nil {
 		err = st.Sync()
 	}
@@ -352,6 +370,7 @@ func (st *Store) WriteCheckpoint(e *Engine) (CheckpointInfo, error) {
 		_ = d.Sync()
 		d.Close()
 	}
+	st.spans.end(SpanCheckpointFsync, 0, sp)
 	return info, nil
 }
 

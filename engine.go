@@ -107,6 +107,10 @@ type Engine struct {
 	// validation (schema mismatch, duplicate id) — guarded by statsMu.
 	streamRejected int64
 
+	// spans is the atomically swappable SpanObserver slot; with no
+	// observer installed every instrumented section costs one atomic load.
+	spans spanSink
+
 	// Reinits counts completed re-initializations across all templates.
 	Reinits int
 	// TriggersFired counts trigger evaluations that led to a candidate
@@ -315,12 +319,14 @@ func (e *Engine) InsertBatch(tuples []Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
+	sp := e.spans.start()
 	e.upd.Lock()
 	defer e.upd.Unlock()
 	if err := e.validateBatchUpdLocked(tuples); err != nil {
 		return err
 	}
 	e.applyInsertsUpdLocked(tuples)
+	e.spans.end(SpanInsertBatch, 0, sp)
 	return nil
 }
 
@@ -472,6 +478,7 @@ func (e *Engine) DeleteBatch(ids []int64) (int, error) {
 	for i, t := range tuples {
 		live[i] = t.ID
 	}
+	sp := e.spans.start()
 	e.broker.PublishDeleteBatch(live)
 	e.forEachSynUpdLocked(func(s *synopsis) {
 		s.apply(func(dpt *core.DPT) {
@@ -481,6 +488,7 @@ func (e *Engine) DeleteBatch(ids []int64) (int, error) {
 		})
 	})
 	e.evaluateTriggersUpdLocked(len(tuples))
+	e.spans.end(SpanDeleteBatch, 0, sp)
 	if len(missing) > 0 {
 		return len(tuples), &BatchIDError{IDs: missing}
 	}
@@ -492,6 +500,7 @@ func (e *Engine) DeleteBatch(ids []int64) (int, error) {
 // daemon runs this from a background goroutine (the paper's catch-up
 // thread); library callers may interleave it with stream events instead.
 func (e *Engine) PumpCatchUp() bool {
+	sp := e.spans.start()
 	e.upd.Lock()
 	defer e.upd.Unlock()
 	worked := false
@@ -504,6 +513,11 @@ func (e *Engine) PumpCatchUp() bool {
 			}
 		})
 	})
+	// Idle pumps (the 10ms poll finding nothing to fold) would swamp the
+	// span histogram with no-op durations; only real work is reported.
+	if worked {
+		e.spans.end(SpanCatchUp, 0, sp)
+	}
 	return worked
 }
 
@@ -611,6 +625,11 @@ type EngineStats struct {
 	StreamRejected      int64           `json:"streamRejected"`
 	SyncedInsertOffset  int64           `json:"syncedInsertOffset"`
 	Templates           []TemplateStats `json:"templates"`
+	// Shards carries each shard's own un-merged snapshot when this stats
+	// object came from a ShardGroup — the per-shard breakdown that makes
+	// stragglers and skewed hash placement diagnosable. Empty on a single
+	// engine.
+	Shards []EngineStats `json:"shards,omitempty"`
 }
 
 // Stats snapshots the engine counters and per-template state under the
@@ -657,6 +676,8 @@ func (e *Engine) evaluateTriggersUpdLocked(updates int) {
 		return
 	}
 	e.updatesSinceTriggerCheck = 0
+	sp := e.spans.start()
+	defer func() { e.spans.end(SpanTriggerEval, 0, sp) }()
 	e.forEachSynUpdLocked(func(s *synopsis) {
 		fired, _ := s.dpt.TriggerPending()
 		if !fired {
@@ -740,6 +761,8 @@ func (e *Engine) reinitializeUpdLocked(s *synopsis, cand *partition.Blueprint, p
 	if n == 0 {
 		return
 	}
+	sp := e.spans.start()
+	defer func() { e.spans.end(SpanReinit, 0, sp) }()
 	m := int(e.cfg.SampleRate * float64(n))
 	if m < e.cfg.MinSamples {
 		m = e.cfg.MinSamples

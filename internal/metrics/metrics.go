@@ -132,20 +132,89 @@ func (f *atomicFloat) add(v float64) {
 
 func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
 
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+// Gauge is a value that can go up and down — queue depths, resident
+// bytes, lag. Set and Add are lock-free atomics.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.store(v) }
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta float64) { g.v.add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+// CounterVec is a family of counters partitioned by one label. Series
+// lookup is a sync.Map load — lock-free once a series exists — so With
+// is safe on the query hot path.
+type CounterVec struct {
+	label  string
+	series sync.Map // label value -> *Counter
+}
+
+// With returns the counter for the given label value, creating the
+// series on first use.
+func (v *CounterVec) With(value string) *Counter {
+	if c, ok := v.series.Load(value); ok {
+		return c.(*Counter)
+	}
+	c, _ := v.series.LoadOrStore(value, &Counter{})
+	return c.(*Counter)
+}
+
+// HistogramVec is a family of histograms partitioned by one label.
+type HistogramVec struct {
+	label  string
+	series sync.Map // label value -> *Histogram
+}
+
+// With returns the histogram for the given label value, creating the
+// series (with DefBuckets) on first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	if h, ok := v.series.Load(value); ok {
+		return h.(*Histogram)
+	}
+	h, _ := v.series.LoadOrStore(value, NewHistogram(nil))
+	return h.(*Histogram)
+}
+
+// escapeLabel escapes a label value per the Prometheus text format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
 // Registry names and exposes a set of metrics.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	histograms map[string]*Histogram
-	help       map[string]string
+	mu            sync.Mutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	gaugeFuncs    map[string]func() float64
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	histogramVecs map[string]*HistogramVec
+	help          map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		histograms: make(map[string]*Histogram),
-		help:       make(map[string]string),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		gaugeFuncs:    make(map[string]func() float64),
+		histograms:    make(map[string]*Histogram),
+		counterVecs:   make(map[string]*CounterVec),
+		histogramVecs: make(map[string]*HistogramVec),
+		help:          make(map[string]string),
 	}
 }
 
@@ -176,50 +245,211 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return h
 }
 
-// WritePrometheus renders every registered metric in the Prometheus text
-// exposition format (version 0.0.4), sorted by name for stable output.
-func (r *Registry) WritePrometheus(w io.Writer) error {
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
 	r.mu.Lock()
-	cnames := make([]string, 0, len(r.counters))
-	for n := range r.counters {
-		cnames = append(cnames, n)
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
 	}
-	hnames := make([]string, 0, len(r.histograms))
-	for n := range r.histograms {
-		hnames = append(hnames, n)
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.help[name] = help
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — for values the owner already maintains (archive rows, heap
+// bytes) where mirroring into a Gauge would just add a write path. fn
+// must be safe for concurrent calls. Re-registering a name replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+	r.help[name] = help
+}
+
+// CounterVec returns the named counter family with the given label name,
+// creating it on first use.
+func (r *Registry) CounterVec(name, label, help string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.counterVecs[name]; ok {
+		return v
+	}
+	v := &CounterVec{label: label}
+	r.counterVecs[name] = v
+	r.help[name] = help
+	return v
+}
+
+// HistogramVec returns the named histogram family with the given label
+// name, creating it on first use.
+func (r *Registry) HistogramVec(name, label, help string) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.histogramVecs[name]; ok {
+		return v
+	}
+	v := &HistogramVec{label: label}
+	r.histogramVecs[name] = v
+	r.help[name] = help
+	return v
+}
+
+// sortedSeries returns the (labelValue, entry) pairs of a sync.Map
+// sorted by label value for stable exposition output.
+func sortedSeries(m *sync.Map) []struct {
+	value string
+	entry any
+} {
+	var out []struct {
+		value string
+		entry any
+	}
+	m.Range(func(k, v any) bool {
+		out = append(out, struct {
+			value string
+			entry any
+		}{k.(string), v})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}
+
+// writeHistogramBody renders one histogram's bucket/sum/count lines.
+// labels is the pre-rendered label block ("" or `{kind="sql"}`); bucket
+// lines merge the le label into any existing block.
+func writeHistogramBody(b *strings.Builder, name, labels string, h *Histogram) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLe(labels, bound, false), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLe(labels, 0, true), cum)
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, labels, h.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, cum)
+}
+
+// mergeLe builds the label block for a bucket line, folding le into an
+// existing label set when present.
+func mergeLe(labels string, bound float64, inf bool) string {
+	le := fmt.Sprintf("%g", bound)
+	if inf {
+		le = "+Inf"
+	}
+	if labels == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	// labels is `{k="v"}` — splice le before the closing brace.
+	return fmt.Sprintf("%s,le=%q}", labels[:len(labels)-1], le)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by name (and by label value
+// within a family) for stable output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Snapshot the name tables under one lock; the metric values
+	// themselves are read lock-free during rendering.
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	counterVecs := make(map[string]*CounterVec, len(r.counterVecs))
+	for n, v := range r.counterVecs {
+		counterVecs[n] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	gaugeFuncs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for n, f := range r.gaugeFuncs {
+		gaugeFuncs[n] = f
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for n, h := range r.histograms {
+		histograms[n] = h
+	}
+	histogramVecs := make(map[string]*HistogramVec, len(r.histogramVecs))
+	for n, v := range r.histogramVecs {
+		histogramVecs[n] = v
+	}
+	help := make(map[string]string, len(r.help))
+	for n, h := range r.help {
+		help[n] = h
 	}
 	r.mu.Unlock()
-	sort.Strings(cnames)
-	sort.Strings(hnames)
 
 	var b strings.Builder
-	for _, n := range cnames {
-		r.mu.Lock()
-		c, help := r.counters[n], r.help[n]
-		r.mu.Unlock()
-		if help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", n, help)
+	header := func(name, typ string) {
+		if h := help[name]; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, h)
 		}
-		fmt.Fprintf(&b, "# TYPE %s counter\n", n)
-		fmt.Fprintf(&b, "%s %d\n", n, c.Value())
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, typ)
 	}
+
+	cnames := make([]string, 0, len(counters)+len(counterVecs))
+	for n := range counters {
+		cnames = append(cnames, n)
+	}
+	for n := range counterVecs {
+		cnames = append(cnames, n)
+	}
+	sort.Strings(cnames)
+	for _, n := range cnames {
+		header(n, "counter")
+		if c, ok := counters[n]; ok {
+			fmt.Fprintf(&b, "%s %d\n", n, c.Value())
+			continue
+		}
+		v := counterVecs[n]
+		for _, s := range sortedSeries(&v.series) {
+			fmt.Fprintf(&b, "%s{%s=%q} %d\n", n, v.label, escapeLabel(s.value), s.entry.(*Counter).Value())
+		}
+	}
+
+	gnames := make([]string, 0, len(gauges)+len(gaugeFuncs))
+	for n := range gauges {
+		gnames = append(gnames, n)
+	}
+	for n := range gaugeFuncs {
+		if _, dup := gauges[n]; !dup {
+			gnames = append(gnames, n)
+		}
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		header(n, "gauge")
+		if g, ok := gauges[n]; ok {
+			fmt.Fprintf(&b, "%s %g\n", n, g.Value())
+			continue
+		}
+		fmt.Fprintf(&b, "%s %g\n", n, gaugeFuncs[n]())
+	}
+
+	hnames := make([]string, 0, len(histograms)+len(histogramVecs))
+	for n := range histograms {
+		hnames = append(hnames, n)
+	}
+	for n := range histogramVecs {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
 	for _, n := range hnames {
-		r.mu.Lock()
-		h, help := r.histograms[n], r.help[n]
-		r.mu.Unlock()
-		if help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", n, help)
+		header(n, "histogram")
+		if h, ok := histograms[n]; ok {
+			writeHistogramBody(&b, n, "", h)
+			continue
 		}
-		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
-		var cum uint64
-		for i, bound := range h.bounds {
-			cum += h.counts[i].Load()
-			fmt.Fprintf(&b, "%s_bucket{le=\"%g\"} %d\n", n, bound, cum)
+		v := histogramVecs[n]
+		for _, s := range sortedSeries(&v.series) {
+			labels := fmt.Sprintf("{%s=%q}", v.label, escapeLabel(s.value))
+			writeHistogramBody(&b, n, labels, s.entry.(*Histogram))
 		}
-		cum += h.counts[len(h.bounds)].Load()
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
-		fmt.Fprintf(&b, "%s_sum %g\n", n, h.Sum())
-		fmt.Fprintf(&b, "%s_count %d\n", n, cum)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

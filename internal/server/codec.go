@@ -55,6 +55,10 @@ type QueryRequestV2 struct {
 	MinSyncOffset int64 `json:"minSyncOffset,omitempty"`
 	// TimeoutMillis bounds this request's handling time.
 	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+	// Trace requests a per-stage timing breakdown in the result's "trace"
+	// field. Tracing is pay-for-use: an untraced request runs the exact
+	// untraced engine path.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // queryV2Payload is the POST /v2/query body: either one request inline or
@@ -74,7 +78,23 @@ type QueryResultV2 struct {
 	Population      int64   `json:"population,omitempty"`
 	CatchUpProgress float64 `json:"catchUpProgress,omitempty"`
 	ElapsedMicros   int64   `json:"elapsedMicros,omitempty"`
-	Error           string  `json:"error,omitempty"`
+	// Trace is the per-stage breakdown of a traced request (trace: true).
+	// Stages without a shard index are group-level and — excluding
+	// "syncWait" — sum to ElapsedMicros; per-shard "answer" stages overlap
+	// in wall time and are detail under "scatter".
+	Trace []TraceStageV2 `json:"trace,omitempty"`
+	Error string         `json:"error,omitempty"`
+}
+
+// TraceStageV2 is one timed stage of a traced query.
+type TraceStageV2 struct {
+	// Stage is one of resolve, syncWait, scatter, answer, merge.
+	Stage string `json:"stage"`
+	// Shard is the answering shard's index for per-shard stages; absent
+	// for group-level stages.
+	Shard *int `json:"shard,omitempty"`
+	// Micros is the stage duration in microseconds.
+	Micros float64 `json:"micros"`
 }
 
 // QueryV2BatchResponse is the POST /v2/query response for batched
@@ -163,9 +183,27 @@ type CompactResponse struct {
 	ElapsedMicros  int64              `json:"elapsedMicros"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. RequestID echoes
+// the X-Request-Id the response carries, so a client error report can be
+// matched against the daemon's logs.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"requestId,omitempty"`
+}
+
+// DebugResponse is the GET /v2/admin/debug payload (behind janusd -admin):
+// build identity, runtime posture, and a full engine snapshot including
+// the per-shard breakdown.
+type DebugResponse struct {
+	GoVersion     string            `json:"goVersion"`
+	ModulePath    string            `json:"modulePath,omitempty"`
+	ModuleVersion string            `json:"moduleVersion,omitempty"`
+	GoMaxProcs    int               `json:"gomaxprocs"`
+	NumCPU        int               `json:"numCpu"`
+	NumGoroutine  int               `json:"numGoroutine"`
+	HeapAllocByte uint64            `json:"heapAllocBytes"`
+	UptimeSeconds float64           `json:"uptimeSeconds"`
+	Stats         janus.EngineStats `json:"stats"`
 }
 
 func toResponse(r janus.Result) QueryResponse {
@@ -181,7 +219,7 @@ func toResponse(r janus.Result) QueryResponse {
 }
 
 func toResultV2(r janus.Response) QueryResultV2 {
-	return QueryResultV2{
+	out := QueryResultV2{
 		QueryResponse:   toResponse(r.Result),
 		Template:        r.Template,
 		SampleSize:      r.SampleSize,
@@ -189,6 +227,15 @@ func toResultV2(r janus.Response) QueryResultV2 {
 		CatchUpProgress: r.CatchUpProgress,
 		ElapsedMicros:   r.Elapsed.Microseconds(),
 	}
+	for _, st := range r.Trace {
+		stage := TraceStageV2{Stage: st.Stage, Micros: float64(st.Dur.Nanoseconds()) / 1e3}
+		if st.Shard >= 0 {
+			shard := st.Shard
+			stage.Shard = &shard
+		}
+		out.Trace = append(out.Trace, stage)
+	}
+	return out
 }
 
 func parseFunc(name string) (janus.Func, error) {

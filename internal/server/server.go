@@ -21,12 +21,22 @@
 //	POST /v1/delete    v1 row deletion
 //	GET  /v1/templates registered query templates
 //	GET  /v1/stats     engine counters and per-template synopsis state
+//	                   (with a per-shard breakdown on a sharded daemon)
 //	GET  /metrics      Prometheus text exposition
+//	GET  /v2/admin/debug
+//	                   build info, runtime posture, and the full engine
+//	                   snapshot (behind Options.EnableAdmin / janusd -admin)
+//	GET  /debug/pprof/ net/http/pprof profiles (behind Options.EnableAdmin)
 //
 // The server leans on the engine's sharded locking: query handlers only
 // take per-synopsis read locks, so concurrent requests on different
 // templates — and read-only requests on the same template — proceed in
 // parallel; ingest batches take the update lock once per batch.
+//
+// Every request is assigned a request ID (honoring an inbound
+// X-Request-Id) that is echoed on the response header, attached to error
+// bodies, carried through the request context, and stamped on slow-query
+// log records — one join key across client reports, logs, and traces.
 package server
 
 import (
@@ -34,13 +44,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	rtdebug "runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	janus "janusaqp"
 	"janusaqp/internal/metrics"
+	"janusaqp/internal/obs"
 )
 
 // Engine is the v2 surface the server routes to. Both *janus.Engine (one
@@ -119,6 +135,21 @@ type Options struct {
 	WriteHealth func() error
 	// MaxBodyBytes caps request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// Logger receives the server's structured logs (request completions at
+	// debug level, slow queries at warn). nil disables logging entirely.
+	Logger *slog.Logger
+	// SlowQuery, when positive, logs any query whose engine-side handling
+	// exceeds it (janusd -slow-query). Requires Logger.
+	SlowQuery time.Duration
+	// EnableAdmin registers GET /v2/admin/debug and the net/http/pprof
+	// handlers (janusd -admin). Off by default: profiles and debug dumps
+	// expose operational detail a public listener should not.
+	EnableAdmin bool
+	// RecoveryTailRecords is the number of log-tail records the boot-time
+	// recovery replayed (RecoveryInfo.TailInserts + TailDeletes), exported
+	// as the janusd_recovery_tail_records gauge so growth of the
+	// uncheckpointed tail is visible before it becomes a slow restart.
+	RecoveryTailRecords int64
 }
 
 // Server serves one engine over HTTP. Create with New, expose with
@@ -138,6 +169,37 @@ type Server struct {
 	rowsInserted   *metrics.Counter
 	rowsDeleted    *metrics.Counter
 	errors         *metrics.Counter
+
+	// v2 handlers get their own consistently named series; they used to
+	// share the v1 counters, which made the two surfaces indistinguishable
+	// on a dashboard.
+	queryV2Requests  *metrics.Counter
+	queryV2Latency   *metrics.Histogram
+	ingestV2Requests *metrics.Counter
+	ingestV2Latency  *metrics.Histogram
+
+	// kindLatency series are resolved once (the vec lookup is a sync.Map
+	// load, but the three kinds are known up front).
+	kindSQL        *metrics.Histogram
+	kindStructured *metrics.Histogram
+	kindOnKeys     *metrics.Histogram
+
+	spanSeconds *metrics.HistogramVec // engine-internal spans, by span name
+	shardAnswer *metrics.HistogramVec // per-shard answer latency, by shard
+
+	slowQueries *metrics.Counter
+	slowLog     *obs.SlowQueryLog
+	logger      *slog.Logger
+
+	startTime time.Time
+
+	// statsSnap caches one EngineStats for the scrape-time gauges, so a
+	// scrape of a dozen gauges costs one Stats() per second, not twelve.
+	statsSnap struct {
+		sync.Mutex
+		at time.Time
+		st janus.EngineStats
+	}
 
 	checkpoint        func() (janus.CheckpointInfo, error)
 	writeHealth       func() error
@@ -200,6 +262,35 @@ func New(eng Engine, opts Options) *Server {
 		compactionErrors: reg.Counter("janusd_compaction_errors_total", "Compaction passes that failed."),
 		compactedRecords: reg.Counter("janusd_compacted_records_total",
 			"Log records dropped by compaction (checkpointed prefix)."),
+		queryV2Requests: reg.Counter("janusd_v2_query_requests_total", "Total /v2/query requests."),
+		queryV2Latency: reg.Histogram("janusd_v2_query_latency_seconds",
+			"End-to-end /v2/query handling latency."),
+		ingestV2Requests: reg.Counter("janusd_v2_ingest_requests_total", "Total /v2/ingest requests."),
+		ingestV2Latency: reg.Histogram("janusd_v2_ingest_latency_seconds",
+			"End-to-end /v2/ingest handling latency."),
+		slowQueries: reg.Counter("janusd_slow_queries_total",
+			"Queries slower than the configured slow-query threshold."),
+		spanSeconds: reg.HistogramVec("janusd_engine_span_seconds", "span",
+			"Engine-internal span durations (insert_batch, trigger_eval, reinit, catchup, stream_apply, checkpoint_encode, checkpoint_fsync, compact_rotate, merge)."),
+		shardAnswer: reg.HistogramVec("janusd_shard_answer_seconds", "shard",
+			"Per-shard synopsis answer latency inside a query."),
+		logger:    opts.Logger,
+		startTime: time.Now(),
+	}
+	kindLatency := reg.HistogramVec("janusd_query_kind_seconds", "kind",
+		"Engine-side query latency by request kind (sql, structured, onKeys).")
+	s.kindSQL = kindLatency.With("sql")
+	s.kindStructured = kindLatency.With("structured")
+	s.kindOnKeys = kindLatency.With("onKeys")
+	if opts.SlowQuery > 0 && opts.Logger != nil {
+		s.slowLog = &obs.SlowQueryLog{Threshold: opts.SlowQuery, Logger: opts.Logger}
+	}
+	s.registerGauges(opts)
+	// Feed the engine's internal spans into the labeled histograms. The
+	// Engine interface stays as the compile-asserted routing surface;
+	// observer support is discovered, not required.
+	if obsEng, ok := eng.(interface{ SetSpanObserver(janus.SpanObserver) }); ok {
+		obsEng.SetSpanObserver(s.SpanObserver())
 	}
 	s.mux.HandleFunc("POST /v2/query", s.handleQueryV2)
 	s.mux.HandleFunc("POST /v2/ingest", s.handleIngest)
@@ -211,6 +302,17 @@ func New(eng Engine, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/templates", s.handleTemplates)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.EnableAdmin {
+		s.mux.HandleFunc("GET /v2/admin/debug", s.handleDebug)
+		// pprof must be wired explicitly: the server serves its own mux,
+		// never http.DefaultServeMux. Index dispatches named profiles
+		// (heap, goroutine, block, ...) under the trailing slash.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
@@ -376,8 +478,161 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// registerGauges exports the engine-internal gauges. Engine-derived
+// values read a cached Stats() snapshot (refreshed at most once a second)
+// so one scrape never costs more than one stats pass; runtime values read
+// the runtime directly.
+func (s *Server) registerGauges(opts Options) {
+	s.reg.GaugeFunc("janusd_archive_rows",
+		"Live rows in the archive (all shards).",
+		func() float64 { return float64(s.cachedStats().ArchiveRows) })
+	s.reg.GaugeFunc("janusd_synopsis_bytes",
+		"Resident bytes across every template's synopsis (all shards).",
+		func() float64 {
+			var total int64
+			for _, t := range s.cachedStats().Templates {
+				total += t.SynopsisBytes
+			}
+			return float64(total)
+		})
+	s.reg.GaugeFunc("janusd_catchup_progress",
+		"Least caught-up template's catch-up progress in [0,1].",
+		func() float64 {
+			min := 1.0
+			for _, t := range s.cachedStats().Templates {
+				if t.CatchUpProgress < min {
+					min = t.CatchUpProgress
+				}
+			}
+			return min
+		})
+	s.reg.GaugeFunc("janusd_synced_insert_offset",
+		"Followed-broker insert offset applied so far (read-your-writes watermark).",
+		func() float64 { return float64(s.cachedStats().SyncedInsertOffset) })
+	if opts.Follow != nil {
+		source := opts.Follow
+		s.reg.GaugeFunc("janusd_follow_lag_records",
+			"Records published on the followed broker's insert topic but not yet applied.",
+			func() float64 {
+				lag := source.Inserts.Len() - s.cachedStats().SyncedInsertOffset
+				if lag < 0 {
+					lag = 0
+				}
+				return float64(lag)
+			})
+	}
+	if opts.RecoveryTailRecords > 0 || opts.Checkpoint != nil {
+		tail := float64(opts.RecoveryTailRecords)
+		s.reg.GaugeFunc("janusd_recovery_tail_records",
+			"Log-tail records replayed by the boot-time recovery (0 on a cold boot).",
+			func() float64 { return tail })
+	}
+	s.reg.GaugeFunc("janusd_goroutines",
+		"Goroutines in the daemon process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	s.reg.GaugeFunc("janusd_heap_alloc_bytes",
+		"Heap bytes allocated and not yet freed.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+}
+
+// cachedStats returns an engine stats snapshot at most one second old.
+func (s *Server) cachedStats() janus.EngineStats {
+	s.statsSnap.Lock()
+	defer s.statsSnap.Unlock()
+	if time.Since(s.statsSnap.at) > time.Second || s.statsSnap.at.IsZero() {
+		s.statsSnap.st = s.eng.Stats()
+		s.statsSnap.at = time.Now()
+	}
+	return s.statsSnap.st
+}
+
+// SpanObserver returns the observer that feeds engine-internal spans into
+// the server's labeled histograms: shard answers into
+// janusd_shard_answer_seconds{shard}, everything else into
+// janusd_engine_span_seconds{span}. janusd installs it on durable Stores
+// too, so checkpoint-fsync and compaction-rotation spans land in the same
+// family.
+func (s *Server) SpanObserver() janus.SpanObserver {
+	return func(span string, shard int, d time.Duration) {
+		if span == janus.SpanShardAnswer {
+			s.shardAnswer.With(strconv.Itoa(shard)).Observe(d.Seconds())
+			return
+		}
+		s.spanSeconds.With(span).Observe(d.Seconds())
+	}
+}
+
+// handleDebug serves GET /v2/admin/debug (behind Options.EnableAdmin).
+func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	resp := DebugResponse{
+		GoVersion:     runtime.Version(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		NumGoroutine:  runtime.NumGoroutine(),
+		HeapAllocByte: m.HeapAlloc,
+		UptimeSeconds: time.Since(s.startTime).Seconds(),
+		Stats:         s.eng.Stats(),
+	}
+	if bi, ok := rtdebug.ReadBuildInfo(); ok {
+		resp.ModulePath = bi.Main.Path
+		resp.ModuleVersion = bi.Main.Version
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// requestIDHeader is the request-ID transport header, honored inbound and
+// always set on responses.
+const requestIDHeader = "X-Request-Id"
+
+// withRequestID assigns every request an ID (honoring an inbound
+// X-Request-Id), sets it on the response header before the handler runs —
+// writeError reads it back from there — carries it through the request
+// context for the slow-query log, and logs the completion at debug level.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if id == "" {
+			id = obs.RequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+		if s.logger == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.logger.Debug("request",
+			"requestId", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"elapsedMicros", time.Since(start).Microseconds(),
+		)
+	})
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// Handler returns the server's HTTP handler: the routing mux behind the
+// request-ID middleware.
+func (s *Server) Handler() http.Handler { return s.withRequestID(s.mux) }
 
 // Metrics returns the server's metrics registry so embedders can attach
 // their own counters.
@@ -400,7 +655,13 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	s.errors.Inc()
-	s.writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	// The middleware stamped the request ID on the response header before
+	// the handler ran; reading it back avoids threading the ID through
+	// every handler signature.
+	s.writeJSON(w, status, ErrorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get(requestIDHeader),
+	})
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -481,12 +742,15 @@ func (s *Server) buildRequest(req QueryRequestV2) (janus.Request, int, error) {
 const maxSyncWait = 30 * time.Second
 
 // answerV2 runs one wire request through Engine.Do. The returned status is
-// http.StatusOK on success; otherwise the result carries Error.
+// http.StatusOK on success; otherwise the result carries Error. It feeds
+// the per-kind latency series and the slow-query log; the request ID for
+// the latter rides the context, put there by the middleware.
 func (s *Server) answerV2(ctx context.Context, req QueryRequestV2) (QueryResultV2, int) {
 	jreq, status, err := s.buildRequest(req)
 	if err != nil {
 		return QueryResultV2{Error: err.Error()}, status
 	}
+	jreq.Trace = req.Trace
 	timeout := time.Duration(req.TimeoutMillis) * time.Millisecond
 	if timeout <= 0 && req.MinSyncOffset > 0 {
 		timeout = maxSyncWait
@@ -496,7 +760,28 @@ func (s *Server) answerV2(ctx context.Context, req QueryRequestV2) (QueryResultV
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	var kind string
+	var kindHist *metrics.Histogram
+	switch {
+	case req.SQL != "":
+		kind, kindHist = "sql", s.kindSQL
+	case len(req.OnKeys) > 0:
+		kind, kindHist = "onKeys", s.kindOnKeys
+	default:
+		kind, kindHist = "structured", s.kindStructured
+	}
+	start := time.Now()
 	resp, err := s.eng.Do(ctx, jreq)
+	elapsed := time.Since(start)
+	kindHist.Observe(elapsed.Seconds())
+	if s.slowLog != nil && elapsed >= s.slowLog.Threshold {
+		s.slowQueries.Inc()
+		source := req.SQL
+		if source == "" {
+			source = req.Template
+		}
+		s.slowLog.Note(obs.RequestIDFrom(ctx), kind, source, elapsed)
+	}
 	if err != nil {
 		return QueryResultV2{Error: err.Error()}, statusForEngineErr(err)
 	}
@@ -509,8 +794,8 @@ func (s *Server) answerV2(ctx context.Context, req QueryRequestV2) (QueryResultV
 // one round trip).
 func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	defer s.queryLatency.ObserveSince(start)
-	s.queryRequests.Inc()
+	defer s.queryV2Latency.ObserveSince(start)
+	s.queryV2Requests.Inc()
 
 	var payload queryV2Payload
 	if !s.decode(w, r, &payload) {
@@ -627,8 +912,8 @@ func (s *Server) durableAckErr() error {
 // handleIngest serves POST /v2/ingest.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	defer s.insertLatency.ObserveSince(start)
-	s.insertRequests.Inc()
+	defer s.ingestV2Latency.ObserveSince(start)
+	s.ingestV2Requests.Inc()
 
 	var req IngestRequest
 	if !s.decode(w, r, &req) {

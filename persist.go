@@ -212,6 +212,8 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // per-synopsis read locks. Writes block for the duration, as they do for
 // any other maintenance step.
 func (e *Engine) Checkpoint(w io.Writer) (CheckpointInfo, error) {
+	sp := e.spans.start()
+	defer func() { e.spans.end(SpanCheckpointSave, 0, sp) }()
 	e.upd.Lock()
 	defer e.upd.Unlock()
 

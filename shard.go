@@ -51,6 +51,10 @@ type ShardGroup struct {
 	// routes a followed broker's records to shards itself, so
 	// read-your-writes waits park here, not on any single shard).
 	follow watermark
+
+	// spans receives the group's own span emissions (the merge stage);
+	// per-shard spans go through each shard's wrapped observer.
+	spans spanSink
 }
 
 // NewShardGroup groups pre-built engines into one hash-sharded group. The
@@ -259,9 +263,21 @@ func (g *ShardGroup) Do(ctx context.Context, req Request) (Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Trace stamps are contiguous — [t0,resolved] resolve, [resolved,
+	// waited] syncWait, [waited,scattered] scatter, [scattered,·] merge —
+	// so the group-level stage durations sum exactly to Elapsed. None are
+	// taken when tracing is off.
+	var t0 time.Time
+	if req.Trace {
+		t0 = time.Now()
+	}
 	name, q, onKeys, err := g.shards[0].resolveRequest(req)
 	if err != nil {
 		return Response{}, err
+	}
+	var resolved time.Time
+	if req.Trace {
+		resolved = time.Now()
 	}
 	if req.MinSyncOffset > 0 {
 		// Fail fast before parking on the watermark: an unknown template
@@ -275,18 +291,33 @@ func (g *ShardGroup) Do(ctx context.Context, req Request) (Response, error) {
 		}
 	}
 	start := time.Now()
+	waited := start
 	parts := make([]core.Partial, len(g.shards))
 	metas := make([]Response, len(g.shards))
 	errs := make([]error, len(g.shards))
+	var shardDurs []time.Duration
+	if req.Trace {
+		shardDurs = make([]time.Duration, len(g.shards))
+	}
 	var wg sync.WaitGroup
 	for i := range g.shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if req.Trace {
+				t := time.Now()
+				parts[i], metas[i], errs[i] = g.shards[i].answerPartial(ctx, name, q, onKeys)
+				shardDurs[i] = time.Since(t)
+				return
+			}
 			parts[i], metas[i], errs[i] = g.shards[i].answerPartial(ctx, name, q, onKeys)
 		}(i)
 	}
 	wg.Wait()
+	var scattered time.Time
+	if req.Trace {
+		scattered = time.Now()
+	}
 	for i, err := range errs {
 		if err != nil {
 			// Deterministic: the lowest failing shard reports. Unknown
@@ -298,10 +329,12 @@ func (g *ShardGroup) Do(ctx context.Context, req Request) (Response, error) {
 	if conf == 0 {
 		conf = 0.95
 	}
+	msp := g.spans.start()
 	res, err := core.MergePartials(parts, stats.ZForConfidence(conf))
 	if err != nil {
 		return Response{}, err
 	}
+	g.spans.end(StageMerge, -1, msp)
 	resp := Response{
 		Result:          res,
 		Template:        name,
@@ -316,6 +349,23 @@ func (g *ShardGroup) Do(ctx context.Context, req Request) (Response, error) {
 		if m.CatchUpProgress < resp.CatchUpProgress {
 			resp.CatchUpProgress = m.CatchUpProgress
 		}
+	}
+	if req.Trace {
+		resolveDur := resolved.Sub(t0)
+		scatterDur := scattered.Sub(waited)
+		mergeDur := time.Since(scattered)
+		resp.Elapsed = resolveDur + scatterDur + mergeDur
+		trace := make([]TraceStage, 0, len(g.shards)+4)
+		trace = append(trace, TraceStage{Stage: StageResolve, Shard: -1, Dur: resolveDur})
+		if req.MinSyncOffset > 0 {
+			trace = append(trace, TraceStage{Stage: StageSyncWait, Shard: -1, Dur: waited.Sub(resolved)})
+		}
+		trace = append(trace, TraceStage{Stage: StageScatter, Shard: -1, Dur: scatterDur})
+		for i, d := range shardDurs {
+			trace = append(trace, TraceStage{Stage: StageAnswer, Shard: i, Dur: d})
+		}
+		trace = append(trace, TraceStage{Stage: StageMerge, Shard: -1, Dur: mergeDur})
+		resp.Trace = trace
 	}
 	return resp, nil
 }
@@ -385,6 +435,9 @@ func (g *ShardGroup) Stats() EngineStats {
 	var names []string
 	for _, e := range g.shards {
 		st := e.Stats()
+		// Keep the un-merged snapshot too: the per-shard breakdown is how
+		// stragglers and skewed hash placement are diagnosed.
+		out.Shards = append(out.Shards, st)
 		out.Reinits += st.Reinits
 		out.TriggersFired += st.TriggersFired
 		out.TriggersRejected += st.TriggersRejected

@@ -204,6 +204,8 @@ func (e *Engine) noteStreamRejected(n int) {
 // progress past a malformed record, where the request-path InsertBatch
 // must stay atomic. Returns how many tuples were applied and skipped.
 func (e *Engine) applyStreamInserts(tuples []Tuple) (applied, rejected int) {
+	sp := e.spans.start()
+	defer func() { e.spans.end(SpanStreamApply, 0, sp) }()
 	e.upd.Lock()
 	defer e.upd.Unlock()
 	// One registry pass per polled batch, not per record — the same

@@ -1,0 +1,190 @@
+package janus
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"janusaqp/internal/workload"
+)
+
+// groupStageSum adds up the group-level trace stages (Shard < 0) other
+// than syncWait — the set the traced-Elapsed contract says is exact.
+func groupStageSum(trace []TraceStage) time.Duration {
+	var sum time.Duration
+	for _, st := range trace {
+		if st.Shard < 0 && st.Stage != StageSyncWait {
+			sum += st.Dur
+		}
+	}
+	return sum
+}
+
+// TestEngineTraceStagesSumToElapsed pins the traced-Elapsed contract on a
+// single engine: trace is present only when requested, carries resolve and
+// answer as group-level stages, and their durations sum exactly to
+// Response.Elapsed.
+func TestEngineTraceStagesSumToElapsed(t *testing.T) {
+	b, _ := seedBroker(t, workload.NYCTaxi, 8000)
+	eng := NewEngine(Config{LeafNodes: 32, SampleRate: 0.05, CatchUpRate: 0.2, Seed: 1}, b)
+	if err := eng.AddTemplate(taxiTemplate()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	req := Request{Template: "trips", Query: Query{Func: FuncCount, Rect: Universe(1)}}
+
+	plain, err := eng.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatalf("untraced request returned a trace: %v", plain.Trace)
+	}
+
+	req.Trace = true
+	resp, err := eng.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]bool{}
+	for _, st := range resp.Trace {
+		if st.Shard >= 0 {
+			t.Fatalf("single engine emitted per-shard stage %+v", st)
+		}
+		if st.Dur < 0 {
+			t.Fatalf("negative stage duration: %+v", st)
+		}
+		stages[st.Stage] = true
+	}
+	if !stages[StageResolve] || !stages[StageAnswer] {
+		t.Fatalf("trace stages %v, want resolve and answer", stages)
+	}
+	if got := groupStageSum(resp.Trace); got != resp.Elapsed {
+		t.Fatalf("group-level stages sum to %v, Elapsed is %v", got, resp.Elapsed)
+	}
+}
+
+// TestShardGroupTraceBreakdown checks the scatter-gather trace shape: the
+// group-level resolve/scatter/merge stages sum exactly to Elapsed, and
+// every shard contributes one overlapping answer stage.
+func TestShardGroupTraceBreakdown(t *testing.T) {
+	const k = 4
+	tuples, err := workload.Generate(workload.NYCTaxi, 12000, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildGroup(t, tuples, k, Config{LeafNodes: 32, SampleRate: 0.05, CatchUpRate: 0.2, Seed: 1})
+
+	resp, err := g.Do(context.Background(), Request{
+		Template: "trips",
+		Query:    Query{Func: FuncCount, Rect: Universe(1)},
+		Trace:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answered := map[int]bool{}
+	stages := map[string]bool{}
+	for _, st := range resp.Trace {
+		if st.Shard >= 0 {
+			if st.Stage != StageAnswer {
+				t.Fatalf("per-shard stage %q, want only answer", st.Stage)
+			}
+			if st.Shard >= k {
+				t.Fatalf("shard index %d out of range", st.Shard)
+			}
+			answered[st.Shard] = true
+			continue
+		}
+		stages[st.Stage] = true
+	}
+	if !stages[StageResolve] || !stages[StageScatter] || !stages[StageMerge] {
+		t.Fatalf("group-level stages %v, want resolve, scatter, merge", stages)
+	}
+	if len(answered) != k {
+		t.Fatalf("per-shard answer stages from %d shards, want %d", len(answered), k)
+	}
+	if got := groupStageSum(resp.Trace); got != resp.Elapsed {
+		t.Fatalf("group-level stages sum to %v, Elapsed is %v", got, resp.Elapsed)
+	}
+}
+
+// TestShardGroupTracingUnderConcurrentIngest runs traced scatter-gather
+// queries against concurrent batched ingest with a span observer attached
+// — the -race proof that the lock-free instrumentation path is safe while
+// both sides of the engine are hot.
+func TestShardGroupTracingUnderConcurrentIngest(t *testing.T) {
+	const k = 4
+	tuples, err := workload.Generate(workload.NYCTaxi, 8000, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildGroup(t, tuples, k, Config{LeafNodes: 32, SampleRate: 0.05, CatchUpRate: 0.2, Seed: 1})
+
+	var spanCount atomic.Int64
+	g.SetSpanObserver(func(span string, shard int, d time.Duration) {
+		// Engine-internal spans carry their shard's index; the group's own
+		// merge span is group-level and carries -1.
+		if shard < -1 || shard >= k {
+			t.Errorf("observer got shard %d for span %q, want [-1,%d)", shard, span, k)
+		}
+		if d < 0 {
+			t.Errorf("observer got negative duration for span %q", span)
+		}
+		spanCount.Add(1)
+	})
+
+	fresh, err := workload.Generate(workload.NYCTaxi, 4000, 10_000_000, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for lo := 0; lo < len(fresh); lo += 256 {
+			hi := min(lo+256, len(fresh))
+			if err := g.InsertBatch(fresh[lo:hi]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			resp, err := g.Do(ctx, Request{
+				Template: "trips",
+				Query:    Query{Func: FuncCount, Rect: Universe(1)},
+				Trace:    i%2 == 0, // interleave traced and untraced
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if i%2 == 0 && len(resp.Trace) == 0 {
+				t.Error("traced request returned no trace")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	// Every traced or untraced Do crossed k shard_answer spans, every
+	// InsertBatch crossed k insert_batch spans.
+	if spanCount.Load() == 0 {
+		t.Fatal("span observer never fired")
+	}
+
+	// Detaching the observer stops emissions.
+	g.SetSpanObserver(nil)
+	before := spanCount.Load()
+	if _, err := g.Do(ctx, Request{Template: "trips", Query: Query{Func: FuncCount, Rect: Universe(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := spanCount.Load(); got != before {
+		t.Fatalf("observer fired %d times after detach", got-before)
+	}
+}
