@@ -226,6 +226,32 @@ func (e *Engine) answerPartial(ctx context.Context, name string, q Query, onKeys
 	}, nil
 }
 
+// AnswerPartial resolves req and answers it in mergeable form — the
+// remote-shard entry point of a cluster's scatter-gather. Where a
+// ShardGroup resolves once and fans the structured form out in-process, a
+// shard node receives the raw request (its registrations are identical to
+// every peer's, so resolution is deterministic across the cluster) and
+// returns the partial plus the resolved query, whose Confidence tells the
+// coordinator which z to merge at — SQL can carry its own CONFIDENCE
+// clause, so the effective level is only known after resolution.
+// MinSyncOffset and Trace are ignored: synchronization and trace assembly
+// are the coordinator's concern. The Response carries only metadata
+// (Result stays zero until the merge).
+func (e *Engine) AnswerPartial(ctx context.Context, req Request) (core.Partial, Response, Query, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	name, q, onKeys, err := e.resolveRequest(req)
+	if err != nil {
+		return core.Partial{}, Response{}, Query{}, err
+	}
+	p, resp, err := e.answerPartial(ctx, name, q, onKeys)
+	if err != nil {
+		return core.Partial{}, Response{}, Query{}, err
+	}
+	return p, resp, q, nil
+}
+
 // Query answers q against the named template's synopsis.
 //
 // Deprecated: use Do, which carries per-request options and returns the

@@ -10,6 +10,7 @@
 //	janusbench -restart BENCH_PR3.json # warm restore vs cold rebuild
 //	janusbench -shards BENCH_PR4.json  # shard-group scaling experiment
 //	janusbench -shards BENCH_PR6.json -procs 1,2,4  # multi-core matrix
+//	janusbench -cluster BENCH_PR7.json # remote coordinator vs in-process group
 //	janusbench -check BENCH_PR2.json   # CI perf-regression gate
 //	janusbench -list
 //
@@ -33,6 +34,13 @@
 // shard-count) cell over procs × {1, 4} — separating what cores buy a
 // fixed topology from what sharding buys at fixed cores.
 //
+// -cluster measures what the network boundary costs: the same 4-shard
+// serving hot paths through an in-process ShardGroup and through a
+// Coordinator scatter-gathering over 4 shard nodes behind the binary RPC
+// protocol on loopback. The remote/in-process ingest slowdown factor is
+// the headline: it prices the frame codec, CRC, and TCP round trips with
+// the engine work held constant.
+//
 // -check is the CI perf-regression gate: it detects which suite the given
 // baseline JSON records (by shape), reruns that suite at the baseline's
 // scale, and exits non-zero when ingest throughput drops — or query p95
@@ -47,6 +55,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -56,8 +65,10 @@ import (
 	"time"
 
 	janus "janusaqp"
+	"janusaqp/internal/cluster"
 	"janusaqp/internal/experiments"
 	"janusaqp/internal/stats"
+	"janusaqp/internal/transport"
 	"janusaqp/internal/workload"
 )
 
@@ -97,6 +108,7 @@ func main() {
 	perf := flag.String("perf", "", "write the serving-perf JSON snapshot to this file and exit")
 	restart := flag.String("restart", "", "write the warm-restart vs cold-rebuild JSON snapshot to this file and exit")
 	shards := flag.String("shards", "", "write the shard-scaling JSON snapshot (1/2/4/8-shard ingest throughput + query latency) to this file and exit")
+	clusterOut := flag.String("cluster", "", "write the distributed-serving JSON snapshot (4-shard in-process group vs remote coordinator over loopback RPC) to this file and exit")
 	procs := flag.String("procs", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4): with -shards, write a procs × shard-count multi-core matrix snapshot instead of the single-setting scaling curve")
 	check := flag.String("check", "", "rerun the suite a committed BENCH_*.json baseline records and exit non-zero if it regressed beyond -tolerance")
 	tolerance := flag.Float64("tolerance", 0.25, "relative regression the -check gate allows before failing")
@@ -126,6 +138,13 @@ func main() {
 		}
 		if err := runShards(*shards, *rows, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "shards:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *clusterOut != "" {
+		if err := runCluster(*clusterOut, *rows, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "cluster:", err)
 			os.Exit(1)
 		}
 		return
@@ -862,6 +881,178 @@ func runMatrix(path string, rows int, seed int64, procsFlag string) error {
 	return nil
 }
 
+// --- distributed-serving snapshot --------------------------------------------
+
+// clusterReport is the JSON shape of the per-PR distributed-serving record
+// (BENCH_PR7.json): the same 4-shard hot paths measured twice — through
+// the in-process ShardGroup and through a Coordinator scatter-gathering
+// over shard nodes behind the binary RPC protocol on loopback. The
+// slowdown factors isolate the network boundary's price (frame codec,
+// CRC, TCP round trips) with engine work held constant; the acceptance
+// bar is remote ingest within 2x of in-process at the same K.
+type clusterReport struct {
+	Rows         int `json:"rows"`
+	IngestTuples int `json:"ingestTuples"`
+	BatchSize    int `json:"batchSize"`
+	Queries      int `json:"queries"`
+	Shards       int `json:"shards"`
+	GoMaxProcs   int `json:"gomaxprocs"`
+
+	InProcIngestTuplesPerSec float64 `json:"inprocIngestTuplesPerSec"`
+	InProcQueryP50Micros     float64 `json:"inprocQueryP50Micros"`
+	InProcQueryP95Micros     float64 `json:"inprocQueryP95Micros"`
+
+	RemoteIngestTuplesPerSec float64 `json:"remoteIngestTuplesPerSec"`
+	RemoteQueryP50Micros     float64 `json:"remoteQueryP50Micros"`
+	RemoteQueryP95Micros     float64 `json:"remoteQueryP95Micros"`
+
+	// RemoteIngestSlowdown is inproc/remote ingest throughput (1.0 = free
+	// network boundary); RemoteQueryP50Slowdown likewise for median query
+	// latency (remote/inproc).
+	RemoteIngestSlowdown   float64 `json:"remoteIngestSlowdown"`
+	RemoteQueryP50Slowdown float64 `json:"remoteQueryP50Slowdown"`
+}
+
+// clusterShards fixes the topology of the -cluster suite to the K the
+// scale-out acceptance targets name.
+const clusterShards = 4
+
+// measureCluster measures the same serving hot paths through both shard
+// surfaces at K=4: ingest in 512-tuple batches and scatter-gather queries.
+func measureCluster(rows int, seed int64) (clusterReport, error) {
+	if rows <= 0 {
+		rows = 120000
+	}
+	const (
+		ingestN   = 30000
+		batchSize = 512
+		queryN    = 1000
+	)
+	tuples, err := workload.Generate(workload.NYCTaxi, rows, 0, seed)
+	if err != nil {
+		return clusterReport{}, err
+	}
+	gen := workload.NewQueryGen(seed+3, tuples, []int{0})
+	queries := gen.Workload(256, janus.FuncSum)
+	ctx := context.Background()
+
+	inproc, err := measureGroupPoint(ctx, clusterShards, ingestN, batchSize, queryN, seed, tuples, queries)
+	if err != nil {
+		return clusterReport{}, err
+	}
+	remote, err := measureCoordinatorPoint(ctx, ingestN, batchSize, queryN, seed, tuples, queries)
+	if err != nil {
+		return clusterReport{}, err
+	}
+
+	return clusterReport{
+		Rows:         rows,
+		IngestTuples: ingestN,
+		BatchSize:    batchSize,
+		Queries:      queryN,
+		Shards:       clusterShards,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+
+		InProcIngestTuplesPerSec: inproc.IngestTuplesPerSec,
+		InProcQueryP50Micros:     inproc.QueryP50Micros,
+		InProcQueryP95Micros:     inproc.QueryP95Micros,
+
+		RemoteIngestTuplesPerSec: remote.IngestTuplesPerSec,
+		RemoteQueryP50Micros:     remote.QueryP50Micros,
+		RemoteQueryP95Micros:     remote.QueryP95Micros,
+
+		RemoteIngestSlowdown:   inproc.IngestTuplesPerSec / remote.IngestTuplesPerSec,
+		RemoteQueryP50Slowdown: remote.QueryP50Micros / math.Max(inproc.QueryP50Micros, 1),
+	}, nil
+}
+
+// measureCoordinatorPoint builds the same K-shard engines measureGroupPoint
+// would, but puts each behind a transport server on loopback and measures
+// through a Coordinator — the only variable versus the in-process point is
+// the network boundary.
+func measureCoordinatorPoint(ctx context.Context, ingestN, batchSize, queryN int, seed int64, tuples []janus.Tuple, queries []janus.Query) (shardPoint, error) {
+	parts := janus.SplitByShard(tuples, clusterShards)
+	peers := make([]string, clusterShards)
+	var cleanup []func()
+	defer func() {
+		for _, fn := range cleanup {
+			fn()
+		}
+	}()
+	for i := 0; i < clusterShards; i++ {
+		b := janus.NewBroker()
+		b.PublishInsertBatch(parts[i])
+		eng := janus.NewEngine(janus.Config{
+			LeafNodes: 128, SampleRate: 0.01, CatchUpRate: 0.10, Seed: seed,
+		}.WithShardSeed(i), b)
+		if err := eng.AddTemplate(janus.Template{
+			Name: "trips", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum,
+		}); err != nil {
+			return shardPoint{}, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return shardPoint{}, err
+		}
+		srv := transport.NewServer(cluster.NewNode(eng, nil))
+		go srv.Serve(ln)
+		cleanup = append(cleanup, srv.Close)
+		peers[i] = ln.Addr().String()
+	}
+	coord, err := cluster.NewCoordinator(peers, nil)
+	if err != nil {
+		return shardPoint{}, err
+	}
+	cleanup = append(cleanup, func() { coord.Close() })
+
+	fresh, err := workload.Generate(workload.NYCTaxi, ingestN, 10_000_000, seed+clusterShards)
+	if err != nil {
+		return shardPoint{}, err
+	}
+	start := time.Now()
+	for lo := 0; lo < len(fresh); lo += batchSize {
+		hi := min(lo+batchSize, len(fresh))
+		if err := coord.InsertBatch(fresh[lo:hi]); err != nil {
+			return shardPoint{}, err
+		}
+	}
+	tps := float64(ingestN) / time.Since(start).Seconds()
+
+	lats := make([]float64, 0, queryN)
+	for i := 0; i < queryN; i++ {
+		resp, err := coord.Do(ctx, janus.Request{Template: "trips", Query: queries[i%len(queries)]})
+		if err != nil {
+			return shardPoint{}, err
+		}
+		lats = append(lats, float64(resp.Elapsed.Microseconds()))
+	}
+	return shardPoint{
+		Shards:             clusterShards,
+		IngestTuplesPerSec: tps,
+		QueryP50Micros:     stats.Percentile(lats, 0.50),
+		QueryP95Micros:     stats.Percentile(lats, 0.95),
+	}, nil
+}
+
+// runCluster measures the distributed-serving suite and writes the
+// snapshot.
+func runCluster(path string, rows int, seed int64) error {
+	rep, err := measureCluster(rows, seed)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("cluster: in-process %d-shard ingest %.0f t/s, query p50 %.0fµs p95 %.0fµs\n",
+		rep.Shards, rep.InProcIngestTuplesPerSec, rep.InProcQueryP50Micros, rep.InProcQueryP95Micros)
+	fmt.Printf("cluster: remote     %d-shard ingest %.0f t/s, query p50 %.0fµs p95 %.0fµs\n",
+		rep.Shards, rep.RemoteIngestTuplesPerSec, rep.RemoteQueryP50Micros, rep.RemoteQueryP95Micros)
+	fmt.Printf("cluster: network boundary costs %.2fx ingest, %.2fx query p50 (GOMAXPROCS=%d) -> %s\n",
+		rep.RemoteIngestSlowdown, rep.RemoteQueryP50Slowdown, rep.GoMaxProcs, path)
+	return nil
+}
+
 // --- CI perf-regression gate -------------------------------------------------
 
 // latencySlackMicros is an absolute allowance added on top of the relative
@@ -995,6 +1186,33 @@ func runCheck(path string, seed int64, tol float64) error {
 			g.lower(fmt.Sprintf("shards=%d ingest tuples/sec", bp.Shards), bp.IngestTuplesPerSec, np.IngestTuplesPerSec)
 			g.higher(fmt.Sprintf("shards=%d query p95 µs", bp.Shards), bp.QueryP95Micros, np.QueryP95Micros, latencySlackMicros)
 		}
+	case probe["remoteIngestTuplesPerSec"] != nil:
+		var base clusterReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		fmt.Printf("check: rerunning distributed-serving suite vs %s (rows=%d, best of %d, tolerance %.0f%%)\n",
+			path, base.Rows, checkRuns, tol*100)
+		var best clusterReport
+		for r := 0; r < checkRuns; r++ {
+			cur, err := measureCluster(base.Rows, seed)
+			if err != nil {
+				return err
+			}
+			if r == 0 {
+				best = cur
+				continue
+			}
+			best.RemoteIngestTuplesPerSec = math.Max(best.RemoteIngestTuplesPerSec, cur.RemoteIngestTuplesPerSec)
+			best.RemoteQueryP95Micros = math.Min(best.RemoteQueryP95Micros, cur.RemoteQueryP95Micros)
+			best.RemoteIngestSlowdown = math.Min(best.RemoteIngestSlowdown, cur.RemoteIngestSlowdown)
+		}
+		g.lower("remote ingest tuples/sec", base.RemoteIngestTuplesPerSec, best.RemoteIngestTuplesPerSec)
+		g.higher("remote query p95 µs", base.RemoteQueryP95Micros, best.RemoteQueryP95Micros, latencySlackMicros)
+		// The acceptance bar is absolute, not baseline-relative: the network
+		// boundary must never cost more than 2x ingest throughput at the
+		// same K, whatever the committed snapshot says.
+		g.higher("remote/in-process ingest slowdown", 2.0/(1+tol), best.RemoteIngestSlowdown, 0)
 	case probe["ingestBatchedTuplesPerSec"] != nil:
 		var base perfReport
 		if err := json.Unmarshal(raw, &base); err != nil {
@@ -1051,7 +1269,7 @@ func runCheck(path string, seed int64, tol float64) error {
 			g.higher("post-compact tail replay records", float64(base.TailReplayPostCompact), float64(bestTailReplay), 0)
 		}
 	default:
-		return fmt.Errorf("%s: unrecognized baseline shape (want a -perf, -restart, or -shards snapshot)", path)
+		return fmt.Errorf("%s: unrecognized baseline shape (want a -perf, -restart, -shards, or -cluster snapshot)", path)
 	}
 	if g.failed {
 		return fmt.Errorf("perf regression beyond %.0f%% tolerance vs %s (re-baseline deliberately by regenerating the snapshot)", tol*100, path)

@@ -42,6 +42,18 @@
 //
 //	janusd -addr :8080 -shards 4 -data /var/lib/janusd
 //
+// With -role the same shard boundary moves onto the network (see README,
+// "Running a cluster"): shard processes serve the binary RPC protocol, a
+// coordinator process serves the identical HTTP surface by hash-routing
+// ingest and scatter-gathering queries over them, and warm standbys
+// replicate a shard's store continuously so the coordinator can fail over
+// without losing an acknowledged write:
+//
+//	janusd -role shard -rpc :9101 -shard-index 0 -shard-count 2 -data /var/lib/janusd-s0
+//	janusd -role shard -rpc :9102 -shard-index 1 -shard-count 2 -data /var/lib/janusd-s1
+//	janusd -role standby -rpc :9201 -primary 127.0.0.1:9101 -shard-index 0 -data /var/lib/janusd-sb0
+//	janusd -role coordinator -addr :8080 -peers 127.0.0.1:9101,127.0.0.1:9102 -standbys 0=127.0.0.1:9201
+//
 // The /v1 endpoints remain as thin wrappers over the same paths. See
 // /v1/templates for the registered schema.
 package main
@@ -52,17 +64,21 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	janus "janusaqp"
+	"janusaqp/internal/cluster"
 	"janusaqp/internal/obs"
 	"janusaqp/internal/server"
+	"janusaqp/internal/transport"
 	"janusaqp/internal/workload"
 )
 
@@ -86,6 +102,14 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
 	slowQuery := flag.Duration("slow-query", 0, "log any query slower than this threshold at warn level (0 disables)")
 	admin := flag.Bool("admin", false, "expose GET /v2/admin/debug and the net/http/pprof profiling handlers")
+	role := flag.String("role", roleSingle, "process role: single (default), shard (serve RPC over a local engine), coordinator (route HTTP over -peers), standby (replicate -primary)")
+	rpcAddr := flag.String("rpc", ":9101", "binary RPC listen address for -role shard and -role standby")
+	peers := flag.String("peers", "", "coordinator: comma-separated shard RPC addresses, in shard-index order")
+	standbys := flag.String("standbys", "", "coordinator: comma-separated index=addr standby RPC addresses, e.g. 0=10.0.0.5:9201")
+	primary := flag.String("primary", "", "standby: the primary shard's RPC address")
+	shardIndex := flag.Int("shard-index", 0, "shard/standby: this shard's index in the cluster (fixes the sampling seed and the bootstrap partition)")
+	shardCount := flag.Int("shard-count", 1, "shard: total shards in the cluster (selects this shard's slice of the bootstrap dataset)")
+	replicateEvery := flag.Duration("replicate-interval", 20*time.Millisecond, "standby: log-tail poll interval when idle")
 	flag.Parse()
 
 	if err := run(daemonConfig{
@@ -94,11 +118,30 @@ func main() {
 		catchUpEvery: *catchUpEvery, autoRepartition: *autoRepartition, stream: *stream,
 		dataDir: *dataDir, checkpointEvery: *checkpointEvery, retain: *retain, shards: *shards,
 		logLevel: *logLevel, logFormat: *logFormat, slowQuery: *slowQuery, admin: *admin,
+		role: *role, rpcAddr: *rpcAddr, peers: *peers, standbys: *standbys, primary: *primary,
+		shardIndex: *shardIndex, shardCount: *shardCount, replicateEvery: *replicateEvery,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "janusd:", err)
 		os.Exit(1)
 	}
 }
+
+// Process roles: where the shard boundary lives.
+const (
+	// roleSingle serves a local engine (or in-process shard group) over
+	// HTTP — the original daemon.
+	roleSingle = "single"
+	// roleShard serves one shard's engine over the binary RPC protocol
+	// (and the local HTTP surface, for per-shard observability).
+	roleShard = "shard"
+	// roleCoordinator serves the full HTTP surface by hash-routing ingest
+	// and scatter-gathering queries over -peers, failing over to -standbys.
+	roleCoordinator = "coordinator"
+	// roleStandby continuously replicates -primary's store (checkpoint
+	// bootstrap + log-tail streaming) and serves RPC so the coordinator
+	// can promote it.
+	roleStandby = "standby"
+)
 
 // Retention policies for the durable segment logs.
 const (
@@ -132,6 +175,15 @@ type daemonConfig struct {
 	slowQuery       time.Duration
 	admin           bool
 
+	role           string
+	rpcAddr        string
+	peers          string
+	standbys       string
+	primary        string
+	shardIndex     int
+	shardCount     int
+	replicateEvery time.Duration
+
 	// logger is built by run() from logLevel/logFormat; the boot helpers
 	// log through it so boot events carry the same structured encoding as
 	// the serving-path logs.
@@ -139,13 +191,35 @@ type daemonConfig struct {
 }
 
 func (c daemonConfig) engineConfig() janus.Config {
-	return janus.Config{
+	cfg := janus.Config{
 		LeafNodes:       c.leafNodes,
 		SampleRate:      c.sampleRate,
 		CatchUpRate:     c.catchUpRate,
 		AutoRepartition: c.autoRepartition,
 		Seed:            c.seed,
 	}
+	if c.role == roleShard || c.role == roleStandby {
+		// A cluster shard draws from the same seed a same-index in-process
+		// shard would, and a standby MUST match its primary: the replicated
+		// synopses are rebuilt locally from the same sampling decisions.
+		cfg = cfg.WithShardSeed(c.shardIndex)
+	}
+	return cfg
+}
+
+// bootstrapRows generates the synthetic bootstrap dataset — a cluster
+// shard keeps only its hash slice, so K shard processes booted with the
+// same -seed and -rows partition the dataset exactly as an in-process
+// -shards K group would.
+func (c daemonConfig) bootstrapRows() ([]janus.Tuple, error) {
+	tuples, err := workload.Generate(c.dataset, c.rows, 0, c.seed)
+	if err != nil {
+		return nil, err
+	}
+	if c.role == roleShard && c.shardCount > 1 {
+		return janus.SplitByShard(tuples, c.shardCount)[c.shardIndex], nil
+	}
+	return tuples, nil
 }
 
 func run(c daemonConfig) error {
@@ -161,12 +235,21 @@ func run(c daemonConfig) error {
 	if f := strings.ToLower(strings.TrimSpace(c.logFormat)); f != "text" && f != "json" {
 		return fmt.Errorf("-log-format must be \"text\" or \"json\", got %q", c.logFormat)
 	}
-	if c.dataDir != "" {
+	if err := checkRoleFlags(c); err != nil {
+		return err
+	}
+	if c.dataDir != "" && c.role != roleStandby {
 		if err := checkDataLayout(c.dataDir, c.shards); err != nil {
 			return err
 		}
 	}
 	c.logger = obs.NewLogger(os.Stderr, obs.ParseLevel(c.logLevel), c.logFormat, "janusd")
+	switch c.role {
+	case roleCoordinator:
+		return runCoordinator(c)
+	case roleStandby:
+		return runStandby(c)
+	}
 	opts := server.Options{
 		CatchUpInterval: c.catchUpEvery,
 		Logger:          c.logger,
@@ -210,6 +293,28 @@ func run(c daemonConfig) error {
 		st.SetSpanObserver(func(span string, _ int, d time.Duration) { fn(span, shard, d) })
 	}
 
+	rpcErrc := make(chan error, 1)
+	if c.role == roleShard {
+		// The shard additionally serves the binary RPC protocol over the
+		// same engine and store; the HTTP surface stays up for per-shard
+		// observability. An ephemeral shard (no -data) serves with a nil
+		// store: queries and ingest work, but no standby can bootstrap
+		// from it.
+		var st *janus.Store
+		if len(stores) == 1 {
+			st = stores[0]
+		}
+		node := cluster.NewNode(eng.(*janus.Engine), st)
+		ln, err := net.Listen("tcp", c.rpcAddr)
+		if err != nil {
+			return err
+		}
+		rpcSrv := transport.NewServer(node)
+		defer rpcSrv.Close()
+		go func() { rpcErrc <- rpcSrv.Serve(ln) }()
+		c.logger.Info("serving rpc", "rpc", ln.Addr().String(), "shardIndex", c.shardIndex, "shardCount", c.shardCount)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              c.addr,
 		Handler:           srv.Handler(),
@@ -225,6 +330,8 @@ func run(c daemonConfig) error {
 	select {
 	case err := <-errc:
 		return err
+	case err := <-rpcErrc:
+		return fmt.Errorf("rpc server: %w", err)
 	case sig := <-stop:
 		c.logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -249,14 +356,185 @@ func run(c daemonConfig) error {
 	}
 }
 
+// checkRoleFlags validates the cluster-role flag combinations before any
+// boot work happens.
+func checkRoleFlags(c daemonConfig) error {
+	switch c.role {
+	case roleSingle:
+		return nil
+	case roleShard:
+		if c.shards != 1 {
+			return fmt.Errorf("-role shard serves exactly one shard per process; use -shard-count for the cluster width, not -shards")
+		}
+		if c.shardCount < 1 || c.shardIndex < 0 || c.shardIndex >= c.shardCount {
+			return fmt.Errorf("-shard-index %d is out of range for -shard-count %d", c.shardIndex, c.shardCount)
+		}
+	case roleCoordinator:
+		if strings.TrimSpace(c.peers) == "" {
+			return fmt.Errorf("-role coordinator requires -peers")
+		}
+		if c.dataDir != "" {
+			return fmt.Errorf("-role coordinator holds no data; drop -data (durability lives on the shards)")
+		}
+	case roleStandby:
+		if strings.TrimSpace(c.primary) == "" {
+			return fmt.Errorf("-role standby requires -primary")
+		}
+		if c.dataDir == "" {
+			return fmt.Errorf("-role standby requires -data (the replica directory)")
+		}
+	default:
+		return fmt.Errorf("-role must be %q, %q, %q, or %q, got %q",
+			roleSingle, roleShard, roleCoordinator, roleStandby, c.role)
+	}
+	return nil
+}
+
+// parseStandbys parses the coordinator's -standbys value: comma-separated
+// index=addr pairs, e.g. "0=10.0.0.5:9201,2=10.0.0.7:9201".
+func parseStandbys(s string) (map[int]string, error) {
+	out := map[int]string{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		idx, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("-standbys entry %q is not index=addr", pair)
+		}
+		i, err := strconv.Atoi(strings.TrimSpace(idx))
+		if err != nil {
+			return nil, fmt.Errorf("-standbys entry %q: %v", pair, err)
+		}
+		if _, dup := out[i]; dup {
+			return nil, fmt.Errorf("-standbys names shard %d twice", i)
+		}
+		out[i] = strings.TrimSpace(addr)
+	}
+	return out, nil
+}
+
+// runCoordinator serves the full HTTP surface over remote shards: ingest
+// hash-routes by tuple id, queries scatter-gather with merged confidence
+// intervals, and a shard whose primary stops responding fails over to its
+// caught-up standby. The coordinator holds no data and writes no logs —
+// durability and sampling live on the shards.
+func runCoordinator(c daemonConfig) error {
+	var peers []string
+	for _, p := range strings.Split(c.peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	standbys, err := parseStandbys(c.standbys)
+	if err != nil {
+		return err
+	}
+	coord, err := cluster.NewCoordinator(peers, standbys)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	srv := server.New(coord, server.Options{
+		Logger:      c.logger,
+		SlowQuery:   c.slowQuery,
+		EnableAdmin: c.admin,
+	})
+	defer srv.Close()
+	coord.RegisterMetrics(srv.Registry())
+
+	httpSrv := &http.Server{
+		Addr:              c.addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	c.logger.Info("serving", "boot", "coordinator", "addr", c.addr,
+		"shards", len(peers), "standbys", len(standbys))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		c.logger.Info("shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// runStandby bootstraps a replica of -primary's store (streaming its
+// checkpoint on first boot, reopening the local replica after a restart)
+// and then follows the primary's log tail until the process stops or the
+// coordinator promotes it — at which point the node starts serving
+// queries and ingest as the shard's new primary over the same RPC
+// listener.
+func runStandby(c daemonConfig) error {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	client := transport.NewClient(c.primary)
+	defer client.Close()
+	sb, err := cluster.NewStandby(ctx, c.dataDir, client, c.engineConfig())
+	if err != nil {
+		return err
+	}
+	defer sb.Store().Close()
+	node := cluster.NewStandbyNode(sb)
+
+	ln, err := net.Listen("tcp", c.rpcAddr)
+	if err != nil {
+		return err
+	}
+	rpcSrv := transport.NewServer(node)
+	defer rpcSrv.Close()
+	rpcErrc := make(chan error, 1)
+	go func() { rpcErrc <- rpcSrv.Serve(ln) }()
+
+	ins, del := sb.Offsets()
+	c.logger.Info("standby replicating", "rpc", ln.Addr().String(), "primary", c.primary,
+		"shardIndex", c.shardIndex, "inserts", ins, "deletes", del)
+
+	runErrc := make(chan error, 1)
+	go func() { runErrc <- sb.Run(ctx, c.replicateEvery) }()
+	select {
+	case err := <-runErrc:
+		if err != nil {
+			return fmt.Errorf("replication stopped: %w", err)
+		}
+	case err := <-rpcErrc:
+		return fmt.Errorf("rpc server: %w", err)
+	}
+	if ctx.Err() != nil {
+		return nil
+	}
+	// Run returned nil without a shutdown signal: the coordinator promoted
+	// this node. Keep serving as the shard's primary until stopped.
+	c.logger.Info("promoted to primary", "rpc", ln.Addr().String(), "shardIndex", c.shardIndex)
+	select {
+	case <-ctx.Done():
+		return nil
+	case err := <-rpcErrc:
+		return fmt.Errorf("rpc server: %w", err)
+	}
+}
+
 // bootEphemeral is the original in-memory boot: generate the dataset,
 // publish it, and build the synopses from scratch.
 func bootEphemeral(c daemonConfig, opts *server.Options) (*janus.Engine, error) {
-	tuples, err := workload.Generate(c.dataset, c.rows, 0, c.seed)
+	tuples, err := c.bootstrapRows()
 	if err != nil {
 		return nil, err
 	}
-	initial := c.rows - int(c.stream*float64(c.rows))
+	initial := len(tuples) - int(c.stream*float64(len(tuples)))
 	b := janus.NewBroker()
 	for _, t := range tuples[:initial] {
 		b.PublishInsert(t)
@@ -267,7 +545,7 @@ func bootEphemeral(c daemonConfig, opts *server.Options) (*janus.Engine, error) 
 	}
 	startStream(c, opts, tuples[initial:])
 	c.logger.Info("serving", "boot", "ephemeral", "rows", initial, "dataset", c.dataset,
-		"addr", c.addr, "streamingIn", c.rows-initial)
+		"addr", c.addr, "streamingIn", len(tuples)-initial)
 	return eng, nil
 }
 
@@ -331,7 +609,7 @@ func bootDurable(c daemonConfig, opts *server.Options) (*janus.Store, *janus.Eng
 func coldBootDurable(c daemonConfig, st *janus.Store) (*janus.Engine, error) {
 	b := st.Broker()
 	if b.Archive().Len() == 0 {
-		tuples, err := workload.Generate(c.dataset, c.rows, 0, c.seed)
+		tuples, err := c.bootstrapRows()
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package janus
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -446,4 +447,110 @@ func (st *Store) Recover(cfg Config) (*Engine, RecoveryInfo, error) {
 	info.TailInserts, info.TailDeletes, info.TailRejected = eng.replayLogTail(&state)
 	info.Follow = eng.FollowOffsets()
 	return eng, info, nil
+}
+
+// CheckpointBytes returns the store's current durable checkpoint image —
+// the bytes of checkpoint.db — for shipping to a bootstrapping replica.
+// It reads under the checkpoint mutex, so it never observes a checkpoint
+// or compaction mid-publish. A store with no checkpoint yet reports
+// ErrNoCheckpoint.
+func (st *Store) CheckpointBytes() ([]byte, error) {
+	st.ckptMu.Lock()
+	defer st.ckptMu.Unlock()
+	if st.closed {
+		return nil, ErrStoreClosed
+	}
+	b, err := os.ReadFile(filepath.Join(st.dir, checkpointName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNoCheckpoint
+	}
+	if err != nil {
+		return nil, fmt.Errorf("janus: reading checkpoint: %w", err)
+	}
+	return b, nil
+}
+
+// InitReplicaDir initializes an empty data directory from a primary's
+// checkpoint image: it writes the checkpoint and creates both segment logs
+// with headers based at the checkpoint's offsets — exactly the layout a
+// checkpoint-then-Compact pass leaves behind, minus the tail. OpenStore
+// over the result yields a store whose topics resume at the checkpoint
+// offsets; a standby then appends the primary's post-base log tail as it
+// streams in, and Recover works at any point after that.
+//
+// The directory must not already hold store files (a replica never
+// overwrites data — wipe explicitly and re-bootstrap instead). On error
+// the directory may hold partial files; the caller should remove it and
+// retry the bootstrap.
+func InitReplicaDir(dir string, checkpoint []byte) error {
+	var hdr checkpointHeader
+	if err := gob.NewDecoder(bytes.NewReader(checkpoint)).Decode(&hdr); err != nil {
+		return fmt.Errorf("janus: replica checkpoint image: decoding header: %w", err)
+	}
+	if hdr.Version != 1 && hdr.Version != checkpointVersion {
+		return fmt.Errorf("janus: replica checkpoint image: unsupported version %d", hdr.Version)
+	}
+	if hdr.InsertOffset < 0 || hdr.DeleteOffset < 0 {
+		return fmt.Errorf("janus: replica checkpoint image: negative offsets %d/%d", hdr.InsertOffset, hdr.DeleteOffset)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("janus: creating replica dir: %w", err)
+	}
+	for _, name := range []string{checkpointName, insertsLogName, deletesLogName} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return fmt.Errorf("janus: replica dir %s already holds %s: refusing to overwrite", dir, name)
+		}
+	}
+	writeLog := func(name string, base int64) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("janus: creating replica %s: %w", name, err)
+		}
+		err = broker.WriteSegmentHeader(f, base)
+		if err == nil {
+			err = f.Sync()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("janus: writing replica %s header: %w", name, err)
+		}
+		return nil
+	}
+	// Logs first, checkpoint last: the checkpoint's offsets must never
+	// reference logs that do not exist yet, mirroring WriteCheckpoint's
+	// fsync ordering. A crash in between leaves header-only logs and no
+	// checkpoint — an obviously half-made directory the caller wipes.
+	if err := writeLog(insertsLogName, hdr.InsertOffset); err != nil {
+		return err
+	}
+	if err := writeLog(deletesLogName, hdr.DeleteOffset); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, checkpointName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("janus: creating replica checkpoint: %w", err)
+	}
+	_, err = f.Write(checkpoint)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("janus: writing replica checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, checkpointName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("janus: publishing replica checkpoint: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }

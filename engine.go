@@ -37,6 +37,10 @@ var (
 	ErrDuplicateID = errors.New("duplicate tuple id")
 	// ErrInvalidRequest reports a malformed v2 Request (see Engine.Do).
 	ErrInvalidRequest = errors.New("invalid request")
+	// ErrShardUnavailable reports that a remote shard node could not be
+	// reached (after retry and failover); the wrapping error names the
+	// shard index. The HTTP surface maps it to 503.
+	ErrShardUnavailable = errors.New("shard unavailable")
 )
 
 // BatchIDError reports the ids a batch operation could not resolve. It

@@ -201,6 +201,27 @@ func Restore(inserts, deletes *Topic) *Broker {
 // state (cold storage in the paper's terminology).
 func (b *Broker) Archive() *Archive { return b.archive }
 
+// ResumeSeq re-derives the publish sequence counter from the topics'
+// current contents, raising it past any record appended outside the
+// Publish* paths. A replication follower appends primary-stamped records
+// directly to its topics; a promotion must call this before publishing,
+// or fresh records would mint Seq numbers colliding with replicated ones
+// and a later crash recovery would replay the merged tail out of order.
+// Not safe concurrently with publishes — call it during role transitions.
+func (b *Broker) ResumeSeq() {
+	max := b.seq.Load()
+	for _, t := range []*Topic{b.Inserts, b.Deletes} {
+		t.mu.RLock()
+		for _, r := range t.recs {
+			if r.Seq > max {
+				max = r.Seq
+			}
+		}
+		t.mu.RUnlock()
+	}
+	b.seq.Store(max)
+}
+
 // PublishInsert applies the tuple to the archive and then appends it to
 // the insert topic. Archive first: Insert panics on a duplicate live ID,
 // and appending before validating would leave a phantom record in the

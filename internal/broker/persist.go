@@ -661,3 +661,78 @@ func (b *Broker) RestoreArchiveSnapshot(tuples []data.Tuple) (err error) {
 // chunk decodes cleanly) so a bulk install pays one allocation instead of
 // a rehash cascade; it is a no-op on a non-empty archive.
 func (b *Broker) GrowArchive(n int64) { b.archive.grow(n) }
+
+// EncodeRecordBatch encodes a batch of records as one length-prefixed
+// chunk — the replication-stream counterpart of EncodeTupleChunk, carrying
+// full records (sequence number, kind, tuple) so a standby can append them
+// to its own topics byte-for-byte as the primary logged them:
+// [u32 count] then per record [u32 payloadLen][encodeRecord payload].
+func EncodeRecordBatch(recs []Record) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(recs)))
+	for _, r := range recs {
+		at := len(buf)
+		buf = binary.LittleEndian.AppendUint32(buf, 0)
+		buf = encodeRecord(buf, r)
+		binary.LittleEndian.PutUint32(buf[at:], uint32(len(buf)-at-4))
+	}
+	return buf
+}
+
+// DecodeRecordBatch parses a chunk produced by EncodeRecordBatch. Like
+// DecodeTupleChunk it validates every count against the bytes present
+// before allocating and consumes the chunk exactly; corrupt input errors,
+// never panics.
+func DecodeRecordBatch(p []byte) ([]Record, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("broker: truncated record batch header")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	// The smallest record payload is 25 bytes (seq + kind + minimal tuple),
+	// each prefixed by 4 — bound the count by what the bytes could hold.
+	if n < 0 || n > len(p)/29 {
+		return nil, fmt.Errorf("broker: record batch count %d exceeds chunk size", n)
+	}
+	out := make([]Record, n)
+	for i := range out {
+		if len(p) < 4 {
+			return nil, fmt.Errorf("broker: truncated record %d frame", i)
+		}
+		sz := int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		if sz < 0 || sz > maxRecordBytes || sz > len(p) {
+			return nil, fmt.Errorf("broker: record %d declares %d bytes (have %d)", i, sz, len(p))
+		}
+		r, err := decodeRecord(p[:sz])
+		if err != nil {
+			return nil, fmt.Errorf("broker: record %d: %w", i, err)
+		}
+		out[i] = r
+		p = p[sz:]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("broker: %d trailing bytes in record batch", len(p))
+	}
+	return out, nil
+}
+
+// WriteSegmentHeader writes a fresh segment-log file header to w: the v1
+// magic for base 0, or the v2 magic + base word + CRC for a log whose
+// prefix up to base lives in a checkpoint. It lets a replica initialize
+// empty logs positioned at the primary's checkpoint offsets, exactly as
+// CompactTo would have left them.
+func WriteSegmentHeader(w io.Writer, base int64) error {
+	if base < 0 {
+		return fmt.Errorf("broker: negative segment base %d", base)
+	}
+	if base == 0 {
+		_, err := io.WriteString(w, logMagic)
+		return err
+	}
+	hdr := make([]byte, 0, len(logMagicV2)+logBaseLen)
+	hdr = append(hdr, logMagicV2...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(base))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(hdr[len(logMagicV2):]))
+	_, err := w.Write(hdr)
+	return err
+}

@@ -1,0 +1,591 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	janus "janusaqp"
+	"janusaqp/internal/core"
+	"janusaqp/internal/metrics"
+	"janusaqp/internal/obs"
+	"janusaqp/internal/server"
+	"janusaqp/internal/stats"
+	"janusaqp/internal/transport"
+)
+
+// Coordinator presents K remote shard nodes as one server.Engine: ingest
+// hash-routes by the same pure (id, K) function the in-process ShardGroup
+// uses, queries scatter to every shard and merge their binary partial
+// replies with the same pooled-CI rules — so a fixed-seed cluster answers
+// COUNT/SUM byte-identically to an in-process group of the same K — and
+// the whole v2 HTTP surface, tracing, and metrics run unchanged on top.
+//
+// Failure policy, per shard call:
+//
+//  1. the RPC deadline derives from the request ctx (or the client's
+//     default call timeout);
+//  2. a transient exchange failure — stale pooled conn, peer restart —
+//     retries once: always for idempotent methods, and for ingest only
+//     when the dial itself failed (the request never reached the node, so
+//     a retry cannot double-apply);
+//  3. a shard that stays unreachable fails over to its configured warm
+//     standby, but only when the standby's replicated offsets have reached
+//     the coordinator's acknowledged-write watermark for that shard —
+//     promoting a behind standby would silently drop acknowledged writes,
+//     so the coordinator refuses and reports the shard unavailable
+//     instead;
+//  4. what still fails wraps janus.ErrShardUnavailable with the shard
+//     index (503 on the HTTP surface).
+type Coordinator struct {
+	slots []*slot
+
+	// tmplMu guards the lazily fetched template cache (registrations are
+	// a boot-time affair on every node, so one fetch serves the process).
+	tmplMu sync.Mutex
+	tmpls  []janus.Template
+
+	rpcSeconds *metrics.HistogramVec
+	failovers  *metrics.Counter
+}
+
+// slot is one shard's routing state: the serving client, the optional
+// standby, and the acknowledged-write watermark failover gates on.
+type slot struct {
+	index   int
+	client  atomic.Pointer[transport.Client]
+	mu      sync.Mutex // serializes failover
+	standby *transport.Client
+
+	ackIns, ackDel atomic.Int64
+}
+
+// NewCoordinator builds a coordinator over the shard nodes at peers
+// (index i serves hash-shard i). standbys maps a shard index to its warm
+// standby's address; shards without one simply cannot fail over.
+func NewCoordinator(peers []string, standbys map[int]string) (*Coordinator, error) {
+	if len(peers) == 0 {
+		return nil, errors.New("cluster: a coordinator needs at least one peer")
+	}
+	c := &Coordinator{}
+	for i, addr := range peers {
+		if addr == "" {
+			return nil, fmt.Errorf("cluster: peer %d has an empty address", i)
+		}
+		sl := &slot{index: i}
+		sl.client.Store(transport.NewClient(addr))
+		if sb, ok := standbys[i]; ok && sb != "" {
+			sl.standby = transport.NewClient(sb)
+		}
+		c.slots = append(c.slots, sl)
+	}
+	for i := range standbys {
+		if i < 0 || i >= len(peers) {
+			return nil, fmt.Errorf("cluster: standby index %d out of range (have %d peers)", i, len(peers))
+		}
+	}
+	return c, nil
+}
+
+// The coordinator must keep satisfying the server's routing surface — the
+// point of the whole refactor.
+var _ server.Engine = (*Coordinator)(nil)
+
+// NumShards returns the cluster's shard count K.
+func (c *Coordinator) NumShards() int { return len(c.slots) }
+
+// Close discards every pooled connection.
+func (c *Coordinator) Close() {
+	for _, sl := range c.slots {
+		sl.client.Load().Close()
+		sl.mu.Lock()
+		if sl.standby != nil {
+			sl.standby.Close()
+		}
+		sl.mu.Unlock()
+	}
+}
+
+// RegisterMetrics exports the coordinator's RPC latency histogram
+// (janusd_rpc_seconds by method), connection-pool gauges, and the
+// failover counter on reg.
+func (c *Coordinator) RegisterMetrics(reg *metrics.Registry) {
+	c.rpcSeconds = reg.HistogramVec("janusd_rpc_seconds", "method",
+		"Coordinator-side shard RPC round-trip latency by method.")
+	c.failovers = reg.Counter("janusd_cluster_failovers_total",
+		"Primaries replaced by a promoted standby.")
+	pool := func(f func(transport.PoolStats) float64) func() float64 {
+		return func() float64 {
+			var total float64
+			for _, sl := range c.slots {
+				total += f(sl.client.Load().Stats())
+			}
+			return total
+		}
+	}
+	reg.GaugeFunc("janusd_rpc_conns_idle",
+		"Pooled idle shard connections across all slots.",
+		pool(func(s transport.PoolStats) float64 { return float64(s.Idle) }))
+	reg.GaugeFunc("janusd_rpc_conns_active",
+		"Shard connections with a call in flight.",
+		pool(func(s transport.PoolStats) float64 { return float64(s.Active) }))
+	reg.GaugeFunc("janusd_rpc_dials_total",
+		"Cumulative shard connection dials.",
+		pool(func(s transport.PoolStats) float64 { return float64(s.Dials) }))
+}
+
+// observe records one RPC round-trip when metrics are registered.
+func (c *Coordinator) observe(typ byte, d time.Duration) {
+	if c.rpcSeconds != nil {
+		c.rpcSeconds.With(transport.MethodName(typ)).Observe(d.Seconds())
+	}
+}
+
+// call performs one shard RPC under the full failure policy. idem marks
+// methods safe to repeat after an ambiguous failure (the exchange died
+// with the request possibly applied); non-idempotent methods retry only
+// when the dial itself failed.
+func (c *Coordinator) call(ctx context.Context, sl *slot, typ byte, reqID string, body []byte, idem bool) (transport.Frame, error) {
+	cl := sl.client.Load()
+	start := time.Now()
+	f, err := cl.Call(ctx, typ, reqID, body)
+	c.observe(typ, time.Since(start))
+	var te *transport.TransportError
+	if err == nil || !errors.As(err, &te) {
+		return f, err // success, or a definitive remote answer
+	}
+	if transport.IsTransient(err) && (idem || transport.IsDialError(err)) {
+		start = time.Now()
+		f, err = cl.Call(ctx, typ, reqID, body)
+		c.observe(typ, time.Since(start))
+		if err == nil || !errors.As(err, &te) {
+			return f, err
+		}
+	}
+	if ctx.Err() != nil {
+		// The budget expired; don't burn a failover on a slow client.
+		return transport.Frame{}, ctx.Err()
+	}
+	next, ferr := c.failover(ctx, sl, cl, reqID)
+	if ferr != nil {
+		return transport.Frame{}, fmt.Errorf("%w (shard %d): %v (failover: %v)", janus.ErrShardUnavailable, sl.index, err, ferr)
+	}
+	if !idem && !transport.IsDialError(err) {
+		// The original exchange died mid-flight: the batch may or may not
+		// have applied and replicated, so an automatic repeat could
+		// double-apply. The slot has failed over; the producer decides.
+		return transport.Frame{}, fmt.Errorf("%w (shard %d): request outcome unknown after primary failure; shard has failed over, retry the batch", janus.ErrShardUnavailable, sl.index)
+	}
+	start = time.Now()
+	f, err = c.callOn(ctx, next, typ, reqID, body)
+	if err != nil {
+		if errors.As(err, &te) {
+			return transport.Frame{}, fmt.Errorf("%w (shard %d): %v", janus.ErrShardUnavailable, sl.index, err)
+		}
+		return transport.Frame{}, err
+	}
+	return f, nil
+}
+
+// callOn performs one observed round-trip on a specific client.
+func (c *Coordinator) callOn(ctx context.Context, cl *transport.Client, typ byte, reqID string, body []byte) (transport.Frame, error) {
+	start := time.Now()
+	f, err := cl.Call(ctx, typ, reqID, body)
+	c.observe(typ, time.Since(start))
+	return f, err
+}
+
+// promoteTimeout bounds one standby promotion: tail replay scales with the
+// log written since the standby's bootstrap checkpoint, so it gets minutes
+// where a normal RPC gets seconds.
+const promoteTimeout = 2 * time.Minute
+
+// failover replaces a dead primary with its caught-up standby and returns
+// the client now serving the slot. When a concurrent caller already
+// swapped the slot, the new client is returned without promoting again.
+func (c *Coordinator) failover(ctx context.Context, sl *slot, failed *transport.Client, reqID string) (*transport.Client, error) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if cur := sl.client.Load(); cur != failed {
+		return cur, nil
+	}
+	if sl.standby == nil {
+		return nil, errors.New("no standby configured")
+	}
+	sb := sl.standby
+	f, err := c.callOn(ctx, sb, transport.MsgPing, reqID, nil)
+	if err != nil {
+		return nil, fmt.Errorf("standby ping: %w", err)
+	}
+	st, err := transport.DecodeStatus(f.Body)
+	if err != nil {
+		return nil, fmt.Errorf("standby ping: %w", err)
+	}
+	if ackIns, ackDel := sl.ackIns.Load(), sl.ackDel.Load(); st.InsLen < ackIns || st.DelLen < ackDel {
+		// Promoting now would serve a state missing acknowledged writes;
+		// staying unavailable is the honest failure.
+		return nil, fmt.Errorf("standby is behind the acknowledged watermark (replicated %d/%d, acknowledged %d/%d)",
+			st.InsLen, st.DelLen, ackIns, ackDel)
+	}
+	// Promotion replays the standby's uncheckpointed log tail into a fresh
+	// engine, which can far outlast one RPC budget on a long tail — and
+	// must not be abandoned because the query that happened to trigger the
+	// failover gave up. Give it its own generous deadline, detached from
+	// the triggering request's cancellation.
+	promoteCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), promoteTimeout)
+	defer cancel()
+	if _, err := c.callOn(promoteCtx, sb, transport.MsgPromote, reqID, nil); err != nil {
+		return nil, fmt.Errorf("promote: %w", err)
+	}
+	sl.client.Store(sb)
+	sl.standby = nil
+	if c.failovers != nil {
+		c.failovers.Inc()
+	}
+	return sb, nil
+}
+
+// noteAck advances the slot's acknowledged-write watermark to the log
+// offsets an ingest reply reported.
+func (sl *slot) noteAck(insLen, delLen int64) {
+	for {
+		cur := sl.ackIns.Load()
+		if insLen <= cur || sl.ackIns.CompareAndSwap(cur, insLen) {
+			break
+		}
+	}
+	for {
+		cur := sl.ackDel.Load()
+		if delLen <= cur || sl.ackDel.CompareAndSwap(cur, delLen) {
+			break
+		}
+	}
+}
+
+// Do scatter-gathers one query over every shard node and merges the
+// partial replies exactly as the in-process ShardGroup does. The raw
+// request goes to the shards (each resolves SQL/templates against its own
+// identical registrations); MinSyncOffset is rejected — cluster ingest
+// acknowledges only after every involved shard applied and logged the
+// batch, so an acknowledged write is readable without a watermark wait.
+func (c *Coordinator) Do(ctx context.Context, req janus.Request) (janus.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.MinSyncOffset > 0 {
+		return janus.Response{}, fmt.Errorf("janus: %w: MinSyncOffset does not apply to a cluster coordinator (ingest acks are synchronous)", janus.ErrInvalidRequest)
+	}
+	var t0 time.Time
+	if req.Trace {
+		t0 = time.Now()
+	}
+	reqID := obs.RequestIDFrom(ctx)
+	body := transport.EncodeQueryRequest(req)
+	var encoded time.Time
+	if req.Trace {
+		encoded = time.Now()
+	}
+	start := time.Now()
+	replies := make([]transport.QueryReply, len(c.slots))
+	errs := make([]error, len(c.slots))
+	var rpcDurs []time.Duration
+	if req.Trace {
+		rpcDurs = make([]time.Duration, len(c.slots))
+	}
+	var wg sync.WaitGroup
+	for i, sl := range c.slots {
+		wg.Add(1)
+		go func(i int, sl *slot) {
+			defer wg.Done()
+			t := time.Now()
+			f, err := c.call(ctx, sl, transport.MsgQuery, reqID, body, true)
+			if req.Trace {
+				rpcDurs[i] = time.Since(t)
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			replies[i], errs[i] = transport.DecodeQueryReply(f.Body)
+		}(i, sl)
+	}
+	wg.Wait()
+	var scattered time.Time
+	if req.Trace {
+		scattered = time.Now()
+	}
+	for i, err := range errs {
+		if err != nil {
+			// Deterministic: the lowest failing shard reports, as in the
+			// in-process group.
+			return janus.Response{}, fmt.Errorf("janus: shard %d: %w", i, err)
+		}
+	}
+	parts := make([]core.Partial, len(replies))
+	for i, rep := range replies {
+		if rep.Template != replies[0].Template {
+			return janus.Response{}, fmt.Errorf("janus: shard %d resolved template %q, shard 0 resolved %q: cluster registrations have diverged",
+				i, rep.Template, replies[0].Template)
+		}
+		parts[i] = rep.Partial
+	}
+	conf := replies[0].Confidence
+	if conf == 0 {
+		conf = 0.95
+	}
+	res, err := core.MergePartials(parts, stats.ZForConfidence(conf))
+	if err != nil {
+		return janus.Response{}, err
+	}
+	resp := janus.Response{
+		Result:          res,
+		Template:        replies[0].Template,
+		CatchUpProgress: 1,
+		Elapsed:         time.Since(start),
+	}
+	for _, rep := range replies {
+		resp.SampleSize += rep.SampleSize
+		resp.Population += rep.Population
+		if rep.CatchUpProgress < resp.CatchUpProgress {
+			resp.CatchUpProgress = rep.CatchUpProgress
+		}
+	}
+	if req.Trace {
+		resolveDur := encoded.Sub(t0)
+		scatterDur := scattered.Sub(start)
+		mergeDur := time.Since(scattered)
+		resp.Elapsed = resolveDur + scatterDur + mergeDur
+		trace := make([]janus.TraceStage, 0, 2*len(c.slots)+3)
+		trace = append(trace, janus.TraceStage{Stage: janus.StageResolve, Shard: -1, Dur: resolveDur})
+		trace = append(trace, janus.TraceStage{Stage: janus.StageScatter, Shard: -1, Dur: scatterDur})
+		for i, d := range rpcDurs {
+			trace = append(trace, janus.TraceStage{Stage: janus.StageRPC, Shard: i, Dur: d})
+		}
+		for i, rep := range replies {
+			trace = append(trace, janus.TraceStage{Stage: janus.StageAnswer, Shard: i, Dur: time.Duration(rep.AnswerMicros) * time.Microsecond})
+		}
+		trace = append(trace, janus.TraceStage{Stage: janus.StageMerge, Shard: -1, Dur: mergeDur})
+		resp.Trace = trace
+	}
+	return resp, nil
+}
+
+// InsertBatch hash-routes the batch and applies each shard's sub-batch
+// remotely in parallel, with the in-process group's semantics: per-shard
+// atomicity, lowest failing shard reports, successful shards' sub-batches
+// stay applied. An ack also advances the slot's acknowledged-write
+// watermark — the bound failover refuses to lose.
+func (c *Coordinator) InsertBatch(tuples []janus.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	reqID := obs.RequestID()
+	parts := janus.SplitByShard(tuples, len(c.slots))
+	errs := make([]error, len(c.slots))
+	var wg sync.WaitGroup
+	for i, sub := range parts {
+		if len(sub) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sub []janus.Tuple) {
+			defer wg.Done()
+			body := transport.EncodeIngestRequest(sub, nil)
+			f, err := c.call(context.Background(), c.slots[i], transport.MsgIngest, reqID, body, false)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rep, err := transport.DecodeIngestReply(f.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			c.slots[i].noteAck(rep.InsLen, rep.DelLen)
+		}(i, sub)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("janus: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DeleteBatch routes each id to its home shard, applying remotely in
+// parallel. Unknown ids merge across shards into one sorted *BatchIDError,
+// and the applied count is reported even alongside it — exactly the
+// in-process group's contract.
+func (c *Coordinator) DeleteBatch(ids []int64) (int, error) {
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	reqID := obs.RequestID()
+	parts := make([][]int64, len(c.slots))
+	if len(c.slots) == 1 {
+		parts[0] = ids
+	} else {
+		for _, id := range ids {
+			i := janus.ShardIndex(id, len(c.slots))
+			parts[i] = append(parts[i], id)
+		}
+	}
+	counts := make([]int, len(c.slots))
+	missings := make([][]int64, len(c.slots))
+	errs := make([]error, len(c.slots))
+	var wg sync.WaitGroup
+	for i, sub := range parts {
+		if len(sub) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sub []int64) {
+			defer wg.Done()
+			body := transport.EncodeIngestRequest(nil, sub)
+			f, err := c.call(context.Background(), c.slots[i], transport.MsgIngest, reqID, body, false)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rep, err := transport.DecodeIngestReply(f.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			counts[i] = rep.Deleted
+			missings[i] = rep.Missing
+			c.slots[i].noteAck(rep.InsLen, rep.DelLen)
+		}(i, sub)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	for i, err := range errs {
+		if err != nil {
+			return total, fmt.Errorf("janus: shard %d: %w", i, err)
+		}
+	}
+	var missing []int64
+	for _, m := range missings {
+		missing = append(missing, m...)
+	}
+	if len(missing) > 0 {
+		slices.Sort(missing)
+		return total, &janus.BatchIDError{IDs: missing}
+	}
+	return total, nil
+}
+
+// PumpCatchUp reports false: each shard node runs its own catch-up pump.
+func (c *Coordinator) PumpCatchUp() bool { return false }
+
+// Follow is a no-op: shard nodes tail their own brokers; a coordinator
+// has no local engine to route a stream into.
+func (c *Coordinator) Follow(ctx context.Context, source *janus.Broker, state *janus.SyncState, interval time.Duration) int {
+	return 0
+}
+
+// Stats gathers and merges every shard node's engine stats. Unreachable
+// shards contribute zeroed snapshots (the admin surface stays best-effort
+// while the data path reports hard errors).
+func (c *Coordinator) Stats() janus.EngineStats {
+	reqID := obs.RequestID()
+	parts := make([]janus.EngineStats, len(c.slots))
+	var wg sync.WaitGroup
+	for i, sl := range c.slots {
+		wg.Add(1)
+		go func(i int, sl *slot) {
+			defer wg.Done()
+			f, err := c.call(context.Background(), sl, transport.MsgStats, reqID, nil, true)
+			if err != nil {
+				return
+			}
+			_ = json.Unmarshal(f.Body, &parts[i])
+		}(i, sl)
+	}
+	wg.Wait()
+	return janus.MergeShardStats(parts)
+}
+
+// StatsFor gathers and merges one template's stats from every shard.
+func (c *Coordinator) StatsFor(template string) (janus.TemplateStats, error) {
+	reqID := obs.RequestID()
+	parts := make([]janus.TemplateStats, len(c.slots))
+	errs := make([]error, len(c.slots))
+	var wg sync.WaitGroup
+	for i, sl := range c.slots {
+		wg.Add(1)
+		go func(i int, sl *slot) {
+			defer wg.Done()
+			f, err := c.call(context.Background(), sl, transport.MsgStatsFor, reqID, []byte(template), true)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = json.Unmarshal(f.Body, &parts[i])
+		}(i, sl)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return janus.TemplateStats{}, fmt.Errorf("janus: shard %d: %w", i, err)
+		}
+	}
+	return janus.MergeShardTemplateStats(parts), nil
+}
+
+// templates fetches (once) and caches the cluster's template
+// declarations; registrations happen at node boot, identically everywhere,
+// so shard 0's answer stands for the cluster.
+func (c *Coordinator) templates() ([]janus.Template, error) {
+	c.tmplMu.Lock()
+	defer c.tmplMu.Unlock()
+	if c.tmpls != nil {
+		return c.tmpls, nil
+	}
+	f, err := c.call(context.Background(), c.slots[0], transport.MsgTemplates, obs.RequestID(), nil, true)
+	if err != nil {
+		return nil, err
+	}
+	var decls []janus.Template
+	if err := json.Unmarshal(f.Body, &decls); err != nil {
+		return nil, err
+	}
+	c.tmpls = decls
+	return decls, nil
+}
+
+// Template returns the declaration of the named template.
+func (c *Coordinator) Template(name string) (janus.Template, bool) {
+	decls, err := c.templates()
+	if err != nil {
+		return janus.Template{}, false
+	}
+	for _, t := range decls {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return janus.Template{}, false
+}
+
+// Templates lists the registered template names.
+func (c *Coordinator) Templates() []string {
+	decls, err := c.templates()
+	if err != nil {
+		return nil
+	}
+	names := make([]string, len(decls))
+	for i, t := range decls {
+		names[i] = t.Name
+	}
+	return names
+}

@@ -88,7 +88,9 @@ type QueryResultV2 struct {
 
 // TraceStageV2 is one timed stage of a traced query.
 type TraceStageV2 struct {
-	// Stage is one of resolve, syncWait, scatter, answer, merge.
+	// Stage is one of resolve, syncWait, scatter, rpc, answer, merge —
+	// "rpc" is the coordinator's per-shard remote round-trip, detail
+	// under "scatter" like "answer".
 	Stage string `json:"stage"`
 	// Shard is the answering shard's index for per-shard stages; absent
 	// for group-level stages.

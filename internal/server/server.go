@@ -634,6 +634,11 @@ func (r *statusRecorder) WriteHeader(status int) {
 // request-ID middleware.
 func (s *Server) Handler() http.Handler { return s.withRequestID(s.mux) }
 
+// Registry returns the server's metrics registry, so a wrapping layer
+// (the cluster coordinator's RPC histograms and pool gauges) can export
+// its series through the same /metrics endpoint.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
 // Metrics returns the server's metrics registry so embedders can attach
 // their own counters.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
@@ -681,13 +686,16 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // statusForEngineErr maps engine errors onto HTTP statuses: unknown
 // templates/tables are 404, duplicate ids a conflict, deadline expiry a
-// gateway timeout, everything else a client error.
+// gateway timeout, an unreachable cluster shard a 503 (the wrapping error
+// names the shard index), everything else a client error.
 func statusForEngineErr(err error) int {
 	switch {
 	case errors.Is(err, janus.ErrUnknownTemplate):
 		return http.StatusNotFound
 	case errors.Is(err, janus.ErrDuplicateID):
 		return http.StatusConflict
+	case errors.Is(err, janus.ErrShardUnavailable):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	}

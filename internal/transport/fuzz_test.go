@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	janus "janusaqp"
+)
+
+// FuzzDecodeFrame holds the frame decoder to the segment-log reader's bar
+// (FuzzOpenTopic): arbitrary bytes — corrupt, truncated, oversized, or
+// adversarially framed — must decode to an error or a valid frame, never
+// panic, and must never allocate beyond the bytes actually present. A
+// successfully decoded frame must re-encode byte-identically (the frame
+// encoding is canonical), and the byte-slice decoder must agree with the
+// stream decoder.
+func FuzzDecodeFrame(f *testing.F) {
+	seed := func(fr Frame) {
+		buf, err := AppendFrame(nil, fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	seed(Frame{Type: MsgPing})
+	seed(Frame{Type: MsgQuery, RequestID: "req-0001",
+		Body: EncodeQueryRequest(janus.Request{SQL: "SELECT COUNT(*) FROM t", Confidence: 0.95})})
+	seed(Frame{Type: MsgQuery, Flags: FlagError, RequestID: "e",
+		Body: EncodeErrorBody(fmt.Errorf("resolving: %w", janus.ErrUnknownTemplate))})
+	seed(Frame{Type: MsgIngest, RequestID: "ing", Body: bytes.Repeat([]byte{7}, 300)})
+	seed(Frame{Type: MsgFetchCheckpoint, Flags: FlagMore, Body: bytes.Repeat([]byte{1, 2, 3}, 100)})
+	// Adversarial seeds: truncated header, lying length, bad CRC, an ID
+	// length spilling past the payload.
+	f.Add([]byte{1, 0, 0})
+	f.Add(binary.LittleEndian.AppendUint32(binary.LittleEndian.AppendUint32(nil, 0xFFFFFFFF), 0))
+	bad, _ := AppendFrame(nil, Frame{Type: MsgPromote, Body: []byte("x")})
+	bad[len(bad)-1] ^= 0xFF
+	f.Add(bad)
+	f.Add([]byte{4, 0, 0, 0, 0x7a, 0x8e, 0x86, 0x2c, 1, 0, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		fr, n, err := DecodeFrame(p)
+		stream, serr := ReadFrame(bytes.NewReader(p))
+		if err != nil {
+			// The stream decoder may only succeed where the slice decoder
+			// fails if the slice held trailing bytes — impossible: both see
+			// the same prefix. They must agree on validity.
+			if serr == nil {
+				t.Fatalf("DecodeFrame errored (%v) but ReadFrame decoded %+v", err, stream)
+			}
+			return
+		}
+		if n < frameHeaderLen+payloadFixedLen || n > len(p) {
+			t.Fatalf("DecodeFrame consumed %d of %d bytes", n, len(p))
+		}
+		if serr != nil {
+			t.Fatalf("ReadFrame errored (%v) but DecodeFrame decoded %+v", serr, fr)
+		}
+		if stream.Type != fr.Type || stream.Flags != fr.Flags || stream.RequestID != fr.RequestID || !bytes.Equal(stream.Body, fr.Body) {
+			t.Fatalf("stream and slice decoders disagree: %+v vs %+v", stream, fr)
+		}
+		// Canonical: a decoded frame re-encodes to exactly the consumed bytes.
+		re, err := AppendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded frame: %v", err)
+		}
+		if !bytes.Equal(re, p[:n]) {
+			t.Fatalf("decoded frame is not canonical:\n in %x\nout %x", p[:n], re)
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Handler serves one decoded request frame. Implementations must write
+// exactly one logical response through w: Reply, Error, or a Chunk
+// sequence ended by Reply. The frames of one connection are served
+// sequentially, so a handler needs no per-connection synchronization.
+type Handler interface {
+	ServeFrame(f Frame, w *ResponseWriter)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(f Frame, w *ResponseWriter)
+
+// ServeFrame calls fn(f, w).
+func (fn HandlerFunc) ServeFrame(f Frame, w *ResponseWriter) { fn(f, w) }
+
+// ResponseWriter writes the response frames for one request. It echoes
+// the request's type and ID on every frame so the client can stitch the
+// exchange without a separate correlation field.
+type ResponseWriter struct {
+	conn  net.Conn
+	typ   byte
+	reqID string
+	err   error // first write failure; poisons the connection
+	final bool  // a terminal frame (Reply or Error) was written
+}
+
+// Reply writes the terminal response frame.
+func (w *ResponseWriter) Reply(body []byte) {
+	w.write(Frame{Type: w.typ, RequestID: w.reqID, Body: body})
+	w.final = true
+}
+
+// Chunk writes one streamed chunk with more to follow; end the stream
+// with Reply (its body may be empty).
+func (w *ResponseWriter) Chunk(body []byte) {
+	w.write(Frame{Type: w.typ, Flags: FlagMore, RequestID: w.reqID, Body: body})
+}
+
+// Error writes a terminal error frame carrying err's classification (see
+// EncodeErrorBody).
+func (w *ResponseWriter) Error(err error) {
+	w.write(Frame{Type: w.typ, Flags: FlagError, RequestID: w.reqID, Body: EncodeErrorBody(err)})
+	w.final = true
+}
+
+func (w *ResponseWriter) write(f Frame) {
+	if w.err != nil {
+		return
+	}
+	w.err = WriteFrame(w.conn, f)
+}
+
+// Server accepts connections and serves frames to a Handler.
+type Server struct {
+	handler Handler
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server dispatching to h.
+func NewServer(h Handler) *Server {
+	return &Server{handler: h, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts on ln until Close. It returns nil after Close, or the
+// first non-temporary accept error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("transport: server is closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// per-connection goroutines to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// serveConn reads frames sequentially and dispatches each to the handler.
+// A handler panic answers the in-flight request with an error frame and
+// closes the connection — one poisoned request must not take the node
+// down (same bar as the HTTP server's panic recovery).
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			// EOF is the client parking or dropping the conn — routine. Any
+			// other error (torn frame, CRC, oversize) poisons the stream;
+			// either way the connection is done.
+			_ = err
+			return
+		}
+		if !s.dispatch(f, conn) {
+			return
+		}
+	}
+}
+
+// dispatch serves one frame, reporting whether the connection is still
+// usable.
+func (s *Server) dispatch(f Frame, conn net.Conn) (ok bool) {
+	w := &ResponseWriter{conn: conn, typ: f.Type, reqID: f.RequestID}
+	defer func() {
+		if r := recover(); r != nil {
+			if !w.final && w.err == nil {
+				w.Error(fmt.Errorf("transport: handler panic: %v", r))
+			}
+			ok = false // the handler died mid-request; drop the conn
+		}
+	}()
+	s.handler.ServeFrame(f, w)
+	if w.err != nil {
+		return false
+	}
+	if !w.final {
+		// The handler forgot to answer; the client would hang. Answer with
+		// an error and keep the connection (the stream is still framed).
+		w.Error(fmt.Errorf("transport: no response for %s", MethodName(f.Type)))
+		return w.err == nil
+	}
+	return true
+}

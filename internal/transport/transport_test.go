@@ -1,0 +1,400 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	janus "janusaqp"
+	"janusaqp/internal/broker"
+	"janusaqp/internal/core"
+	"janusaqp/internal/data"
+	"janusaqp/internal/geom"
+)
+
+// --- frame codec ------------------------------------------------------
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: MsgPing},
+		{Type: MsgQuery, RequestID: "req-42", Body: []byte("hello")},
+		{Type: MsgIngest, Flags: FlagError, RequestID: "x", Body: bytes.Repeat([]byte{0xAB}, 200_000)},
+		{Type: MsgFetchCheckpoint, Flags: FlagMore, Body: []byte{}},
+	}
+	for _, in := range frames {
+		buf, err := AppendFrame(nil, in)
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+		out, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("DecodeFrame: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("DecodeFrame consumed %d of %d bytes", n, len(buf))
+		}
+		if out.Type != in.Type || out.Flags != in.Flags || out.RequestID != in.RequestID || !bytes.Equal(out.Body, in.Body) {
+			t.Fatalf("round trip mismatch: in %+v out %+v", in, out)
+		}
+		// The stream form must agree with the slice form.
+		var w bytes.Buffer
+		if err := WriteFrame(&w, in); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		if !bytes.Equal(w.Bytes(), buf) {
+			t.Fatal("WriteFrame and AppendFrame disagree")
+		}
+		got, err := ReadFrame(&w)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if got.Type != in.Type || !bytes.Equal(got.Body, in.Body) {
+			t.Fatal("ReadFrame round trip mismatch")
+		}
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	good, err := AppendFrame(nil, Frame{Type: MsgQuery, RequestID: "id", Body: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("flipped byte fails CRC", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(bad)-1] ^= 0x01
+		if _, _, err := DecodeFrame(bad); err == nil {
+			t.Fatal("corrupt frame decoded")
+		}
+		if _, err := ReadFrame(bytes.NewReader(bad)); err == nil {
+			t.Fatal("corrupt frame read")
+		}
+	})
+	t.Run("truncation errors", func(t *testing.T) {
+		for cut := 0; cut < len(good); cut++ {
+			if _, _, err := DecodeFrame(good[:cut]); err == nil {
+				t.Fatalf("frame truncated to %d bytes decoded", cut)
+			}
+			if _, err := ReadFrame(bytes.NewReader(good[:cut])); err == nil {
+				t.Fatalf("frame truncated to %d bytes read", cut)
+			}
+		}
+	})
+	t.Run("oversized length word", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(bad, MaxFrameBytes+1)
+		if _, _, err := DecodeFrame(bad); err == nil {
+			t.Fatal("oversized frame decoded")
+		}
+		if _, err := ReadFrame(bytes.NewReader(bad)); err == nil {
+			t.Fatal("oversized frame read")
+		}
+	})
+	t.Run("request ID spilling past payload", func(t *testing.T) {
+		// Hand-build a CRC-valid payload whose ID length exceeds the body.
+		payload := []byte{MsgPing, 0, 0xFF, 0xFF}
+		var buf []byte
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+		buf = binary.LittleEndian.AppendUint32(buf, crcOf(payload))
+		buf = append(buf, payload...)
+		if _, _, err := DecodeFrame(buf); err == nil {
+			t.Fatal("frame with out-of-bounds request ID decoded")
+		}
+	})
+	t.Run("lying length with EOF stream", func(t *testing.T) {
+		// A header declaring 16 MiB followed by nothing must error after at
+		// most one read chunk, not allocate 16 MiB and hang.
+		var hdr []byte
+		hdr = binary.LittleEndian.AppendUint32(hdr, 16<<20)
+		hdr = binary.LittleEndian.AppendUint32(hdr, 0)
+		if _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+			t.Fatal("lying frame header read")
+		}
+	})
+}
+
+func crcOf(p []byte) uint32 { return crc32.ChecksumIEEE(p) }
+
+// --- body codecs ------------------------------------------------------
+
+func TestQueryRequestRoundTrip(t *testing.T) {
+	reqs := []janus.Request{
+		{SQL: "SELECT COUNT(*) FROM t WHERE x BETWEEN 1 AND 2"},
+		{Template: "sales", Query: janus.Query{Func: core.FuncSum, AggIndex: 1,
+			Rect: geom.Rect{Min: geom.Point{0, 1}, Max: geom.Point{5, 6}}, Confidence: 0.9}},
+		{Template: "sales", OnKeys: []int{3, 1, 4}},
+		{Template: "sales", OnKeys: []int{}, Confidence: 0.99},
+	}
+	for _, in := range reqs {
+		out, err := DecodeQueryRequest(EncodeQueryRequest(in))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		// Encoding normalizes an empty-but-present OnKeys to empty non-nil.
+		if in.OnKeys != nil && len(in.OnKeys) == 0 {
+			if out.OnKeys == nil {
+				t.Fatal("present-but-empty OnKeys lost on the wire")
+			}
+			in.OnKeys, out.OnKeys = nil, nil
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+		}
+	}
+}
+
+func TestQueryReplyRoundTrip(t *testing.T) {
+	in := QueryReply{
+		Partial: core.Partial{Func: core.FuncSum, Sum: 12.5, SumVar: 3.25, Count: 42,
+			CountVar: 1.5, SumSq: 99, AvgVar: 0.25, Extreme: 7, Seen: true, Outer: true,
+			Covered: 17, PartialLeaves: 3},
+		Template: "sales", SampleSize: 1000, Population: 1_000_000,
+		CatchUpProgress: 0.75, Confidence: 0.95, AnswerMicros: 4242,
+	}
+	out, err := DecodeQueryReply(EncodeQueryReply(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestIngestRoundTrip(t *testing.T) {
+	tuples := []data.Tuple{
+		{ID: 1, Key: geom.Point{1, 2}, Vals: []float64{3}},
+		{ID: 2, Key: geom.Point{4, 5}, Vals: []float64{6}},
+	}
+	ids := []int64{7, 8, 9}
+	gotT, gotIDs, err := DecodeIngestRequest(EncodeIngestRequest(tuples, ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotT, tuples) || !reflect.DeepEqual(gotIDs, ids) {
+		t.Fatal("ingest request round trip mismatch")
+	}
+	rep := IngestReply{Inserted: 2, Deleted: 3, Missing: []int64{8}, InsLen: 100, DelLen: 7}
+	gotRep, err := DecodeIngestReply(EncodeIngestReply(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, gotRep) {
+		t.Fatalf("ingest reply round trip mismatch: %+v vs %+v", rep, gotRep)
+	}
+}
+
+func TestStatusAndPollRoundTrip(t *testing.T) {
+	st := Status{Role: RoleStandby, InsLen: 55, DelLen: 6}
+	gotSt, err := DecodeStatus(EncodeStatus(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSt != st {
+		t.Fatalf("status mismatch: %+v vs %+v", st, gotSt)
+	}
+	pr := PollRequest{Topic: TopicDeletes, From: 12, Max: 4096}
+	gotPr, err := DecodePollRequest(EncodePollRequest(pr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPr != pr {
+		t.Fatalf("poll request mismatch: %+v vs %+v", pr, gotPr)
+	}
+	rep := PollReply{Base: 2, Next: 4, Records: []broker.Record{
+		{Seq: 10, Kind: broker.KindInsert, Tuple: data.Tuple{ID: 1, Key: geom.Point{1}, Vals: []float64{2}}},
+		{Seq: 11, Kind: broker.KindDelete, Tuple: data.Tuple{ID: 1}},
+	}}
+	gotRep, err := DecodePollReply(EncodePollReply(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, gotRep) {
+		t.Fatalf("poll reply mismatch:\n in %+v\nout %+v", rep, gotRep)
+	}
+}
+
+func TestErrorBodySentinelsSurviveTheWire(t *testing.T) {
+	cases := []struct {
+		in       error
+		sentinel error
+	}{
+		{fmt.Errorf("resolving: %w", janus.ErrUnknownTemplate), janus.ErrUnknownTemplate},
+		{fmt.Errorf("bad shape: %w", janus.ErrInvalidRequest), janus.ErrInvalidRequest},
+		{fmt.Errorf("tuple 3: %w", janus.ErrDuplicateID), janus.ErrDuplicateID},
+		{fmt.Errorf("standby: %w", janus.ErrShardUnavailable), janus.ErrShardUnavailable},
+		{fmt.Errorf("no image: %w", janus.ErrNoCheckpoint), janus.ErrNoCheckpoint},
+	}
+	for _, tc := range cases {
+		got := DecodeErrorBody(EncodeErrorBody(tc.in))
+		if !errors.Is(got, tc.sentinel) {
+			t.Fatalf("sentinel lost: %v decoded to %v", tc.in, got)
+		}
+		if got.Error() != tc.in.Error() {
+			t.Fatalf("message mangled: %q vs %q", got.Error(), tc.in.Error())
+		}
+	}
+	// A BatchIDError crosses with its ids intact and errors.As working.
+	batch := &janus.BatchIDError{IDs: []int64{3, 7, 9}}
+	got := DecodeErrorBody(EncodeErrorBody(batch))
+	var out *janus.BatchIDError
+	if !errors.As(got, &out) {
+		t.Fatalf("BatchIDError did not survive: %v", got)
+	}
+	if !reflect.DeepEqual(out.IDs, batch.IDs) {
+		t.Fatalf("batch ids mangled: %v", out.IDs)
+	}
+	if !errors.Is(got, janus.ErrUnknownID) {
+		t.Fatal("decoded batch error lost its ErrUnknownID sentinel")
+	}
+}
+
+// --- client/server loopback -------------------------------------------
+
+// startServer runs a transport server on loopback and returns its address.
+func startServer(t *testing.T, h Handler) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(h)
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(ln) }()
+	t.Cleanup(func() { srv.Close(); <-done })
+	return ln.Addr().String()
+}
+
+func TestClientServerLoopback(t *testing.T) {
+	addr := startServer(t, HandlerFunc(func(f Frame, w *ResponseWriter) {
+		switch f.Type {
+		case MsgPing:
+			w.Reply(EncodeStatus(Status{Role: RolePrimary, InsLen: 9, DelLen: 2}))
+		case MsgQuery:
+			// Echo the request ID back in the body to prove propagation.
+			w.Reply([]byte(f.RequestID))
+		case MsgStats:
+			w.Error(fmt.Errorf("nope: %w", janus.ErrInvalidRequest))
+		case MsgFetchCheckpoint:
+			w.Chunk([]byte("part1-"))
+			w.Chunk([]byte("part2-"))
+			w.Reply([]byte("end"))
+		}
+	}))
+	cl := NewClient(addr)
+	defer cl.Close()
+	ctx := context.Background()
+
+	f, err := cl.Call(ctx, MsgPing, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := DecodeStatus(f.Body)
+	if err != nil || st.InsLen != 9 {
+		t.Fatalf("ping reply: %+v %v", st, err)
+	}
+
+	f, err = cl.Call(ctx, MsgQuery, "trace-me", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Body) != "trace-me" {
+		t.Fatalf("request ID did not cross the wire: %q", f.Body)
+	}
+	if f.RequestID != "trace-me" {
+		t.Fatalf("response did not echo the request ID: %q", f.RequestID)
+	}
+
+	// A remote handler error arrives typed and keeps the connection pooled.
+	if _, err = cl.Call(ctx, MsgStats, "", nil); !errors.Is(err, janus.ErrInvalidRequest) {
+		t.Fatalf("remote error lost its sentinel: %v", err)
+	}
+
+	var streamed []byte
+	err = cl.Stream(ctx, MsgFetchCheckpoint, "", nil, func(chunk []byte) error {
+		streamed = append(streamed, chunk...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(streamed) != "part1-part2-end" {
+		t.Fatalf("stream reassembled to %q", streamed)
+	}
+
+	// The whole exchange above reused one pooled connection.
+	if ps := cl.Stats(); ps.Dials != 1 || ps.Idle != 1 {
+		t.Fatalf("pool did not reuse the connection: %+v", ps)
+	}
+
+	// A handler that forgets to answer must not hang the client.
+	addr2 := startServer(t, HandlerFunc(func(f Frame, w *ResponseWriter) {}))
+	cl2 := NewClient(addr2)
+	defer cl2.Close()
+	if _, err := cl2.Call(ctx, MsgPing, "", nil); err == nil {
+		t.Fatal("unanswered request did not error")
+	}
+}
+
+func TestClientServerPanicRecovery(t *testing.T) {
+	addr := startServer(t, HandlerFunc(func(f Frame, w *ResponseWriter) {
+		panic("poisoned request")
+	}))
+	cl := NewClient(addr)
+	defer cl.Close()
+	_, err := cl.Call(context.Background(), MsgPing, "", nil)
+	if err == nil {
+		t.Fatal("panicking handler answered successfully")
+	}
+	var te *TransportError
+	if errors.As(err, &te) {
+		t.Fatalf("panic must answer an error frame, not tear the exchange: %v", err)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	// Dialing a dead port is a dial error — transient and retry-safe even
+	// for non-idempotent methods.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+	cl := NewClient(deadAddr)
+	cl.DialTimeout = 200 * time.Millisecond
+	_, err = cl.Call(context.Background(), MsgPing, "", nil)
+	if err == nil {
+		t.Fatal("dialing a dead port succeeded")
+	}
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("dial failure is not a TransportError: %v", err)
+	}
+	if !IsDialError(err) || !IsTransient(err) {
+		t.Fatalf("dial failure misclassified: dial=%v transient=%v (%v)", IsDialError(err), IsTransient(err), err)
+	}
+	// Budget expiry is not transient: retrying cannot beat a dead deadline.
+	if IsTransient(context.DeadlineExceeded) || IsTransient(context.Canceled) {
+		t.Fatal("context errors classified transient")
+	}
+	// A server dropping the connection mid-exchange is transient but NOT a
+	// dial error — ingest must not auto-retry it.
+	addr := startServer(t, HandlerFunc(func(f Frame, w *ResponseWriter) {
+		w.conn.Close()
+	}))
+	cl2 := NewClient(addr)
+	defer cl2.Close()
+	_, err = cl2.Call(context.Background(), MsgIngest, "", nil)
+	if err == nil {
+		t.Fatal("dropped connection answered")
+	}
+	if !errors.As(err, &te) || !IsTransient(err) || IsDialError(err) {
+		t.Fatalf("dropped conn misclassified: transient=%v dial=%v (%v)", IsTransient(err), IsDialError(err), err)
+	}
+}

@@ -405,12 +405,24 @@ func (g *ShardGroup) Templates() []string {
 // StatsFor merges one template's per-shard synopsis stats: sizes and
 // populations add; catch-up progress reports the least caught-up shard.
 func (g *ShardGroup) StatsFor(template string) (TemplateStats, error) {
-	var out TemplateStats
+	parts := make([]TemplateStats, len(g.shards))
 	for i, e := range g.shards {
 		st, err := e.StatsFor(template)
 		if err != nil {
 			return TemplateStats{}, err
 		}
+		parts[i] = st
+	}
+	return MergeShardTemplateStats(parts), nil
+}
+
+// MergeShardTemplateStats merges one template's per-shard synopsis stats
+// into a group-wide view: sizes and populations add; catch-up progress
+// reports the least caught-up shard. It is the merge rule of both the
+// in-process ShardGroup and a cluster coordinator gathering remote stats.
+func MergeShardTemplateStats(parts []TemplateStats) TemplateStats {
+	var out TemplateStats
+	for i, st := range parts {
 		if i == 0 {
 			out = st
 			continue
@@ -423,20 +435,35 @@ func (g *ShardGroup) StatsFor(template string) (TemplateStats, error) {
 			out.CatchUpProgress = st.CatchUpProgress
 		}
 	}
-	return out, nil
+	return out
 }
 
 // Stats merges the per-shard engine stats into one group-wide snapshot:
 // counters and rows add, per-template stats merge by name, and the synced
 // insert offset reports the group watermark.
 func (g *ShardGroup) Stats() EngineStats {
+	parts := make([]EngineStats, len(g.shards))
+	for i, e := range g.shards {
+		parts[i] = e.Stats()
+	}
+	out := MergeShardStats(parts)
+	out.SyncedInsertOffset = g.SyncedInsertOffset()
+	return out
+}
+
+// MergeShardStats merges per-shard engine stats into one group-wide
+// snapshot: counters and rows add, per-template stats merge by name
+// (sorted), the un-merged snapshots are kept in Shards (the per-shard
+// breakdown is how stragglers and skewed hash placement are diagnosed),
+// and SyncedInsertOffset conservatively reports the least-advanced shard.
+// The merge rule is shared by the in-process ShardGroup (which overrides
+// the synced offset with its own group watermark) and a cluster
+// coordinator merging remote shard stats.
+func MergeShardStats(parts []EngineStats) EngineStats {
 	var out EngineStats
 	byName := make(map[string]*TemplateStats)
 	var names []string
-	for _, e := range g.shards {
-		st := e.Stats()
-		// Keep the un-merged snapshot too: the per-shard breakdown is how
-		// stragglers and skewed hash placement are diagnosed.
+	for i, st := range parts {
 		out.Shards = append(out.Shards, st)
 		out.Reinits += st.Reinits
 		out.TriggersFired += st.TriggersFired
@@ -444,6 +471,9 @@ func (g *ShardGroup) Stats() EngineStats {
 		out.PartialRepartitions += st.PartialRepartitions
 		out.ArchiveRows += st.ArchiveRows
 		out.StreamRejected += st.StreamRejected
+		if i == 0 || st.SyncedInsertOffset < out.SyncedInsertOffset {
+			out.SyncedInsertOffset = st.SyncedInsertOffset
+		}
 		for _, ts := range st.Templates {
 			agg, ok := byName[ts.Name]
 			if !ok {
@@ -465,7 +495,6 @@ func (g *ShardGroup) Stats() EngineStats {
 	for _, n := range names {
 		out.Templates = append(out.Templates, *byName[n])
 	}
-	out.SyncedInsertOffset = g.SyncedInsertOffset()
 	return out
 }
 

@@ -33,6 +33,11 @@ const (
 	StageScatter = "scatter"
 	// StageMerge is combining per-shard partials into one estimate.
 	StageMerge = "merge"
+	// StageRPC is one shard's full remote round-trip inside a cluster
+	// coordinator's scatter — encode, network, shard answer, decode. Like
+	// per-shard StageAnswer entries these overlap in wall time and are
+	// detail under StageScatter (Shard >= 0), not additive with it.
+	StageRPC = "rpc"
 )
 
 // Engine/store span names delivered to a SpanObserver.
