@@ -179,7 +179,9 @@ func (e *Engine) resolveRequest(req Request) (name string, q Query, onKeys []int
 		return "", Query{}, nil, fmt.Errorf("janus: %w: set SQL or Template", ErrInvalidRequest)
 	}
 	if req.Confidence != 0 {
-		if req.Confidence < 0 || req.Confidence >= 1 {
+		// Phrased positively so NaN (every comparison false, but != 0) is
+		// rejected along with out-of-range values.
+		if !(req.Confidence > 0 && req.Confidence < 1) {
 			return "", Query{}, nil, fmt.Errorf("janus: %w: confidence must be in (0,1), got %g",
 				ErrInvalidRequest, req.Confidence)
 		}

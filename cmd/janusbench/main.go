@@ -11,6 +11,7 @@
 //	janusbench -shards BENCH_PR4.json  # shard-group scaling experiment
 //	janusbench -shards BENCH_PR6.json -procs 1,2,4  # multi-core matrix
 //	janusbench -cluster BENCH_PR7.json # remote coordinator vs in-process group
+//	janusbench -binary BENCH_PR8.json  # binary client protocol vs HTTP/JSON
 //	janusbench -check BENCH_PR2.json   # CI perf-regression gate
 //	janusbench -list
 //
@@ -41,6 +42,13 @@
 // the headline: it prices the frame codec, CRC, and TCP round trips with
 // the engine work held constant.
 //
+// -binary measures what the client codec costs: the same single-engine
+// ingest and query hot paths driven twice over real loopback connections —
+// once through the HTTP/JSON v2 API, once through the binary client
+// protocol (transport frames carrying tuples in the segment-log encoding).
+// Engine work, connection reuse, and the workload are held constant, so
+// the binary/JSON ingest speedup prices the codec swap alone.
+//
 // -check is the CI perf-regression gate: it detects which suite the given
 // baseline JSON records (by shape), reruns that suite at the baseline's
 // scale, and exits non-zero when ingest throughput drops — or query p95
@@ -49,13 +57,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -65,8 +77,10 @@ import (
 	"time"
 
 	janus "janusaqp"
+	"janusaqp/client"
 	"janusaqp/internal/cluster"
 	"janusaqp/internal/experiments"
+	"janusaqp/internal/server"
 	"janusaqp/internal/stats"
 	"janusaqp/internal/transport"
 	"janusaqp/internal/workload"
@@ -109,6 +123,7 @@ func main() {
 	restart := flag.String("restart", "", "write the warm-restart vs cold-rebuild JSON snapshot to this file and exit")
 	shards := flag.String("shards", "", "write the shard-scaling JSON snapshot (1/2/4/8-shard ingest throughput + query latency) to this file and exit")
 	clusterOut := flag.String("cluster", "", "write the distributed-serving JSON snapshot (4-shard in-process group vs remote coordinator over loopback RPC) to this file and exit")
+	binaryOut := flag.String("binary", "", "write the client-protocol JSON snapshot (binary RPC vs HTTP/JSON serving hot paths over loopback) to this file and exit")
 	procs := flag.String("procs", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4): with -shards, write a procs × shard-count multi-core matrix snapshot instead of the single-setting scaling curve")
 	check := flag.String("check", "", "rerun the suite a committed BENCH_*.json baseline records and exit non-zero if it regressed beyond -tolerance")
 	tolerance := flag.Float64("tolerance", 0.25, "relative regression the -check gate allows before failing")
@@ -145,6 +160,13 @@ func main() {
 	if *clusterOut != "" {
 		if err := runCluster(*clusterOut, *rows, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "cluster:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *binaryOut != "" {
+		if err := runBinary(*binaryOut, *rows, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "binary:", err)
 			os.Exit(1)
 		}
 		return
@@ -1053,6 +1075,222 @@ func runCluster(path string, rows int, seed int64) error {
 	return nil
 }
 
+// --- client-protocol snapshot ------------------------------------------------
+
+// binaryReport is the JSON shape of the per-PR client-protocol record
+// (BENCH_PR8.json): the single-engine serving hot paths driven twice over
+// real loopback connections — through the HTTP/JSON v2 API and through the
+// binary client protocol — with identical engines and workloads. The
+// speedup factors price the codec swap alone (JSON marshal/unmarshal and
+// HTTP framing versus segment-log tuples in CRC'd binary frames); the
+// acceptance bar is binary ingest at 2x JSON ingest throughput or better.
+type binaryReport struct {
+	Rows         int `json:"rows"`
+	IngestTuples int `json:"ingestTuples"`
+	BatchSize    int `json:"batchSize"`
+	Queries      int `json:"queries"`
+	GoMaxProcs   int `json:"gomaxprocs"`
+
+	JSONIngestTuplesPerSec float64 `json:"jsonIngestTuplesPerSec"`
+	JSONQueryP50Micros     float64 `json:"jsonQueryP50Micros"`
+	JSONQueryP95Micros     float64 `json:"jsonQueryP95Micros"`
+
+	BinaryIngestTuplesPerSec float64 `json:"binaryIngestTuplesPerSec"`
+	BinaryQueryP50Micros     float64 `json:"binaryQueryP50Micros"`
+	BinaryQueryP95Micros     float64 `json:"binaryQueryP95Micros"`
+
+	// BinaryIngestSpeedup is binary/JSON ingest throughput (1.0 = the
+	// binary codec buys nothing); BinaryQueryP50Speedup likewise for
+	// median client-observed query latency (JSON/binary).
+	BinaryIngestSpeedup   float64 `json:"binaryIngestSpeedup"`
+	BinaryQueryP50Speedup float64 `json:"binaryQueryP50Speedup"`
+}
+
+// measureBinary measures the client-facing hot paths over both codecs.
+// Both sides pay a real TCP round trip per request on loopback with
+// connection reuse (HTTP keep-alive vs the transport client's pool), the
+// same freshly built engine state, the same ingest batches, and the same
+// query workload — the codec is the only variable.
+func measureBinary(rows int, seed int64) (binaryReport, error) {
+	if rows <= 0 {
+		rows = 120000
+	}
+	const (
+		ingestN   = 30000
+		batchSize = 512
+		queryN    = 2000
+	)
+	fail := func(err error) (binaryReport, error) { return binaryReport{}, err }
+	tuples, err := workload.Generate(workload.NYCTaxi, rows, 0, seed)
+	if err != nil {
+		return fail(err)
+	}
+	build := func() (*janus.Engine, error) {
+		b := janus.NewBroker()
+		b.PublishInsertBatch(tuples)
+		eng := janus.NewEngine(janus.Config{
+			LeafNodes: 128, SampleRate: 0.01, CatchUpRate: 0.10, Seed: seed,
+		}, b)
+		if err := eng.AddTemplate(janus.Template{
+			Name: "trips", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum,
+		}); err != nil {
+			return nil, err
+		}
+		return eng, nil
+	}
+	fresh, err := workload.Generate(workload.NYCTaxi, ingestN, 10_000_000, seed+1)
+	if err != nil {
+		return fail(err)
+	}
+	gen := workload.NewQueryGen(seed+3, tuples, []int{0})
+	queries := gen.Workload(256, janus.FuncSum)
+	ctx := context.Background()
+
+	// JSON side: the full v2 HTTP surface on a loopback listener.
+	engJSON, err := build()
+	if err != nil {
+		return fail(err)
+	}
+	hsrv := server.New(engJSON, server.Options{})
+	hs := httptest.NewServer(hsrv.Handler())
+	defer hs.Close()
+	defer hsrv.Close()
+	hc := hs.Client()
+	post := func(path string, body []byte) ([]byte, error) {
+		resp, err := hc.Post(hs.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, out)
+		}
+		return out, nil
+	}
+
+	// The JSON client pays what a real one pays: marshal the batch, POST,
+	// decode the ack — all inside the timed region.
+	start := time.Now()
+	for lo := 0; lo < len(fresh); lo += batchSize {
+		hi := min(lo+batchSize, len(fresh))
+		wire := make([]server.WireTuple, hi-lo)
+		for i, t := range fresh[lo:hi] {
+			wire[i] = server.WireTuple{ID: t.ID, Key: t.Key, Vals: t.Vals}
+		}
+		body, err := json.Marshal(server.IngestRequest{Tuples: wire})
+		if err != nil {
+			return fail(err)
+		}
+		out, err := post("/v2/ingest", body)
+		if err != nil {
+			return fail(err)
+		}
+		var ack server.IngestResponse
+		if err := json.Unmarshal(out, &ack); err != nil {
+			return fail(err)
+		}
+	}
+	jsonTPS := float64(ingestN) / time.Since(start).Seconds()
+
+	jsonLats := make([]float64, 0, queryN)
+	for i := 0; i < queryN; i++ {
+		q := queries[i%len(queries)]
+		t0 := time.Now()
+		body, err := json.Marshal(server.QueryRequestV2{QueryRequest: server.QueryRequest{
+			Template: "trips", Func: "SUM", Min: q.Rect.Min, Max: q.Rect.Max,
+		}})
+		if err != nil {
+			return fail(err)
+		}
+		out, err := post("/v2/query", body)
+		if err != nil {
+			return fail(err)
+		}
+		var res server.QueryResultV2
+		if err := json.Unmarshal(out, &res); err != nil {
+			return fail(err)
+		}
+		jsonLats = append(jsonLats, float64(time.Since(t0).Microseconds()))
+	}
+
+	// Binary side: an identically built engine behind the client edge on
+	// its own loopback listener, driven through the public client package.
+	engBin, err := build()
+	if err != nil {
+		return fail(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	tsrv := transport.NewServer(cluster.NewClientEdge(engBin, nil))
+	go tsrv.Serve(ln)
+	defer tsrv.Close()
+	cl := client.Dial(ln.Addr().String())
+	defer cl.Close()
+
+	start = time.Now()
+	for lo := 0; lo < len(fresh); lo += batchSize {
+		hi := min(lo+batchSize, len(fresh))
+		if _, err := cl.Ingest(ctx, fresh[lo:hi], nil); err != nil {
+			return fail(err)
+		}
+	}
+	binTPS := float64(ingestN) / time.Since(start).Seconds()
+
+	binLats := make([]float64, 0, queryN)
+	for i := 0; i < queryN; i++ {
+		t0 := time.Now()
+		if _, err := cl.Query(ctx, janus.Request{Template: "trips", Query: queries[i%len(queries)]}); err != nil {
+			return fail(err)
+		}
+		binLats = append(binLats, float64(time.Since(t0).Microseconds()))
+	}
+
+	jsonP50 := stats.Percentile(jsonLats, 0.50)
+	binP50 := stats.Percentile(binLats, 0.50)
+	return binaryReport{
+		Rows:         rows,
+		IngestTuples: ingestN,
+		BatchSize:    batchSize,
+		Queries:      queryN,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+
+		JSONIngestTuplesPerSec: jsonTPS,
+		JSONQueryP50Micros:     jsonP50,
+		JSONQueryP95Micros:     stats.Percentile(jsonLats, 0.95),
+
+		BinaryIngestTuplesPerSec: binTPS,
+		BinaryQueryP50Micros:     binP50,
+		BinaryQueryP95Micros:     stats.Percentile(binLats, 0.95),
+
+		BinaryIngestSpeedup:   binTPS / jsonTPS,
+		BinaryQueryP50Speedup: jsonP50 / math.Max(binP50, 1),
+	}, nil
+}
+
+// runBinary measures the client-protocol suite and writes the snapshot.
+func runBinary(path string, rows int, seed int64) error {
+	rep, err := measureBinary(rows, seed)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("binary: json   ingest %.0f t/s, query p50 %.0fµs p95 %.0fµs\n",
+		rep.JSONIngestTuplesPerSec, rep.JSONQueryP50Micros, rep.JSONQueryP95Micros)
+	fmt.Printf("binary: binary ingest %.0f t/s, query p50 %.0fµs p95 %.0fµs\n",
+		rep.BinaryIngestTuplesPerSec, rep.BinaryQueryP50Micros, rep.BinaryQueryP95Micros)
+	fmt.Printf("binary: codec swap buys %.2fx ingest, %.2fx query p50 (GOMAXPROCS=%d) -> %s\n",
+		rep.BinaryIngestSpeedup, rep.BinaryQueryP50Speedup, rep.GoMaxProcs, path)
+	return nil
+}
+
 // --- CI perf-regression gate -------------------------------------------------
 
 // latencySlackMicros is an absolute allowance added on top of the relative
@@ -1213,6 +1451,36 @@ func runCheck(path string, seed int64, tol float64) error {
 		// boundary must never cost more than 2x ingest throughput at the
 		// same K, whatever the committed snapshot says.
 		g.higher("remote/in-process ingest slowdown", 2.0/(1+tol), best.RemoteIngestSlowdown, 0)
+	case probe["binaryIngestTuplesPerSec"] != nil:
+		var base binaryReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		fmt.Printf("check: rerunning client-protocol suite vs %s (rows=%d, best of %d, tolerance %.0f%%)\n",
+			path, base.Rows, checkRuns, tol*100)
+		var best binaryReport
+		for r := 0; r < checkRuns; r++ {
+			cur, err := measureBinary(base.Rows, seed)
+			if err != nil {
+				return err
+			}
+			if r == 0 {
+				best = cur
+				continue
+			}
+			best.BinaryIngestTuplesPerSec = math.Max(best.BinaryIngestTuplesPerSec, cur.BinaryIngestTuplesPerSec)
+			best.BinaryQueryP95Micros = math.Min(best.BinaryQueryP95Micros, cur.BinaryQueryP95Micros)
+			best.BinaryIngestSpeedup = math.Max(best.BinaryIngestSpeedup, cur.BinaryIngestSpeedup)
+		}
+		g.lower("binary ingest tuples/sec", base.BinaryIngestTuplesPerSec, best.BinaryIngestTuplesPerSec)
+		g.higher("binary query p95 µs", base.BinaryQueryP95Micros, best.BinaryQueryP95Micros, latencySlackMicros)
+		// The speedup bar is absolute, not baseline-relative: the binary
+		// codec must keep ingest around 2x the JSON path whatever the
+		// committed snapshot says. It gets the same tolerance as every
+		// other throughput gate because the ratio is engine-diluted — both
+		// sides pay identical InsertBatch work, so the measured speedup
+		// sits close to the bar and one GC pause swings it.
+		g.lower("binary/json ingest speedup", 2.0, best.BinaryIngestSpeedup)
 	case probe["ingestBatchedTuplesPerSec"] != nil:
 		var base perfReport
 		if err := json.Unmarshal(raw, &base); err != nil {
@@ -1269,7 +1537,7 @@ func runCheck(path string, seed int64, tol float64) error {
 			g.higher("post-compact tail replay records", float64(base.TailReplayPostCompact), float64(bestTailReplay), 0)
 		}
 	default:
-		return fmt.Errorf("%s: unrecognized baseline shape (want a -perf, -restart, -shards, or -cluster snapshot)", path)
+		return fmt.Errorf("%s: unrecognized baseline shape (want a -perf, -restart, -shards, -cluster, or -binary snapshot)", path)
 	}
 	if g.failed {
 		return fmt.Errorf("perf regression beyond %.0f%% tolerance vs %s (re-baseline deliberately by regenerating the snapshot)", tol*100, path)

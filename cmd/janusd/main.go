@@ -54,6 +54,15 @@
 //	janusd -role standby -rpc :9201 -primary 127.0.0.1:9101 -shard-index 0 -data /var/lib/janusd-sb0
 //	janusd -role coordinator -addr :8080 -peers 127.0.0.1:9101,127.0.0.1:9102 -standbys 0=127.0.0.1:9201
 //
+// An explicit -rpc on a single or coordinator daemon additionally serves
+// the binary client protocol (see README, "Binary client protocol"): the
+// janusaqp/client package — and anything speaking internal/transport
+// frames — can then ingest and query without the HTTP/JSON codec. The
+// same binary bodies are also accepted on /v2/query and /v2/ingest under
+// Content-Type: application/x-janus-binary:
+//
+//	janusd -addr :8080 -rpc :9101 -dataset taxi -rows 200000
+//
 // The /v1 endpoints remain as thin wrappers over the same paths. See
 // /v1/templates for the registered schema.
 package main
@@ -103,7 +112,7 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "log any query slower than this threshold at warn level (0 disables)")
 	admin := flag.Bool("admin", false, "expose GET /v2/admin/debug and the net/http/pprof profiling handlers")
 	role := flag.String("role", roleSingle, "process role: single (default), shard (serve RPC over a local engine), coordinator (route HTTP over -peers), standby (replicate -primary)")
-	rpcAddr := flag.String("rpc", ":9101", "binary RPC listen address for -role shard and -role standby")
+	rpcAddr := flag.String("rpc", ":9101", "binary RPC listen address: always served by -role shard and -role standby; set explicitly on -role single or coordinator to also serve the binary client protocol (see README, \"Binary client protocol\")")
 	peers := flag.String("peers", "", "coordinator: comma-separated shard RPC addresses, in shard-index order")
 	standbys := flag.String("standbys", "", "coordinator: comma-separated index=addr standby RPC addresses, e.g. 0=10.0.0.5:9201")
 	primary := flag.String("primary", "", "standby: the primary shard's RPC address")
@@ -112,14 +121,24 @@ func main() {
 	replicateEvery := flag.Duration("replicate-interval", 20*time.Millisecond, "standby: log-tail poll interval when idle")
 	flag.Parse()
 
+	// An explicitly set -rpc on a single or coordinator daemon opts into
+	// the binary client protocol listener; the default value alone must
+	// not open an extra port.
+	rpcExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "rpc" {
+			rpcExplicit = true
+		}
+	})
+
 	if err := run(daemonConfig{
 		addr: *addr, dataset: *dataset, rows: *rows, seed: *seed,
 		leafNodes: *leafNodes, sampleRate: *sampleRate, catchUpRate: *catchUpRate,
 		catchUpEvery: *catchUpEvery, autoRepartition: *autoRepartition, stream: *stream,
 		dataDir: *dataDir, checkpointEvery: *checkpointEvery, retain: *retain, shards: *shards,
 		logLevel: *logLevel, logFormat: *logFormat, slowQuery: *slowQuery, admin: *admin,
-		role: *role, rpcAddr: *rpcAddr, peers: *peers, standbys: *standbys, primary: *primary,
-		shardIndex: *shardIndex, shardCount: *shardCount, replicateEvery: *replicateEvery,
+		role: *role, rpcAddr: *rpcAddr, rpcExplicit: rpcExplicit, peers: *peers, standbys: *standbys,
+		primary: *primary, shardIndex: *shardIndex, shardCount: *shardCount, replicateEvery: *replicateEvery,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "janusd:", err)
 		os.Exit(1)
@@ -177,6 +196,7 @@ type daemonConfig struct {
 
 	role           string
 	rpcAddr        string
+	rpcExplicit    bool
 	peers          string
 	standbys       string
 	primary        string
@@ -313,6 +333,19 @@ func run(c daemonConfig) error {
 		defer rpcSrv.Close()
 		go func() { rpcErrc <- rpcSrv.Serve(ln) }()
 		c.logger.Info("serving rpc", "rpc", ln.Addr().String(), "shardIndex", c.shardIndex, "shardCount", c.shardCount)
+	} else if c.rpcExplicit {
+		// A single daemon with an explicit -rpc serves the binary client
+		// protocol alongside HTTP: client frames skip the JSON codec and go
+		// straight to the engine, with ingest acks gated on the same durable
+		// write health the HTTP path checks.
+		ln, err := net.Listen("tcp", c.rpcAddr)
+		if err != nil {
+			return err
+		}
+		rpcSrv := transport.NewServer(cluster.NewClientEdge(eng, opts.WriteHealth))
+		defer rpcSrv.Close()
+		go func() { rpcErrc <- rpcSrv.Serve(ln) }()
+		c.logger.Info("serving client rpc", "rpc", ln.Addr().String())
 	}
 
 	httpSrv := &http.Server{
@@ -445,6 +478,22 @@ func runCoordinator(c daemonConfig) error {
 	defer srv.Close()
 	coord.RegisterMetrics(srv.Registry())
 
+	rpcErrc := make(chan error, 1)
+	if c.rpcExplicit {
+		// An explicit -rpc serves the binary client protocol directly over
+		// the coordinator: client frames go straight to scatter-gather,
+		// skipping the HTTP hop entirely. Shard-side durability gates the
+		// acks (the coordinator itself holds no logs), so WriteHealth is nil.
+		ln, err := net.Listen("tcp", c.rpcAddr)
+		if err != nil {
+			return err
+		}
+		rpcSrv := transport.NewServer(cluster.NewClientEdge(coord, nil))
+		defer rpcSrv.Close()
+		go func() { rpcErrc <- rpcSrv.Serve(ln) }()
+		c.logger.Info("serving client rpc", "rpc", ln.Addr().String())
+	}
+
 	httpSrv := &http.Server{
 		Addr:              c.addr,
 		Handler:           srv.Handler(),
@@ -460,6 +509,8 @@ func runCoordinator(c daemonConfig) error {
 	select {
 	case err := <-errc:
 		return err
+	case err := <-rpcErrc:
+		return fmt.Errorf("rpc server: %w", err)
 	case sig := <-stop:
 		c.logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

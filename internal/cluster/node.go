@@ -18,6 +18,7 @@ import (
 
 	janus "janusaqp"
 	"janusaqp/internal/obs"
+	"janusaqp/internal/server"
 	"janusaqp/internal/transport"
 )
 
@@ -112,6 +113,9 @@ func (n *Node) ServeFrame(f transport.Frame, w *transport.ResponseWriter) {
 	case transport.MsgQuery:
 		n.serveQuery(f, w)
 
+	case transport.MsgClientQuery:
+		n.serveClientQuery(f, w)
+
 	case transport.MsgIngest:
 		n.serveIngest(f, w)
 
@@ -137,7 +141,7 @@ func (n *Node) ServeFrame(f transport.Frame, w *transport.ResponseWriter) {
 			w.Error(errStandby())
 			return
 		}
-		n.replyJSON(w, eng.Stats())
+		replyJSON(w, eng.Stats())
 
 	case transport.MsgTemplates:
 		eng := n.Engine()
@@ -152,7 +156,7 @@ func (n *Node) ServeFrame(f transport.Frame, w *transport.ResponseWriter) {
 				decls = append(decls, t)
 			}
 		}
-		n.replyJSON(w, decls)
+		replyJSON(w, decls)
 
 	case transport.MsgStatsFor:
 		eng := n.Engine()
@@ -165,7 +169,7 @@ func (n *Node) ServeFrame(f transport.Frame, w *transport.ResponseWriter) {
 			w.Error(err)
 			return
 		}
-		n.replyJSON(w, st)
+		replyJSON(w, st)
 
 	default:
 		w.Error(fmt.Errorf("cluster: unknown message type %d", f.Type))
@@ -179,7 +183,7 @@ func errStandby() error {
 	return fmt.Errorf("cluster: %w: node is a standby", janus.ErrShardUnavailable)
 }
 
-func (n *Node) replyJSON(w *transport.ResponseWriter, v any) {
+func replyJSON(w *transport.ResponseWriter, v any) {
 	b, err := json.Marshal(v)
 	if err != nil {
 		w.Error(fmt.Errorf("cluster: encoding reply: %w", err))
@@ -228,6 +232,28 @@ func (n *Node) serveQuery(f transport.Frame, w *transport.ResponseWriter) {
 	}))
 }
 
+// serveClientQuery answers one client query with the merged final result —
+// a producer talking straight to a single shard daemon gets the same
+// answer shape (and the same validation) as the coordinator's client edge.
+func (n *Node) serveClientQuery(f transport.Frame, w *transport.ResponseWriter) {
+	eng := n.Engine()
+	if eng == nil {
+		w.Error(errStandby())
+		return
+	}
+	bp := replyBufPool.Get().(*[]byte)
+	reply, err := server.AnswerBinary(context.Background(), eng, f.Body, (*bp)[:0])
+	if err != nil {
+		w.Error(err)
+	} else {
+		w.Reply(reply)
+	}
+	if cap(reply) <= maxPooledReplyBytes {
+		*bp = reply[:0]
+		replyBufPool.Put(bp)
+	}
+}
+
 // serveIngest applies one hash-routed sub-batch. Inserts apply first,
 // then deletions, mirroring the HTTP ingest path; unknown delete ids are
 // data, not an RPC failure — they return in the reply so the coordinator
@@ -245,6 +271,13 @@ func (n *Node) serveIngest(f transport.Frame, w *transport.ResponseWriter) {
 	tuples, deleteIDs, err := transport.DecodeIngestRequest(f.Body)
 	if err != nil {
 		w.Error(fmt.Errorf("cluster: %w: %v", janus.ErrInvalidRequest, err))
+		return
+	}
+	if len(tuples) == 0 && len(deleteIDs) == 0 {
+		// A client dialed straight at a shard daemon gets the same
+		// validation every other client surface applies; the coordinator
+		// never fans out an empty sub-batch, so no internal path hits this.
+		w.Error(fmt.Errorf("cluster: %w: ingest batch is empty", janus.ErrInvalidRequest))
 		return
 	}
 	rep := transport.IngestReply{}

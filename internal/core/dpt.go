@@ -306,6 +306,24 @@ func (t *DPT) project(tp data.Tuple) geom.Point {
 	return tp.Project(t.cfg.PredicateDims)
 }
 
+// containsProjected reports whether the tuple's key, projected onto this
+// synopsis's predicate space, falls inside rect — without materializing
+// the projected point. The partial-leaf estimators call this once per
+// stratum sample per query; going through project would make a projecting
+// synopsis allocate per sample on the answer hot path.
+func (t *DPT) containsProjected(rect geom.Rect, tp data.Tuple) bool {
+	dims := t.cfg.PredicateDims
+	if dims == nil {
+		return rect.Contains(tp.Key)
+	}
+	for i, d := range dims {
+		if v := tp.Key[d]; v < rect.Min[i] || v > rect.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // route descends from the root to the leaf containing p. Blueprint leaves
 // tile the space, so routing always succeeds; a miss indicates corruption
 // and panics.

@@ -44,7 +44,7 @@ func (t *DPT) estimateSumSq(aggIdx int, rect geom.Rect, cover, partial []*node) 
 		ni := t.liveCount(n)
 		var sumsq float64
 		for _, s := range n.stratum.tuples() {
-			if rect.Contains(t.project(s)) {
+			if t.containsProjected(rect, s) {
 				v := s.Val(aggIdx)
 				sumsq += v * v
 			}

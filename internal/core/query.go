@@ -160,7 +160,7 @@ func (t *DPT) estimateSumCount(f Func, aggIdx int, rect geom.Rect, cover, partia
 		ni := t.liveCount(n)
 		var matching stats.Moments
 		for _, s := range n.stratum.tuples() {
-			if rect.Contains(t.project(s)) {
+			if t.containsProjected(rect, s) {
 				if f == FuncSum {
 					matching.Add(s.Val(aggIdx))
 				} else {
@@ -221,7 +221,7 @@ func (t *DPT) avgParts(aggIdx int, rect geom.Rect, cover, partial []*node) (est,
 			}
 			var matching stats.Moments
 			for _, s := range n.stratum.tuples() {
-				if rect.Contains(t.project(s)) {
+				if t.containsProjected(rect, s) {
 					matching.Add(s.Val(aggIdx))
 				}
 			}
@@ -286,7 +286,7 @@ func (t *DPT) minMaxParts(f Func, aggIdx int, rect geom.Rect, cover, partial []*
 	}
 	for _, n := range partial {
 		for _, s := range n.stratum.tuples() {
-			if rect.Contains(t.project(s)) {
+			if t.containsProjected(rect, s) {
 				take(s.Val(aggIdx))
 			}
 		}

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	janus "janusaqp"
+	"janusaqp/internal/transport"
+)
+
+// BinaryMediaType is the content type of the framed binary codec on
+// /v2/query and /v2/ingest: the request body is a transport body
+// (DecodeQueryRequest / DecodeIngestRequest) and the response a transport
+// reply (QueryResult / IngestReply) — the same bytes the -rpc client
+// endpoint exchanges, minus the frame header TCP framing needs and HTTP
+// already provides.
+const BinaryMediaType = "application/x-janus-binary"
+
+// PrepareClientRequest validates and completes one binary client query
+// request in place: the client edge's equivalent of compileStructured plus
+// buildRequest. Explicit rect bounds must be finite and non-inverted and
+// match the template's dimensionality (the same rules the JSON codec
+// enforces, so the two surfaces agree); an absent rect resolves to the
+// full universe. Validation failures wrap janus.ErrInvalidRequest, an
+// unresolvable template janus.ErrUnknownTemplate — the sentinels the wire
+// error codec and statusForEngineErr both classify.
+//
+// The shard-internal MsgQuery path deliberately skips this: a coordinator
+// fans out already-resolved rects whose universe bounds are ±Inf, which a
+// client may not send but a peer must.
+func PrepareClientRequest(eng Engine, req *janus.Request) error {
+	if req.Confidence != 0 && !(req.Confidence > 0 && req.Confidence < 1) {
+		return fmt.Errorf("%w: confidence must be in (0,1), got %g", janus.ErrInvalidRequest, req.Confidence)
+	}
+	// The binary wire carries the query-level confidence too, a field the
+	// JSON codec can only reach through compileStructured's validation; held
+	// to the same bar here so NaN cannot reach ZForConfidence.
+	if c := req.Query.Confidence; c != 0 && !(c > 0 && c < 1) {
+		return fmt.Errorf("%w: confidence must be in (0,1), got %g", janus.ErrInvalidRequest, c)
+	}
+	if req.SQL != "" {
+		// SQL requests carry no structured rect; Engine.Do compiles and
+		// validates the statement itself.
+		return nil
+	}
+	if req.Template == "" {
+		return fmt.Errorf("%w: request needs sql or template", janus.ErrInvalidRequest)
+	}
+	min, max := req.Query.Rect.Min, req.Query.Rect.Max
+	if len(min) == 0 && len(max) == 0 {
+		// No explicit bounds: resolve the template's dimensionality and
+		// query the full universe, exactly like the JSON path.
+		dims := len(req.OnKeys)
+		if dims == 0 {
+			tmpl, ok := eng.Template(req.Template)
+			if !ok {
+				return fmt.Errorf("%w %q", janus.ErrUnknownTemplate, req.Template)
+			}
+			dims = len(tmpl.PredicateDims)
+		}
+		req.Query.Rect = janus.Universe(dims)
+		return nil
+	}
+	if len(min) != len(max) {
+		return fmt.Errorf("%w: predicate bounds need equal sides, got min=%d max=%d",
+			janus.ErrInvalidRequest, len(min), len(max))
+	}
+	if dims := len(req.OnKeys); dims > 0 && len(min) != dims {
+		return fmt.Errorf("%w: predicate bounds need %d values per side for %d on-keys dims, got %d",
+			janus.ErrInvalidRequest, dims, dims, len(min))
+	} else if dims == 0 {
+		if tmpl, ok := eng.Template(req.Template); ok && len(min) != len(tmpl.PredicateDims) {
+			return fmt.Errorf("%w: predicate bounds need %d values per side, got min=%d max=%d",
+				janus.ErrInvalidRequest, len(tmpl.PredicateDims), len(min), len(max))
+		}
+	}
+	for i := range min {
+		lo, hi := min[i], max[i]
+		// NaN slips past the inverted check (every NaN comparison is
+		// false) and ±Inf is only legal on the server-resolved universe
+		// rect, so explicit bounds must be finite — the same rule
+		// compileStructured enforces on the JSON codec.
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			return fmt.Errorf("%w: non-finite bound on dimension %d (min=%g max=%g); omit bounds for an unbounded predicate",
+				janus.ErrInvalidRequest, i, lo, hi)
+		}
+		if lo > hi {
+			return fmt.Errorf("%w: inverted bounds on dimension %d (%g > %g)", janus.ErrInvalidRequest, i, lo, hi)
+		}
+	}
+	return nil
+}
+
+// AnswerBinary serves one binary client query: decode the transport
+// request body, validate and complete it, answer through Engine.Do, and
+// append the binary QueryResult to buf. It is the body-bytes-in,
+// reply-bytes-out core shared by the -rpc client endpoint and the HTTP
+// binary content type, and the surface the allocation regression tests
+// pin.
+func AnswerBinary(ctx context.Context, eng Engine, body, buf []byte) ([]byte, error) {
+	req, err := transport.DecodeQueryRequest(body)
+	if err != nil {
+		return buf, fmt.Errorf("%w: %v", janus.ErrInvalidRequest, err)
+	}
+	if err := PrepareClientRequest(eng, &req); err != nil {
+		return buf, err
+	}
+	resp, err := eng.Do(ctx, req)
+	if err != nil {
+		return buf, err
+	}
+	return transport.AppendQueryResult(buf, transport.QueryResult{
+		Estimate:        resp.Result.Estimate,
+		Lo:              resp.Result.Interval.Lo(),
+		Hi:              resp.Result.Interval.Hi(),
+		HalfWidth:       resp.Result.Interval.HalfWidth,
+		Covered:         resp.Result.Covered,
+		PartialLeaves:   resp.Result.Partial,
+		Outer:           resp.Result.Outer,
+		Template:        resp.Template,
+		SampleSize:      resp.SampleSize,
+		Population:      resp.Population,
+		CatchUpProgress: resp.CatchUpProgress,
+		ElapsedMicros:   resp.Elapsed.Microseconds(),
+	}), nil
+}
+
+// IngestBinary serves one binary ingest batch: decode the segment-log
+// tuple chunk and delete ids, apply them with the same semantics as the
+// JSON /v2/ingest path (atomic insert batch; unknown delete ids reported
+// as Missing, not failed; durability checked after the apply), and append
+// the binary IngestReply to buf. The decoded reply is also returned so
+// callers can feed their row counters without re-decoding their own bytes.
+func IngestBinary(eng Engine, writeHealth func() error, body, buf []byte) ([]byte, transport.IngestReply, error) {
+	tuples, deleteIDs, err := transport.DecodeIngestRequest(body)
+	if err != nil {
+		return buf, transport.IngestReply{}, fmt.Errorf("%w: %v", janus.ErrInvalidRequest, err)
+	}
+	if len(tuples) == 0 && len(deleteIDs) == 0 {
+		return buf, transport.IngestReply{}, fmt.Errorf("%w: ingest batch is empty", janus.ErrInvalidRequest)
+	}
+	rep := transport.IngestReply{}
+	if len(tuples) > 0 {
+		if err := eng.InsertBatch(tuples); err != nil {
+			return buf, transport.IngestReply{}, err
+		}
+		rep.Inserted = len(tuples)
+	}
+	if len(deleteIDs) > 0 {
+		n, err := eng.DeleteBatch(deleteIDs)
+		rep.Deleted = n
+		var missing *janus.BatchIDError
+		if errors.As(err, &missing) {
+			rep.Missing = missing.IDs
+		} else if err != nil {
+			return buf, rep, err
+		}
+	}
+	if writeHealth != nil {
+		if err := writeHealth(); err != nil {
+			return buf, rep, fmt.Errorf("%w: durable log write failed; batch applied in memory only, restart will lose it: %v",
+				janus.ErrShardUnavailable, err)
+		}
+	}
+	return transport.AppendIngestReply(buf, rep), rep, nil
+}
+
+// isBinary reports whether the request declares the binary media type.
+func isBinary(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == BinaryMediaType
+}
+
+// readBinaryBody slurps a binary request body under the server's body cap.
+func (s *Server) readBinaryBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		s.writeBinaryError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %v", err))
+		return nil, false
+	}
+	return body, true
+}
+
+// writeBinaryError answers a binary request with the transport error-body
+// codec — the same classification bytes an -rpc error frame carries — so a
+// binary client decodes one error taxonomy no matter which listener it
+// spoke to. The HTTP status still carries the statusForEngineErr mapping
+// for proxies and logs.
+func (s *Server) writeBinaryError(w http.ResponseWriter, status int, err error) {
+	s.errors.Inc()
+	w.Header().Set("Content-Type", BinaryMediaType)
+	w.WriteHeader(status)
+	_, _ = w.Write(transport.EncodeErrorBody(err))
+}
+
+// serveBinaryQuery serves a /v2/query body in the binary codec.
+// MinSyncOffset is not on the binary wire (cluster ingest acknowledges
+// only after the write applied, so read-your-writes holds without it),
+// which means no sync wait can park the handler — the request's own
+// context deadline is the only budget needed.
+func (s *Server) serveBinaryQuery(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBinaryBody(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	reply, err := AnswerBinary(r.Context(), s.eng, body, nil)
+	s.kindStructured.Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.writeBinaryError(w, statusForEngineErr(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", BinaryMediaType)
+	_, _ = w.Write(reply)
+}
+
+// serveBinaryIngest serves a /v2/ingest body in the binary codec.
+func (s *Server) serveBinaryIngest(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBinaryBody(w, r)
+	if !ok {
+		return
+	}
+	reply, rep, err := IngestBinary(s.eng, s.writeHealth, body, nil)
+	if err != nil {
+		s.writeBinaryError(w, statusForEngineErr(err), err)
+		return
+	}
+	s.rowsInserted.Add(uint64(rep.Inserted))
+	s.rowsDeleted.Add(uint64(rep.Deleted))
+	w.Header().Set("Content-Type", BinaryMediaType)
+	_, _ = w.Write(reply)
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	janus "janusaqp"
@@ -263,7 +264,9 @@ func compileStructured(req QueryRequest, dims int) (janus.Query, error) {
 	if err != nil {
 		return janus.Query{}, err
 	}
-	if req.Confidence < 0 || req.Confidence >= 1 {
+	// NaN makes every comparison false, so a plain range check would wave
+	// it through; test NaN explicitly.
+	if math.IsNaN(req.Confidence) || req.Confidence < 0 || req.Confidence >= 1 {
 		return janus.Query{}, fmt.Errorf("confidence must be in (0,1), got %g", req.Confidence)
 	}
 	rect := janus.Universe(dims)
@@ -273,8 +276,16 @@ func compileStructured(req QueryRequest, dims int) (janus.Query, error) {
 				dims, len(req.Min), len(req.Max))
 		}
 		for i := range req.Min {
-			if req.Min[i] > req.Max[i] {
-				return janus.Query{}, fmt.Errorf("inverted bounds on dimension %d (%g > %g)", i, req.Min[i], req.Max[i])
+			lo, hi := req.Min[i], req.Max[i]
+			// Explicit bounds must be finite: NaN slips past the inverted
+			// check below (NaN comparisons are false) and ±Inf "bounds"
+			// reach the engine as a degenerate rect. Omit min/max entirely
+			// to query the full universe.
+			if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+				return janus.Query{}, fmt.Errorf("non-finite bound on dimension %d (min=%g max=%g); omit min/max for an unbounded predicate", i, lo, hi)
+			}
+			if lo > hi {
+				return janus.Query{}, fmt.Errorf("inverted bounds on dimension %d (%g > %g)", i, lo, hi)
 			}
 		}
 		rect = janus.NewRect(append(janus.Point(nil), req.Min...), append(janus.Point(nil), req.Max...))

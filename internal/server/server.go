@@ -805,6 +805,10 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	defer s.queryV2Latency.ObserveSince(start)
 	s.queryV2Requests.Inc()
 
+	if isBinary(r) {
+		s.serveBinaryQuery(w, r)
+		return
+	}
 	var payload queryV2Payload
 	if !s.decode(w, r, &payload) {
 		return
@@ -923,6 +927,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	defer s.ingestV2Latency.ObserveSince(start)
 	s.ingestV2Requests.Inc()
 
+	if isBinary(r) {
+		s.serveBinaryIngest(w, r)
+		return
+	}
 	var req IngestRequest
 	if !s.decode(w, r, &req) {
 		return

@@ -62,8 +62,15 @@ func (c *Client) Stats() PoolStats {
 	return PoolStats{Idle: idle, Active: int(c.active.Load()), Dials: c.dials.Load()}
 }
 
-// Close discards every idle connection. In-flight calls finish on their
-// own connections, which are then rejected from the pool.
+// ErrClientClosed is returned by calls on a Client after Close. Without
+// the latch, get() would happily dial fresh connections on a closed client
+// and leak them straight back out of the pool.
+var ErrClientClosed = errors.New("transport: client is closed")
+
+// Close discards every idle connection and latches the client closed:
+// subsequent calls fail with ErrClientClosed instead of dialing. In-flight
+// calls finish on their own connections, which are then rejected from the
+// pool.
 func (c *Client) Close() {
 	c.mu.Lock()
 	conns := c.idle
@@ -75,9 +82,15 @@ func (c *Client) Close() {
 	}
 }
 
-// get returns a pooled connection or dials a fresh one.
+// get returns a pooled connection or dials a fresh one. A closed client
+// never dials: the closed check and the idle pop share the critical
+// section, so no connection can be handed out after Close drained the pool.
 func (c *Client) get(ctx context.Context) (net.Conn, error) {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
 	if n := len(c.idle); n > 0 {
 		conn := c.idle[n-1]
 		c.idle = c.idle[:n-1]
@@ -169,6 +182,10 @@ func (c *Client) Stream(ctx context.Context, typ byte, requestID string, body []
 	if err != nil {
 		return fail(err)
 	}
+	// Streams count toward the active gauge exactly like round-trips, so
+	// pool stats do not under-report during a long checkpoint fetch.
+	c.active.Add(1)
+	defer c.active.Add(-1)
 	if err := conn.SetDeadline(c.deadline(ctx)); err != nil {
 		conn.Close()
 		return fail(err)

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 )
 
 // Message types. Requests and responses share the type; direction is
@@ -61,6 +62,11 @@ const (
 	MsgTemplates
 	// MsgStatsFor fetches one template's synopsis stats (JSON reply).
 	MsgStatsFor
+	// MsgClientQuery answers one client query with the merged final result
+	// (queryReqBody / queryResultBody) — the client-edge counterpart of
+	// MsgQuery, whose reply is a mergeable partial only a coordinator can
+	// use.
+	MsgClientQuery
 )
 
 // Frame flags.
@@ -113,18 +119,37 @@ func AppendFrame(buf []byte, f Frame) ([]byte, error) {
 	return buf, nil
 }
 
+// frameBufPool recycles frame write buffers across calls: one round trip
+// used to cost one header+payload allocation per frame on each side, which
+// dominated the serving hot path's per-request garbage.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4<<10)
+		return &b
+	},
+}
+
+// maxPooledFrameBytes caps the capacity a buffer may keep when returned to
+// the pool: a rare 32 MiB ingest frame must not pin its allocation forever.
+const maxPooledFrameBytes = 1 << 20
+
 // WriteFrame encodes f and writes it to w in one Write call (one frame
 // must reach the socket as one write so a concurrent reader never sees a
-// torn prefix from an interleaved writer).
+// torn prefix from an interleaved writer). The encoding buffer is pooled.
 func WriteFrame(w io.Writer, f Frame) error {
-	buf, err := AppendFrame(nil, f)
-	if err != nil {
-		return err
+	bp := frameBufPool.Get().(*[]byte)
+	buf, err := AppendFrame((*bp)[:0], f)
+	if err == nil {
+		_, werr := w.Write(buf)
+		if werr != nil {
+			err = fmt.Errorf("transport: writing frame: %w", werr)
+		}
 	}
-	if _, err := w.Write(buf); err != nil {
-		return fmt.Errorf("transport: writing frame: %w", err)
+	if cap(buf) <= maxPooledFrameBytes {
+		*bp = buf[:0]
+		frameBufPool.Put(bp)
 	}
-	return nil
+	return err
 }
 
 // readChunk is the step size the frame body is read in: allocation grows
@@ -173,6 +198,53 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		RequestID: string(payload[payloadFixedLen : payloadFixedLen+idLen]),
 		Body:      payload[payloadFixedLen+idLen:],
 	}, nil
+}
+
+// readFrameInto decodes one frame from r, reusing buf as the payload
+// buffer — the zero-allocation form of ReadFrame for a sequentially served
+// connection. The returned Frame's Body aliases the returned buffer, so it
+// is valid only until the next readFrameInto call with that buffer; the
+// buffer grows in readChunk steps on a cold start exactly like ReadFrame,
+// so a lying length word still cannot force a large allocation before the
+// read fails.
+func readFrameInto(r io.Reader, buf []byte) (Frame, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, buf, fmt.Errorf("transport: truncated frame header: %w", err)
+		}
+		return Frame{}, buf, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:4]))
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if n < payloadFixedLen || n > MaxFrameBytes {
+		return Frame{}, buf, fmt.Errorf("transport: frame declares %d payload bytes (want %d..%d)", n, payloadFixedLen, MaxFrameBytes)
+	}
+	payload := buf[:0]
+	for len(payload) < n {
+		step := min(n-len(payload), max(readChunk, cap(payload)-len(payload)))
+		at := len(payload)
+		payload = append(payload, make([]byte, step)...)[:at+step]
+		if _, err := io.ReadFull(r, payload[at:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, payload[:0], fmt.Errorf("transport: truncated frame payload (%d of %d bytes): %w", at, n, err)
+		}
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Frame{}, payload[:0], fmt.Errorf("transport: frame payload fails its checksum")
+	}
+	idLen := int(binary.LittleEndian.Uint16(payload[2:]))
+	if payloadFixedLen+idLen > n {
+		return Frame{}, payload[:0], fmt.Errorf("transport: frame declares a %d-byte request ID in a %d-byte payload", idLen, n)
+	}
+	return Frame{
+		Type:      payload[0],
+		Flags:     payload[1],
+		RequestID: string(payload[payloadFixedLen : payloadFixedLen+idLen]),
+		Body:      payload[payloadFixedLen+idLen:],
+	}, payload, nil
 }
 
 // DecodeFrame decodes one frame from the front of p, returning the frame

@@ -7,7 +7,60 @@ import (
 	"testing"
 
 	janus "janusaqp"
+	"janusaqp/internal/core"
+	"janusaqp/internal/geom"
 )
+
+// FuzzDecodeQueryRequest holds the client-facing request decoder to the
+// frame decoder's bar: MsgClientQuery bodies arrive from arbitrary
+// producers, so corrupt, truncated, or adversarial bytes must decode to
+// an error or a valid request, never panic, and never allocate attribute
+// vectors beyond what the body's own length can justify. A successful
+// decode must normalize: re-encoding it and decoding again is a fixed
+// point (byte-identical the second time around).
+func FuzzDecodeQueryRequest(f *testing.F) {
+	f.Add(EncodeQueryRequest(janus.Request{SQL: "SELECT COUNT(*) FROM t", Confidence: 0.95}))
+	f.Add(EncodeQueryRequest(janus.Request{Template: "trips"}))
+	f.Add(EncodeQueryRequest(janus.Request{
+		Template: "trips",
+		Query: janus.Query{
+			Func: core.FuncSum, AggIndex: 1,
+			Rect:       geom.Rect{Min: geom.Point{0, -4.5}, Max: geom.Point{3600, 12.25}},
+			Confidence: 0.99,
+		},
+	}))
+	f.Add(EncodeQueryRequest(janus.Request{
+		Template: "trips", OnKeys: []int{0, 2},
+		Query: janus.Query{Rect: geom.Rect{Min: geom.Point{1, 2}, Max: geom.Point{3, 4}}},
+	}))
+	// Adversarial seeds: truncated mid-string, a rect length word claiming
+	// more floats than the body holds, trailing garbage.
+	f.Add([]byte{5, 0, 't', 'r'})
+	f.Add(binary.LittleEndian.AppendUint32([]byte{0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0}, 0xFFFF))
+	f.Add(append(EncodeQueryRequest(janus.Request{Template: "t"}), 0xEE))
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		req, err := DecodeQueryRequest(p)
+		if err != nil {
+			return
+		}
+		// Attribute vectors must be bounded by the bytes actually present:
+		// every decoded float64 costs 8 encoded bytes, every on-key 8.
+		if 8*(len(req.Query.Rect.Min)+len(req.Query.Rect.Max)+len(req.OnKeys)) > len(p) {
+			t.Fatalf("decoded %d-dim rect and %d on-keys from %d bytes",
+				len(req.Query.Rect.Min), len(req.Query.Rect.Max)+len(req.OnKeys), len(p))
+		}
+		// Normalization fixed point: one re-encode round trip is canonical.
+		re := EncodeQueryRequest(req)
+		req2, err := DecodeQueryRequest(re)
+		if err != nil {
+			t.Fatalf("re-encoded request does not decode: %v", err)
+		}
+		if re2 := EncodeQueryRequest(req2); !bytes.Equal(re, re2) {
+			t.Fatalf("re-encoding is not a fixed point:\n1st %x\n2nd %x", re, re2)
+		}
+	})
+}
 
 // FuzzDecodeFrame holds the frame decoder to the segment-log reader's bar
 // (FuzzOpenTopic): arbitrary bytes — corrupt, truncated, oversized, or

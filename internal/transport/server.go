@@ -11,6 +11,10 @@ import (
 // exactly one logical response through w: Reply, Error, or a Chunk
 // sequence ended by Reply. The frames of one connection are served
 // sequentially, so a handler needs no per-connection synchronization.
+//
+// The frame's Body aliases a per-connection read buffer that is reused
+// for the next frame: it is valid only until ServeFrame returns. A
+// handler that retains body bytes past the call must copy them.
 type Handler interface {
 	ServeFrame(f Frame, w *ResponseWriter)
 }
@@ -146,8 +150,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	// Frames on one connection are served sequentially, so a single read
+	// buffer carries every frame of the connection's lifetime — zero
+	// steady-state allocations on the serving read path.
+	var buf []byte
 	for {
-		f, err := ReadFrame(conn)
+		f, nextBuf, err := readFrameInto(conn, buf)
 		if err != nil {
 			// EOF is the client parking or dropping the conn — routine. Any
 			// other error (torn frame, CRC, oversize) poisons the stream;
@@ -155,6 +163,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			_ = err
 			return
 		}
+		buf = nextBuf
 		if !s.dispatch(f, conn) {
 			return
 		}

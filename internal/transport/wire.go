@@ -97,6 +97,28 @@ func (r *reader) f64s(what string) []float64 {
 	return v
 }
 
+// f64sArena reads a u32-counted float list like f64s, but carves the result
+// out of a shared arena instead of allocating per list — the restore path's
+// DecodeTupleChunk idiom applied to request decode. The three-index slice
+// caps the result at its own length so an append by the consumer cannot
+// clobber a neighboring carve.
+func (r *reader) f64sArena(arena *[]float64, what string) []float64 {
+	n := int(r.u32(what))
+	if r.err != nil || n > len(r.p)/8 {
+		r.fail(what)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	lo := len(*arena)
+	for i := 0; i < n; i++ {
+		*arena = append(*arena, math.Float64frombits(binary.LittleEndian.Uint64(r.p[i*8:])))
+	}
+	r.p = r.p[n*8:]
+	return (*arena)[lo : lo+n : lo+n]
+}
+
 // i64s reads a u32-counted int64 list with the same bound as f64s.
 func (r *reader) i64s(what string) []int64 {
 	n := int(r.u32(what))
@@ -200,7 +222,10 @@ func EncodeQueryRequest(req janus.Request) []byte {
 	return buf
 }
 
-// DecodeQueryRequest inverts EncodeQueryRequest.
+// DecodeQueryRequest inverts EncodeQueryRequest. The rect's Min and Max
+// share one arena allocation (never more than the body itself could carry),
+// keeping the serving hot path at a fixed number of allocations per request
+// regardless of dimensionality.
 func DecodeQueryRequest(p []byte) (janus.Request, error) {
 	r := &reader{p: p}
 	var req janus.Request
@@ -208,7 +233,8 @@ func DecodeQueryRequest(p []byte) (janus.Request, error) {
 	req.Template = r.str("query template")
 	req.Query.Func = core.Func(r.u8("query func"))
 	req.Query.AggIndex = int(r.i64("query agg index"))
-	req.Query.Rect = geom.Rect{Min: r.f64s("query rect min"), Max: r.f64s("query rect max")}
+	arena := make([]float64, 0, len(r.p)/8)
+	req.Query.Rect = geom.Rect{Min: r.f64sArena(&arena, "query rect min"), Max: r.f64sArena(&arena, "query rect max")}
 	req.Query.Confidence = r.f64("query confidence")
 	req.Confidence = r.f64("query confidence override")
 	if r.u8("query on-keys flag") != 0 {
@@ -222,6 +248,76 @@ func DecodeQueryRequest(p []byte) (janus.Request, error) {
 		return janus.Request{}, err
 	}
 	return req, nil
+}
+
+// --- MsgClientQuery reply ---------------------------------------------
+
+// QueryResult is the MsgClientQuery reply: the merged, final answer a
+// client consumes directly, as opposed to QueryReply's mergeable partial
+// that only a coordinator can fold. Field for field it mirrors the JSON
+// /v2/query result so the two codecs answer identically.
+type QueryResult struct {
+	Estimate        float64
+	Lo, Hi          float64
+	HalfWidth       float64
+	Covered         int
+	PartialLeaves   int
+	Outer           bool
+	Template        string
+	SampleSize      int
+	Population      int64
+	CatchUpProgress float64
+	ElapsedMicros   int64
+}
+
+// AppendQueryResult appends the encoding of res to buf and returns the
+// extended buffer — the append form lets the serving hot path reuse one
+// pooled reply buffer per connection.
+func AppendQueryResult(buf []byte, res QueryResult) []byte {
+	buf = appendF64(buf, res.Estimate)
+	buf = appendF64(buf, res.Lo)
+	buf = appendF64(buf, res.Hi)
+	buf = appendF64(buf, res.HalfWidth)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(res.Covered))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(res.PartialLeaves))
+	var flags byte
+	if res.Outer {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = appendStr(buf, res.Template)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(res.SampleSize))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(res.Population))
+	buf = appendF64(buf, res.CatchUpProgress)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(res.ElapsedMicros))
+	return buf
+}
+
+// EncodeQueryResult encodes res into a fresh buffer.
+func EncodeQueryResult(res QueryResult) []byte {
+	return AppendQueryResult(make([]byte, 0, 96+len(res.Template)), res)
+}
+
+// DecodeQueryResult inverts AppendQueryResult.
+func DecodeQueryResult(p []byte) (QueryResult, error) {
+	r := &reader{p: p}
+	var res QueryResult
+	res.Estimate = r.f64("result estimate")
+	res.Lo = r.f64("result interval low")
+	res.Hi = r.f64("result interval high")
+	res.HalfWidth = r.f64("result half width")
+	res.Covered = int(r.u32("result covered"))
+	res.PartialLeaves = int(r.u32("result partial leaves"))
+	res.Outer = r.u8("result flags")&1 != 0
+	res.Template = r.str("result template")
+	res.SampleSize = int(r.i64("result sample size"))
+	res.Population = r.i64("result population")
+	res.CatchUpProgress = r.f64("result catch-up progress")
+	res.ElapsedMicros = r.i64("result elapsed micros")
+	if err := r.done("query result"); err != nil {
+		return QueryResult{}, err
+	}
+	return res, nil
 }
 
 // --- MsgQuery reply ---------------------------------------------------
@@ -340,6 +436,17 @@ type IngestReply struct {
 	Inserted, Deleted int
 	Missing           []int64
 	InsLen, DelLen    int64
+}
+
+// AppendIngestReply appends the encoding of rep to buf — the append form
+// for handlers that reuse a pooled reply buffer.
+func AppendIngestReply(buf []byte, rep IngestReply) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rep.Inserted))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rep.Deleted))
+	buf = appendI64s(buf, rep.Missing)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rep.InsLen))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rep.DelLen))
+	return buf
 }
 
 // EncodeIngestReply encodes rep.
@@ -612,6 +719,8 @@ func MethodName(typ byte) string {
 		return "templates"
 	case MsgStatsFor:
 		return "stats_for"
+	case MsgClientQuery:
+		return "client_query"
 	default:
 		return fmt.Sprintf("unknown_%d", typ)
 	}
