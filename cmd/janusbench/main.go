@@ -12,6 +12,7 @@
 //	janusbench -shards BENCH_PR6.json -procs 1,2,4  # multi-core matrix
 //	janusbench -cluster BENCH_PR7.json # remote coordinator vs in-process group
 //	janusbench -binary BENCH_PR8.json  # binary client protocol vs HTTP/JSON
+//	janusbench -reshard BENCH_PR9.json # online reshard under live traffic
 //	janusbench -check BENCH_PR2.json   # CI perf-regression gate
 //	janusbench -list
 //
@@ -49,6 +50,13 @@
 // Engine work, connection reuse, and the workload are held constant, so
 // the binary/JSON ingest speedup prices the codec swap alone.
 //
+// -reshard measures the online reshard protocol under live traffic: a
+// 1-shard group is split to 4 and merged to 2 while concurrent ingest
+// (exercising the dual-write window) and queries keep running. Each step
+// records the migration throughput (rows/sec through drain-and-re-route),
+// the cutover pause (the only write-blocking window), and query latency
+// percentiles sampled strictly during the copy.
+//
 // -check is the CI perf-regression gate: it detects which suite the given
 // baseline JSON records (by shape), reruns that suite at the baseline's
 // scale, and exits non-zero when ingest throughput drops — or query p95
@@ -74,6 +82,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	janus "janusaqp"
@@ -124,6 +133,7 @@ func main() {
 	shards := flag.String("shards", "", "write the shard-scaling JSON snapshot (1/2/4/8-shard ingest throughput + query latency) to this file and exit")
 	clusterOut := flag.String("cluster", "", "write the distributed-serving JSON snapshot (4-shard in-process group vs remote coordinator over loopback RPC) to this file and exit")
 	binaryOut := flag.String("binary", "", "write the client-protocol JSON snapshot (binary RPC vs HTTP/JSON serving hot paths over loopback) to this file and exit")
+	reshardOut := flag.String("reshard", "", "write the online-reshard JSON snapshot (1->4->2 live split/merge under concurrent ingest+queries) to this file and exit")
 	procs := flag.String("procs", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4): with -shards, write a procs × shard-count multi-core matrix snapshot instead of the single-setting scaling curve")
 	check := flag.String("check", "", "rerun the suite a committed BENCH_*.json baseline records and exit non-zero if it regressed beyond -tolerance")
 	tolerance := flag.Float64("tolerance", 0.25, "relative regression the -check gate allows before failing")
@@ -167,6 +177,13 @@ func main() {
 	if *binaryOut != "" {
 		if err := runBinary(*binaryOut, *rows, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "binary:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *reshardOut != "" {
+		if err := runReshard(*reshardOut, *rows, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "reshard:", err)
 			os.Exit(1)
 		}
 		return
@@ -1291,6 +1308,171 @@ func runBinary(path string, rows int, seed int64) error {
 	return nil
 }
 
+// --- online-reshard snapshot -------------------------------------------------
+
+// reshardStep is one layout change measured under live traffic: the
+// migration throughput of the drain-and-re-route copy, the cutover pause
+// (the only window where writes block), and query latency percentiles
+// over exactly the queries that ran while the copy was in flight.
+type reshardStep struct {
+	FromShards               int     `json:"fromShards"`
+	ToShards                 int     `json:"toShards"`
+	Epoch                    int64   `json:"epoch"`
+	RowsMigrated             int64   `json:"rowsMigrated"`
+	DualWrites               int64   `json:"dualWrites"`
+	MigratedRowsPerSec       float64 `json:"migratedRowsPerSec"`
+	CutoverPauseMicros       float64 `json:"cutoverPauseMicros"`
+	QueryP50DuringCopyMicros float64 `json:"queryP50DuringCopyMicros"`
+	QueryP95DuringCopyMicros float64 `json:"queryP95DuringCopyMicros"`
+}
+
+// reshardReport is the JSON shape of the per-PR online-reshard record
+// (BENCH_PR9.json): the 1 -> 4 split and 4 -> 2 merge of the same live
+// group, each under concurrent batched ingest (so the dual-write window
+// is exercised, not idle) and a concurrent query loop. GOMAXPROCS is
+// recorded because the copy competes with the serving path for cores.
+type reshardReport struct {
+	Rows       int           `json:"rows"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Steps      []reshardStep `json:"reshardSteps"`
+}
+
+// measureReshardStep reshards group to k shards while a background
+// goroutine keeps batch-ingesting spare and the calling goroutine keeps
+// querying; only latencies sampled while the copy is in flight count.
+func measureReshardStep(ctx context.Context, group *janus.ShardGroup, k int, cfg janus.Config, spare []janus.Tuple, queries []janus.Query) (reshardStep, error) {
+	done := make(chan struct{})
+	var writers sync.WaitGroup
+	writers.Add(1)
+	var ingestErr error
+	go func() {
+		defer writers.Done()
+		const batch = 256
+		for lo := 0; lo < len(spare); lo += batch {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			hi := min(lo+batch, len(spare))
+			if err := group.InsertBatch(spare[lo:hi]); err != nil {
+				ingestErr = err
+				return
+			}
+		}
+	}()
+
+	type outcome struct {
+		rep *janus.ReshardReport
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		rep, err := group.Reshard(ctx, janus.ReshardOptions{TargetShards: k, Config: cfg})
+		resCh <- outcome{rep, err}
+	}()
+
+	var lats []float64
+	var res outcome
+sample:
+	for {
+		select {
+		case res = <-resCh:
+			break sample
+		default:
+		}
+		t0 := time.Now()
+		if _, err := group.Do(ctx, janus.Request{Template: "trips", Query: queries[len(lats)%len(queries)]}); err != nil {
+			res = <-resCh
+			close(done)
+			writers.Wait()
+			return reshardStep{}, err
+		}
+		lats = append(lats, float64(time.Since(t0).Microseconds()))
+	}
+	close(done)
+	writers.Wait()
+	if res.err != nil {
+		return reshardStep{}, res.err
+	}
+	if ingestErr != nil {
+		return reshardStep{}, ingestErr
+	}
+	rep := res.rep
+	return reshardStep{
+		FromShards:               rep.FromShards,
+		ToShards:                 rep.ToShards,
+		Epoch:                    rep.Epoch,
+		RowsMigrated:             rep.RowsCopied,
+		DualWrites:               rep.DualWrites,
+		MigratedRowsPerSec:       float64(rep.RowsCopied) / math.Max(rep.CopyDuration.Seconds(), 1e-9),
+		CutoverPauseMicros:       float64(rep.CutoverPause.Microseconds()),
+		QueryP50DuringCopyMicros: stats.Percentile(lats, 0.50),
+		QueryP95DuringCopyMicros: stats.Percentile(lats, 0.95),
+	}, nil
+}
+
+// measureReshard runs the live split/merge drill: build a 1-shard group
+// over rows tuples, split it to 4, then merge to 2, each step measured
+// under concurrent ingest and queries.
+func measureReshard(rows int, seed int64) (reshardReport, error) {
+	if rows <= 0 {
+		rows = 120000
+	}
+	cfg := janus.Config{LeafNodes: 128, SampleRate: 0.01, CatchUpRate: 0.10, Seed: seed}
+	tuples, err := workload.Generate(workload.NYCTaxi, rows, 0, seed)
+	if err != nil {
+		return reshardReport{}, err
+	}
+	queries := workload.NewQueryGen(seed+3, tuples, []int{0}).Workload(256, janus.FuncSum)
+	ctx := context.Background()
+
+	b := janus.NewBroker()
+	b.PublishInsertBatch(tuples)
+	eng := janus.NewEngine(cfg.WithShardSeed(0), b)
+	group, err := janus.NewShardGroup([]*janus.Engine{eng})
+	if err != nil {
+		return reshardReport{}, err
+	}
+	if err := group.AddTemplate(janus.Template{
+		Name: "trips", PredicateDims: []int{0}, AggIndex: 0, Agg: janus.Sum,
+	}); err != nil {
+		return reshardReport{}, err
+	}
+
+	rep := reshardReport{Rows: rows, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for i, k := range []int{4, 2} {
+		spare, err := workload.Generate(workload.NYCTaxi, 20000, int64(10_000_000*(i+1)), seed+int64(k))
+		if err != nil {
+			return reshardReport{}, err
+		}
+		step, err := measureReshardStep(ctx, group, k, cfg, spare, queries)
+		if err != nil {
+			return reshardReport{}, fmt.Errorf("reshard to %d shards: %w", k, err)
+		}
+		rep.Steps = append(rep.Steps, step)
+	}
+	return rep, nil
+}
+
+// runReshard measures the online-reshard suite and writes the snapshot.
+func runReshard(path string, rows int, seed int64) error {
+	rep, err := measureReshard(rows, seed)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(path, rep); err != nil {
+		return err
+	}
+	for _, s := range rep.Steps {
+		fmt.Printf("reshard %d->%d: migrated %d rows @ %.0f rows/s, cutover pause %.0fµs, query p50 %.0fµs p95 %.0fµs during copy (dual-writes %d)\n",
+			s.FromShards, s.ToShards, s.RowsMigrated, s.MigratedRowsPerSec,
+			s.CutoverPauseMicros, s.QueryP50DuringCopyMicros, s.QueryP95DuringCopyMicros, s.DualWrites)
+	}
+	fmt.Printf("reshard: 1->4->2 drill complete (GOMAXPROCS=%d) -> %s\n", rep.GoMaxProcs, path)
+	return nil
+}
+
 // --- CI perf-regression gate -------------------------------------------------
 
 // latencySlackMicros is an absolute allowance added on top of the relative
@@ -1304,6 +1486,12 @@ const latencySlackMicros = 10.0
 // neighbor can only slow the suite down — so the best of N approximates
 // the machine's true capability where a single run flakes.
 const checkRuns = 3
+
+// cutoverSlackMicros is the absolute allowance for the reshard cutover
+// pause: the pause is one write-gated watermark carry plus a pointer
+// swap, so its baseline sits near scheduler granularity where relative
+// tolerances are meaningless.
+const cutoverSlackMicros = 2000.0
 
 // gate accumulates pass/fail lines for one -check run.
 type gate struct {
@@ -1505,6 +1693,45 @@ func runCheck(path string, seed int64, tol float64) error {
 		g.lower("batched ingest tuples/sec", base.IngestBatchedTuplesPerSec, best.IngestBatchedTuplesPerSec)
 		g.lower("single ingest tuples/sec", base.IngestSingleTuplesPerSec, best.IngestSingleTuplesPerSec)
 		g.higher("query p95 µs", base.QueryP95Micros, best.QueryP95Micros, latencySlackMicros)
+	case probe["reshardSteps"] != nil:
+		var base reshardReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		fmt.Printf("check: rerunning online-reshard suite vs %s (rows=%d, best of %d, tolerance %.0f%%)\n",
+			path, base.Rows, checkRuns, tol*100)
+		type hop struct{ from, to int }
+		now := make(map[hop]reshardStep)
+		for r := 0; r < checkRuns; r++ {
+			cur, err := measureReshard(base.Rows, seed)
+			if err != nil {
+				return err
+			}
+			for _, s := range cur.Steps {
+				key := hop{s.FromShards, s.ToShards}
+				best, ok := now[key]
+				if !ok {
+					now[key] = s
+					continue
+				}
+				best.MigratedRowsPerSec = math.Max(best.MigratedRowsPerSec, s.MigratedRowsPerSec)
+				best.CutoverPauseMicros = math.Min(best.CutoverPauseMicros, s.CutoverPauseMicros)
+				best.QueryP95DuringCopyMicros = math.Min(best.QueryP95DuringCopyMicros, s.QueryP95DuringCopyMicros)
+				now[key] = best
+			}
+		}
+		for _, bs := range base.Steps {
+			ns, ok := now[hop{bs.FromShards, bs.ToShards}]
+			if !ok {
+				return fmt.Errorf("rerun produced no %d->%d reshard step", bs.FromShards, bs.ToShards)
+			}
+			g.lower(fmt.Sprintf("reshard %d->%d migrated rows/sec", bs.FromShards, bs.ToShards), bs.MigratedRowsPerSec, ns.MigratedRowsPerSec)
+			g.higher(fmt.Sprintf("reshard %d->%d query p95 during copy µs", bs.FromShards, bs.ToShards), bs.QueryP95DuringCopyMicros, ns.QueryP95DuringCopyMicros, latencySlackMicros)
+			// The cutover pause is a sub-millisecond write-gated window:
+			// absolute scheduler jitter dwarfs any honest relative bound, so
+			// it gets a wider absolute slack than query latencies.
+			g.higher(fmt.Sprintf("reshard %d->%d cutover pause µs", bs.FromShards, bs.ToShards), bs.CutoverPauseMicros, ns.CutoverPauseMicros, cutoverSlackMicros)
+		}
 	case probe["warmRestoreMillis"] != nil:
 		var base restartReport
 		if err := json.Unmarshal(raw, &base); err != nil {
@@ -1537,7 +1764,7 @@ func runCheck(path string, seed int64, tol float64) error {
 			g.higher("post-compact tail replay records", float64(base.TailReplayPostCompact), float64(bestTailReplay), 0)
 		}
 	default:
-		return fmt.Errorf("%s: unrecognized baseline shape (want a -perf, -restart, -shards, -cluster, or -binary snapshot)", path)
+		return fmt.Errorf("%s: unrecognized baseline shape (want a -perf, -restart, -shards, -cluster, -binary, or -reshard snapshot)", path)
 	}
 	if g.failed {
 		return fmt.Errorf("perf regression beyond %.0f%% tolerance vs %s (re-baseline deliberately by regenerating the snapshot)", tol*100, path)

@@ -37,8 +37,11 @@
 // ingest batches split by tuple id across K engines applied in parallel,
 // and every query scatter-gathers across the shards with merged confidence
 // intervals. Combined with -data, each shard persists to DIR/shard-k and
-// recovers independently; the shard count is fixed at the directory's
-// first boot:
+// recovers independently. The layout is not fixed: POST /v2/admin/reshard
+// live-migrates a running daemon to a new shard count with dual-writes and
+// an atomic cutover, and booting with a -shards value that disagrees with
+// the on-disk layout reshards the directory before serving (see README,
+// "Online resharding"):
 //
 //	janusd -addr :8080 -shards 4 -data /var/lib/janusd
 //
@@ -77,9 +80,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -258,11 +262,6 @@ func run(c daemonConfig) error {
 	if err := checkRoleFlags(c); err != nil {
 		return err
 	}
-	if c.dataDir != "" && c.role != roleStandby {
-		if err := checkDataLayout(c.dataDir, c.shards); err != nil {
-			return err
-		}
-	}
 	c.logger = obs.NewLogger(os.Stderr, obs.ParseLevel(c.logLevel), c.logFormat, "janusd")
 	switch c.role {
 	case roleCoordinator:
@@ -277,30 +276,42 @@ func run(c daemonConfig) error {
 		EnableAdmin:     c.admin,
 	}
 
-	// stores collects every durable store the boot path opened (one per
-	// shard), so the server's span observer can be attached to each with
-	// its shard index stamped on the emitted I/O spans.
+	// A role-single durable daemon serves through a durableSet — the store
+	// handles a live reshard swaps under it — while a shard-role daemon
+	// keeps its single fixed store (the cluster coordinator reshards remote
+	// layouts; a shard process never moves its own).
 	var (
 		eng    server.Engine
+		ds     *durableSet
 		stores []*janus.Store
 		err    error
 	)
 	switch {
-	case c.shards > 1 && c.dataDir != "":
-		stores, eng, err = bootShardedDurable(c, &opts)
-	case c.shards > 1:
-		eng, err = bootShardedEphemeral(c, &opts)
-	case c.dataDir != "":
+	case c.role == roleShard && c.dataDir != "":
+		ly, lerr := checkDataLayout(c.dataDir)
+		if lerr != nil {
+			return lerr
+		}
+		if !ly.fresh && !ly.single {
+			return fmt.Errorf("data dir %s holds a %d-shard layout; a -role shard process serves one engine over a single-engine layout (grow the cluster through the coordinator instead)", c.dataDir, ly.shards)
+		}
 		var st *janus.Store
 		st, eng, err = bootDurable(c, &opts)
 		if err == nil {
 			stores = []*janus.Store{st}
 		}
+	case c.dataDir != "":
+		ds, eng, err = bootDurableGroup(c, &opts)
+	case c.shards > 1:
+		eng, err = bootShardedEphemeral(c, &opts)
 	default:
 		eng, err = bootEphemeral(c, &opts)
 	}
 	if err != nil {
 		return err
+	}
+	if ds != nil {
+		defer ds.Close()
 	}
 	for _, st := range stores {
 		defer st.Close()
@@ -308,6 +319,11 @@ func run(c daemonConfig) error {
 
 	srv := server.New(eng, opts)
 	defer srv.Close()
+	if ds != nil {
+		// The set re-installs the observers itself whenever a reshard swaps
+		// the stores; a fixed store wires its observer once.
+		ds.instrument(srv.SpanObserver())
+	}
 	for i, st := range stores {
 		shard, fn := i, srv.SpanObserver()
 		st.SetSpanObserver(func(span string, _ int, d time.Duration) { fn(span, shard, d) })
@@ -600,45 +616,62 @@ func bootEphemeral(c daemonConfig, opts *server.Options) (*janus.Engine, error) 
 	return eng, nil
 }
 
-// bootDurable opens the data directory and either warm-restarts from its
-// checkpoint + log tail, or cold-boots (from the bare log after a crash
-// before the first checkpoint, or from the generated dataset on first run)
-// and writes the initial checkpoint.
+// rootBoot is an opened-and-recovered legacy single-engine root layout.
+type rootBoot struct {
+	st     *janus.Store
+	eng    *janus.Engine
+	cold   bool // no checkpoint existed: the caller owes the initial one
+	tail   int64
+	follow janus.SyncState
+}
+
+// openDurableRoot opens the single-engine root layout at the data dir and
+// either warm-restarts it from its checkpoint + log tail, or cold-boots
+// (from the bare log after a crash before the first checkpoint, or from
+// the generated dataset on first run). The caller wires checkpointing and,
+// on a cold boot, writes the initial checkpoint.
+func openDurableRoot(c daemonConfig) (rootBoot, error) {
+	st, err := janus.OpenStore(c.dataDir)
+	if err != nil {
+		return rootBoot{}, err
+	}
+	start := time.Now()
+	eng, rec, err := st.Recover(c.engineConfig())
+	switch {
+	case err == nil:
+		c.logger.Info("warm restart", "dataDir", c.dataDir, "seconds", time.Since(start).Seconds(),
+			"templates", rec.Templates, "rows", st.Broker().Archive().Len(),
+			"tailInserts", rec.TailInserts, "tailDeletes", rec.TailDeletes, "addr", c.addr)
+		return rootBoot{st: st, eng: eng, tail: int64(rec.TailInserts + rec.TailDeletes), follow: rec.Follow}, nil
+	case errors.Is(err, janus.ErrNoCheckpoint):
+		eng, err = coldBootDurable(c, st)
+		if err != nil {
+			st.Close()
+			return rootBoot{}, err
+		}
+		return rootBoot{st: st, eng: eng, cold: true}, nil
+	default:
+		st.Close()
+		return rootBoot{}, err
+	}
+}
+
+// bootDurable opens the data directory as a fixed single-engine layout —
+// the shard-role boot path (a shard process never reshards itself; the
+// cluster coordinator moves layouts across nodes).
 func bootDurable(c daemonConfig, opts *server.Options) (*janus.Store, *janus.Engine, error) {
 	// Reject incompatible flags before OpenStore creates log files: an
 	// aborted boot must leave no half-initialized data directory behind.
 	if c.stream > 0 {
 		return nil, nil, fmt.Errorf("-stream is not supported with -data (stream through /v2/ingest instead)")
 	}
-	st, err := janus.OpenStore(c.dataDir)
+	rb, err := openDurableRoot(c)
 	if err != nil {
 		return nil, nil, err
 	}
-	fail := func(err error) (*janus.Store, *janus.Engine, error) {
-		st.Close()
-		return nil, nil, err
-	}
-
-	start := time.Now()
-	needInitialCheckpoint := false
-	eng, rec, err := st.Recover(c.engineConfig())
-	switch {
-	case err == nil:
-		opts.FollowState = rec.Follow
-		opts.RecoveryTailRecords = int64(rec.TailInserts + rec.TailDeletes)
-		c.logger.Info("warm restart", "dataDir", c.dataDir, "seconds", time.Since(start).Seconds(),
-			"templates", rec.Templates, "rows", st.Broker().Archive().Len(),
-			"tailInserts", rec.TailInserts, "tailDeletes", rec.TailDeletes, "addr", c.addr)
-	case errors.Is(err, janus.ErrNoCheckpoint):
-		needInitialCheckpoint = true
-		eng, err = coldBootDurable(c, st)
-		if err != nil {
-			return fail(err)
-		}
-	default:
-		return fail(err)
-	}
-
+	st, eng := rb.st, rb.eng
+	opts.FollowState = rb.follow
+	opts.RecoveryTailRecords = rb.tail
 	opts.Checkpoint = func() (janus.CheckpointInfo, error) { return st.WriteCheckpoint(eng) }
 	opts.Compact = st.Compact
 	opts.CompactAfterCheckpoint = c.retain == retainCompact
@@ -646,9 +679,10 @@ func bootDurable(c daemonConfig, opts *server.Options) (*janus.Store, *janus.Eng
 	if c.checkpointEvery > 0 {
 		opts.CheckpointInterval = c.checkpointEvery
 	}
-	if needInitialCheckpoint {
+	if rb.cold {
 		if _, err := opts.Checkpoint(); err != nil {
-			return fail(err)
+			st.Close()
+			return nil, nil, err
 		}
 	}
 	return st, eng, nil
@@ -710,37 +744,155 @@ func buildEngine(c daemonConfig, b *janus.Broker) (*janus.Engine, error) {
 	return eng, nil
 }
 
-// checkDataLayout refuses a -shards value that disagrees with an existing
-// data directory: hash routing is a pure function of (id, K), so reopening
-// K-sharded data under a different K would append new writes — and route
-// deletions — to the wrong shards' logs.
-func checkDataLayout(dir string, shards int) error {
+// parseShardDir parses a data-dir entry name as shard-K or shard-K.new.
+func parseShardDir(name string) (k int, isNew, ok bool) {
+	rest, found := strings.CutPrefix(name, "shard-")
+	if !found {
+		return 0, false, false
+	}
+	rest, isNew = strings.CutSuffix(rest, ".new")
+	k, err := strconv.Atoi(rest)
+	if err != nil || k < 0 {
+		return 0, false, false
+	}
+	return k, isNew, true
+}
+
+// dataLayout is what checkDataLayout found in a data directory.
+type dataLayout struct {
+	// fresh: the directory holds no data at all — a first boot.
+	fresh bool
+	// single: legacy single-engine root logs (no manifest, no shard dirs).
+	single bool
+	// shards is the on-disk layout width (1 for a single root layout, 0
+	// when fresh).
+	shards int
+	// manifest is the committed layout manifest, nil until the directory
+	// has resharded at least once.
+	manifest *janus.ShardLayout
+}
+
+// shardDirNames renders a shard-index list as its directory names, e.g.
+// "shard-0, shard-2".
+func shardDirNames(ks []int) string {
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = fmt.Sprintf("shard-%d", k)
+	}
+	return strings.Join(names, ", ")
+}
+
+// layoutMismatch builds the found-vs-expected error for a shard-dir set
+// that doesn't form the expected contiguous shard-0..shard-(width-1)
+// layout, enumerating every missing and extra directory.
+func layoutMismatch(dir string, found []int, width int, expected string) error {
+	have := make(map[int]bool, len(found))
+	var extra []int
+	for _, k := range found {
+		have[k] = true
+		if k >= width {
+			extra = append(extra, k)
+		}
+	}
+	var missing []int
+	for k := 0; k < width; k++ {
+		if !have[k] {
+			missing = append(missing, k)
+		}
+	}
+	var probs []string
+	if len(missing) > 0 {
+		probs = append(probs, "missing "+shardDirNames(missing))
+	}
+	if len(extra) > 0 {
+		probs = append(probs, "extra "+shardDirNames(extra))
+	}
+	return fmt.Errorf("data dir %s: expected %s but found [%s] (%s)",
+		dir, expected, shardDirNames(found), strings.Join(probs, "; "))
+}
+
+// checkDataLayout inspects an existing data directory and reports the
+// shard layout it holds. Hash routing is a pure function of (id, K), so
+// the boot path must know the on-disk K before opening any store: a
+// -shards value that disagrees with it is served by resharding the
+// directory on boot (see bootDurableGroup), never by appending new writes
+// — and routing deletions — under the wrong K. Structural damage is
+// refused with the full found-vs-expected layout enumerated: shard-k
+// entries that are not directories, gaps or strays in the shard-dir
+// sequence, single-engine logs mixed with shard directories, or a layout
+// manifest the directories contradict. Call janus.RecoverShardLayout
+// first; this check treats any remaining shard-k.new entry as the litter
+// it is and ignores it.
+func checkDataLayout(dir string) (dataLayout, error) {
+	var ly dataLayout
+	manifest, haveManifest, err := janus.ReadShardLayout(dir)
+	if err != nil {
+		return ly, err
+	}
 	entries, err := os.ReadDir(dir)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		ly.fresh = true
+		return ly, nil
 	}
 	if err != nil {
-		return err
+		return ly, err
 	}
-	existing := 0
-	single := false
+
+	var found []int
+	var notDirs []string
+	rootLogs := false
 	for _, e := range entries {
-		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
-			existing++
+		k, isNew, ok := parseShardDir(e.Name())
+		switch {
+		case !ok:
+			switch e.Name() {
+			case "inserts.log", "deletes.log", "checkpoint.db":
+				rootLogs = true
+			}
+		case isNew:
+			// Mid-reshard litter RecoverShardLayout sweeps or finalizes.
+			_ = k
+		case !e.IsDir():
+			notDirs = append(notDirs, e.Name())
+		default:
+			found = append(found, k)
 		}
-		if e.Name() == "inserts.log" {
-			single = true
+	}
+	sort.Ints(found)
+	if len(notDirs) > 0 {
+		return ly, fmt.Errorf("data dir %s: %s: not a directory (a shard layout holds one shard-k directory per shard); shard directories found: [%s]",
+			dir, strings.Join(notDirs, ", "), shardDirNames(found))
+	}
+
+	if haveManifest {
+		ly.manifest, ly.shards = &manifest, manifest.Shards
+		expected := fmt.Sprintf("the manifest's %d-shard layout (shard-0..shard-%d)", manifest.Shards, manifest.Shards-1)
+		if rootLogs {
+			return ly, fmt.Errorf("data dir %s: expected %s but single-engine root logs are present alongside [%s]",
+				dir, expected, shardDirNames(found))
 		}
+		if len(found) != manifest.Shards || (len(found) > 0 && found[len(found)-1] != manifest.Shards-1) {
+			return ly, layoutMismatch(dir, found, manifest.Shards, expected)
+		}
+		return ly, nil
 	}
 	switch {
-	case shards == 1 && existing > 0:
-		return fmt.Errorf("data dir %s holds %d shard directories; start with -shards %d", dir, existing, existing)
-	case shards > 1 && single:
-		return fmt.Errorf("data dir %s holds single-engine logs; move them aside or start with -shards 1", dir)
-	case shards > 1 && existing > 0 && existing != shards:
-		return fmt.Errorf("data dir %s holds %d shard directories but -shards is %d: the shard count is fixed at first boot", dir, existing, shards)
+	case rootLogs && len(found) > 0:
+		return ly, fmt.Errorf("data dir %s holds both single-engine root logs and shard directories [%s]; move one layout aside",
+			dir, shardDirNames(found))
+	case rootLogs:
+		ly.single, ly.shards = true, 1
+	case len(found) > 0:
+		width := found[len(found)-1] + 1
+		if len(found) != width {
+			return ly, layoutMismatch(dir, found, width,
+				fmt.Sprintf("a contiguous %d-shard layout (shard-0..shard-%d)", width, width-1))
+		}
+		ly.shards = width
+	default:
+		ly.fresh = true
 	}
-	return nil
+	return ly, nil
 }
 
 // bootShardedEphemeral hash-partitions the bootstrap dataset across K
@@ -765,37 +917,142 @@ func bootShardedEphemeral(c daemonConfig, opts *server.Options) (server.Engine, 
 	if err := registerBootstrap(group); err != nil {
 		return nil, err
 	}
+	// An ephemeral group reshards fully in memory: fresh target brokers,
+	// no stores to retire.
+	opts.Reshard = func(ctx context.Context, targetShards int) (*janus.ReshardReport, error) {
+		return group.Reshard(ctx, janus.ReshardOptions{TargetShards: targetShards, Config: c.engineConfig()})
+	}
+	opts.ReshardStatus = group.ReshardProgress
 	startStream(c, opts, tuples[initial:])
 	c.logger.Info("serving", "boot", "sharded-ephemeral", "rows", initial, "dataset", c.dataset,
 		"addr", c.addr, "shards", c.shards, "streamingIn", c.rows-initial)
 	return group, nil
 }
 
-// bootShardedDurable opens one durable Store per shard under
-// DIR/shard-k and recovers each independently: warm shards restore their
-// checkpoint + log tail, cold shards (first boot, or a crash before their
-// first checkpoint) rebuild from their slice of the bootstrap dataset or
-// their bare log. The group checkpoint fans out to every shard's store.
-func bootShardedDurable(c daemonConfig, opts *server.Options) ([]*janus.Store, server.Engine, error) {
-	if c.stream > 0 {
-		return nil, nil, fmt.Errorf("-stream is not supported with -data (stream through /v2/ingest instead)")
+// durableSet tracks a role-single durable daemon's live stores. A live
+// reshard — POST /v2/admin/reshard, or reshard-on-boot when -shards
+// disagrees with the on-disk layout — retires the old stores and opens a
+// new set under the same root, so everything that touches a store
+// (checkpoints, compactions, write-health checks, span observers, the
+// shutdown close) reads the current snapshot instead of a slice captured
+// at boot. Checkpoint, compact, and reshard are serialized by the
+// server's checkpoint mutex; WriteHealth races the swap on the ingest
+// path and loads the pointer atomically.
+type durableSet struct {
+	root   string
+	cfg    janus.Config
+	group  *janus.ShardGroup
+	stores atomic.Pointer[[]*janus.Store]
+	// observe fans every store's I/O spans into the server metrics with
+	// the shard index stamped on; re-installed on each new store set.
+	observe atomic.Pointer[func(span string, shard int, d time.Duration)]
+}
+
+func (ds *durableSet) current() []*janus.Store { return *ds.stores.Load() }
+
+// instrument registers the span-observer sink and installs it on the
+// current stores (and, via reshard, on every future set).
+func (ds *durableSet) instrument(fn func(span string, shard int, d time.Duration)) {
+	ds.observe.Store(&fn)
+	ds.installObservers()
+}
+
+func (ds *durableSet) installObservers() {
+	p := ds.observe.Load()
+	if p == nil {
+		return
 	}
-	var stores []*janus.Store
-	engines := make([]*janus.Engine, c.shards)
-	fail := func(err error) ([]*janus.Store, server.Engine, error) {
+	fn := *p
+	for i, st := range ds.current() {
+		shard := i
+		st.SetSpanObserver(func(span string, _ int, d time.Duration) { fn(span, shard, d) })
+	}
+}
+
+func (ds *durableSet) Close() {
+	for _, st := range ds.current() {
+		st.Close()
+	}
+}
+
+// checkpoint writes one snapshot per shard of the serving layout; offsets
+// and bytes aggregate across the group (each shard's image is consistent
+// with its own logs).
+func (ds *durableSet) checkpoint() (janus.CheckpointInfo, error) {
+	var total janus.CheckpointInfo
+	for i, st := range ds.current() {
+		info, err := st.WriteCheckpoint(ds.group.Shard(i))
+		if err != nil {
+			return janus.CheckpointInfo{}, fmt.Errorf("shard %d: %w", i, err)
+		}
+		total.Templates = info.Templates
+		total.InsertOffset += info.InsertOffset
+		total.DeleteOffset += info.DeleteOffset
+		total.ArchiveRows += info.ArchiveRows
+		total.Bytes += info.Bytes
+	}
+	return total, nil
+}
+
+// compact rotates each shard's store independently against its own latest
+// checkpoint; the reclaim totals aggregate across the group.
+func (ds *durableSet) compact() (janus.CompactInfo, error) {
+	var total janus.CompactInfo
+	for i, st := range ds.current() {
+		info, err := st.Compact()
+		if err != nil {
+			return janus.CompactInfo{}, fmt.Errorf("shard %d: %w", i, err)
+		}
+		total.InsertsDropped += info.InsertsDropped
+		total.DeletesDropped += info.DeletesDropped
+		total.LogBytesBefore += info.LogBytesBefore
+		total.LogBytesAfter += info.LogBytesAfter
+	}
+	return total, nil
+}
+
+func (ds *durableSet) writeHealth() error {
+	for i, st := range ds.current() {
+		if err := st.WriteErr(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// reshard live-migrates the durable layout to k shards and swaps the
+// store set to the new stores. When the cutover has committed, the group
+// serves the new layout even if the directory finalize then failed (the
+// error says so, and a restart completes the move), so the swap happens
+// whenever ReshardDurable hands back stores — with or without an error.
+func (ds *durableSet) reshard(ctx context.Context, k int) (*janus.ReshardReport, error) {
+	rep, stores, err := janus.ReshardDurable(ctx, ds.group, ds.root, ds.current(), janus.ReshardOptions{
+		TargetShards: k,
+		Config:       ds.cfg,
+	})
+	if stores != nil {
+		ds.stores.Store(&stores)
+		ds.installObservers()
+	}
+	return rep, err
+}
+
+// openShardDirs opens and recovers the K durable shard stores under
+// DIR/shard-0..shard-(k-1): warm shards restore their checkpoint + log
+// tail, cold shards (first boot, or a crash before their first
+// checkpoint) rebuild from their slice of the bootstrap dataset or their
+// bare log.
+func openShardDirs(c daemonConfig, k int) (stores []*janus.Store, engines []*janus.Engine, needCkpt bool, tail int64, warm int, err error) {
+	engines = make([]*janus.Engine, k)
+	fail := func(ferr error) ([]*janus.Store, []*janus.Engine, bool, int64, int, error) {
 		for _, st := range stores {
 			st.Close()
 		}
-		return nil, nil, err
+		return nil, nil, false, 0, 0, ferr
 	}
-
-	start := time.Now()
 	var bootstrap [][]janus.Tuple // generated once, on the first empty cold shard
-	needInitialCheckpoint := false
-	warm := 0
-	var tailRecords int64
-	for i := 0; i < c.shards; i++ {
-		st, err := janus.OpenStore(filepath.Join(c.dataDir, fmt.Sprintf("shard-%d", i)))
+	for i := 0; i < k; i++ {
+		st, err := janus.OpenStore(janus.ShardDir(c.dataDir, i))
 		if err != nil {
 			return fail(err)
 		}
@@ -805,16 +1062,16 @@ func bootShardedDurable(c daemonConfig, opts *server.Options) ([]*janus.Store, s
 		switch {
 		case err == nil:
 			warm++
-			tailRecords += int64(rec.TailInserts + rec.TailDeletes)
+			tail += int64(rec.TailInserts + rec.TailDeletes)
 		case errors.Is(err, janus.ErrNoCheckpoint):
-			needInitialCheckpoint = true
+			needCkpt = true
 			if st.Broker().Archive().Len() == 0 {
 				if bootstrap == nil {
 					tuples, gerr := workload.Generate(c.dataset, c.rows, 0, c.seed)
 					if gerr != nil {
 						return fail(gerr)
 					}
-					bootstrap = janus.SplitByShard(tuples, c.shards)
+					bootstrap = janus.SplitByShard(tuples, k)
 				}
 				st.Broker().PublishInsertBatch(bootstrap[i])
 			}
@@ -827,66 +1084,120 @@ func bootShardedDurable(c daemonConfig, opts *server.Options) ([]*janus.Store, s
 		}
 		engines[i] = eng
 	}
+	return stores, engines, needCkpt, tail, warm, nil
+}
+
+// bootDurableGroup boots every role-single durable form — the legacy
+// single-engine root layout, a K-shard DIR/shard-k layout, and whatever
+// layout a committed manifest names (a resharded directory keeps shard
+// directories even at K=1) — behind one ShardGroup. It recovers the shard
+// layout first (sweeping the litter of an uncommitted reshard, rolling a
+// committed-but-unfinalized one forward), boots the layout the directory
+// actually holds, and when -shards disagrees with it, reshards on boot:
+// the old layout is drained live into the requested width and the
+// directory finalized before the listeners open.
+func bootDurableGroup(c daemonConfig, opts *server.Options) (*durableSet, server.Engine, error) {
+	if c.stream > 0 {
+		return nil, nil, fmt.Errorf("-stream is not supported with -data (stream through /v2/ingest instead)")
+	}
+	lrec, err := janus.RecoverShardLayout(c.dataDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(lrec.RemovedNew) > 0 || lrec.RolledForward {
+		c.logger.Info("layout recovery", "dataDir", c.dataDir,
+			"rolledForward", lrec.RolledForward, "removedNew", lrec.RemovedNew)
+	}
+	ly, err := checkDataLayout(c.dataDir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Boot the layout the directory holds; a fresh directory materializes
+	// at the requested width directly (root files for -shards 1, matching
+	// the original single-engine layout).
+	bootK, rootForm := ly.shards, ly.single
+	if ly.fresh {
+		bootK, rootForm = c.shards, c.shards == 1
+	}
+
+	start := time.Now()
+	var (
+		stores   []*janus.Store
+		engines  []*janus.Engine
+		needCkpt bool
+		tail     int64
+		warm     int
+	)
+	if rootForm {
+		rb, err := openDurableRoot(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		stores, engines = []*janus.Store{rb.st}, []*janus.Engine{rb.eng}
+		needCkpt, tail = rb.cold, rb.tail
+		if !rb.cold {
+			warm = 1
+		}
+	} else {
+		stores, engines, needCkpt, tail, warm, err = openShardDirs(c, bootK)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	fail := func(err error) (*durableSet, server.Engine, error) {
+		for _, st := range stores {
+			st.Close()
+		}
+		return nil, nil, err
+	}
 	group, err := janus.NewShardGroup(engines)
 	if err != nil {
 		return fail(err)
 	}
+	if ly.manifest != nil {
+		// The serving epoch resumes where the durable layout stands, so
+		// the next reshard (on boot or through the admin endpoint) commits
+		// manifest and in-memory layout at the same epoch.
+		group.SetLayoutEpoch(ly.manifest.Epoch)
+	}
+	ds := &durableSet{root: c.dataDir, cfg: c.engineConfig(), group: group}
+	ds.stores.Store(&stores)
 
-	opts.Checkpoint = func() (janus.CheckpointInfo, error) {
-		// One snapshot per shard; offsets and bytes aggregate across the
-		// group (each shard's image is consistent with its own logs).
-		var total janus.CheckpointInfo
-		for i, st := range stores {
-			info, err := st.WriteCheckpoint(group.Shard(i))
-			if err != nil {
-				return janus.CheckpointInfo{}, fmt.Errorf("shard %d: %w", i, err)
-			}
-			total.Templates = info.Templates
-			total.InsertOffset += info.InsertOffset
-			total.DeleteOffset += info.DeleteOffset
-			total.ArchiveRows += info.ArchiveRows
-			total.Bytes += info.Bytes
-		}
-		return total, nil
-	}
-	opts.Compact = func() (janus.CompactInfo, error) {
-		// Each shard's store compacts independently against its own latest
-		// checkpoint; the reclaim totals aggregate across the group.
-		var total janus.CompactInfo
-		for i, st := range stores {
-			info, err := st.Compact()
-			if err != nil {
-				return janus.CompactInfo{}, fmt.Errorf("shard %d: %w", i, err)
-			}
-			total.InsertsDropped += info.InsertsDropped
-			total.DeletesDropped += info.DeletesDropped
-			total.LogBytesBefore += info.LogBytesBefore
-			total.LogBytesAfter += info.LogBytesAfter
-		}
-		return total, nil
-	}
+	opts.Checkpoint = ds.checkpoint
+	opts.Compact = ds.compact
 	opts.CompactAfterCheckpoint = c.retain == retainCompact
-	opts.WriteHealth = func() error {
-		for i, st := range stores {
-			if err := st.WriteErr(); err != nil {
-				return fmt.Errorf("shard %d: %w", i, err)
-			}
-		}
-		return nil
-	}
+	opts.WriteHealth = ds.writeHealth
 	if c.checkpointEvery > 0 {
 		opts.CheckpointInterval = c.checkpointEvery
 	}
-	if needInitialCheckpoint {
+	opts.RecoveryTailRecords = tail
+	opts.Reshard = ds.reshard
+	opts.ReshardStatus = group.ReshardProgress
+	if needCkpt {
 		if _, err := opts.Checkpoint(); err != nil {
 			return fail(err)
 		}
 	}
-	opts.RecoveryTailRecords = tailRecords
-	c.logger.Info("sharded boot", "shards", c.shards, "dataDir", c.dataDir,
-		"seconds", time.Since(start).Seconds(), "warm", warm, "cold", c.shards-warm,
-		"tailRecords", tailRecords, "rows", group.Stats().ArchiveRows, "addr", c.addr)
-	return stores, group, nil
+	c.logger.Info("durable boot", "shards", bootK, "dataDir", c.dataDir,
+		"seconds", time.Since(start).Seconds(), "warm", warm, "cold", bootK-warm,
+		"tailRecords", tail, "rows", group.Stats().ArchiveRows, "addr", c.addr)
+
+	if bootK != c.shards {
+		// -shards disagrees with the on-disk layout: reshard on boot. The
+		// old layout serves the copy exactly as it would under live
+		// traffic, and the swap + directory finalize complete before the
+		// listeners open.
+		c.logger.Info("resharding on boot", "dataDir", c.dataDir, "from", bootK, "to", c.shards)
+		rep, err := ds.reshard(context.Background(), c.shards)
+		if err != nil {
+			ds.Close()
+			return nil, nil, fmt.Errorf("resharding %s from %d to %d shards on boot: %w", c.dataDir, bootK, c.shards, err)
+		}
+		c.logger.Info("resharded on boot", "from", rep.FromShards, "to", rep.ToShards,
+			"epoch", rep.Epoch, "rows", rep.RowsCopied, "seconds", rep.CopyDuration.Seconds())
+	}
+	return ds, group, nil
 }
 
 // startStream wires the -stream demo producer: held-back rows arrive on a

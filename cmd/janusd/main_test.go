@@ -1,0 +1,292 @@
+package main
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	janus "janusaqp"
+	"janusaqp/internal/obs"
+	"janusaqp/internal/server"
+	"janusaqp/internal/workload"
+)
+
+func TestParseShardDir(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		k     int
+		isNew bool
+		ok    bool
+	}{
+		{"shard-0", 0, false, true},
+		{"shard-17", 17, false, true},
+		{"shard-3.new", 3, true, true},
+		{"shard--1", 0, false, false},
+		{"shard-x", 0, false, false},
+		{"shard-", 0, false, false},
+		{"inserts.log", 0, false, false},
+		{"layout.json", 0, false, false},
+	} {
+		k, isNew, ok := parseShardDir(tc.name)
+		if k != tc.k || isNew != tc.isNew || ok != tc.ok {
+			t.Errorf("parseShardDir(%q) = (%d, %v, %v), want (%d, %v, %v)",
+				tc.name, k, isNew, ok, tc.k, tc.isNew, tc.ok)
+		}
+	}
+}
+
+// mkLayout materializes a synthetic data-dir layout: entries ending in "/"
+// become directories, everything else an empty file.
+func mkLayout(t *testing.T, entries ...string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, e := range entries {
+		p := filepath.Join(dir, strings.TrimSuffix(e, "/"))
+		if strings.HasSuffix(e, "/") {
+			if err := os.MkdirAll(p, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := os.WriteFile(p, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func writeManifest(t *testing.T, dir string, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, janus.LayoutManifestName), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckDataLayout covers the detection matrix: the healthy layouts
+// each boot form recognizes, and the structural-damage errors, which must
+// enumerate the found-vs-expected layout rather than just the first
+// mismatch.
+func TestCheckDataLayout(t *testing.T) {
+	t.Run("missing dir is fresh", func(t *testing.T) {
+		ly, err := checkDataLayout(filepath.Join(t.TempDir(), "nope"))
+		if err != nil || !ly.fresh {
+			t.Fatalf("got (%+v, %v), want fresh", ly, err)
+		}
+	})
+	t.Run("empty dir is fresh", func(t *testing.T) {
+		ly, err := checkDataLayout(t.TempDir())
+		if err != nil || !ly.fresh {
+			t.Fatalf("got (%+v, %v), want fresh", ly, err)
+		}
+	})
+	t.Run("root logs are the single layout", func(t *testing.T) {
+		ly, err := checkDataLayout(mkLayout(t, "inserts.log", "deletes.log", "checkpoint.db"))
+		if err != nil || !ly.single || ly.shards != 1 {
+			t.Fatalf("got (%+v, %v), want single 1-shard", ly, err)
+		}
+	})
+	t.Run("contiguous shard dirs", func(t *testing.T) {
+		ly, err := checkDataLayout(mkLayout(t, "shard-0/", "shard-1/", "shard-2/"))
+		if err != nil || ly.fresh || ly.single || ly.shards != 3 {
+			t.Fatalf("got (%+v, %v), want 3 shards", ly, err)
+		}
+	})
+	t.Run("new litter is ignored", func(t *testing.T) {
+		ly, err := checkDataLayout(mkLayout(t, "shard-0/", "shard-1/", "shard-2.new/"))
+		if err != nil || ly.shards != 2 {
+			t.Fatalf("got (%+v, %v), want 2 shards", ly, err)
+		}
+	})
+	t.Run("gap enumerates found vs expected", func(t *testing.T) {
+		_, err := checkDataLayout(mkLayout(t, "shard-0/", "shard-2/", "shard-5/"))
+		if err == nil {
+			t.Fatal("want error for shard gaps")
+		}
+		for _, want := range []string{"shard-0, shard-2, shard-5", "missing shard-1, shard-3, shard-4", "6-shard layout"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q does not enumerate %q", err, want)
+			}
+		}
+	})
+	t.Run("non-dir shard entry", func(t *testing.T) {
+		_, err := checkDataLayout(mkLayout(t, "shard-0/", "shard-1"))
+		if err == nil || !strings.Contains(err.Error(), "shard-1") || !strings.Contains(err.Error(), "not a directory") {
+			t.Fatalf("got %v, want a not-a-directory error naming shard-1", err)
+		}
+		if !strings.Contains(err.Error(), "shard-0") {
+			t.Errorf("error %q does not report the shard directories that were found", err)
+		}
+	})
+	t.Run("mixed layouts", func(t *testing.T) {
+		_, err := checkDataLayout(mkLayout(t, "inserts.log", "shard-0/"))
+		if err == nil || !strings.Contains(err.Error(), "both") {
+			t.Fatalf("got %v, want a mixed-layout error", err)
+		}
+	})
+	t.Run("manifest governs", func(t *testing.T) {
+		dir := mkLayout(t, "shard-0/", "shard-1/")
+		writeManifest(t, dir, `{"version":1,"shards":2,"epoch":3}`)
+		ly, err := checkDataLayout(dir)
+		if err != nil || ly.shards != 2 || ly.manifest == nil || ly.manifest.Epoch != 3 {
+			t.Fatalf("got (%+v, %v), want manifest 2-shard layout at epoch 3", ly, err)
+		}
+	})
+	t.Run("manifest single shard is not the root layout", func(t *testing.T) {
+		dir := mkLayout(t, "shard-0/")
+		writeManifest(t, dir, `{"version":1,"shards":1,"epoch":2}`)
+		ly, err := checkDataLayout(dir)
+		if err != nil || ly.single || ly.shards != 1 || ly.manifest == nil {
+			t.Fatalf("got (%+v, %v), want a manifest-governed 1-shard layout", ly, err)
+		}
+	})
+	t.Run("manifest contradicted enumerates both sides", func(t *testing.T) {
+		dir := mkLayout(t, "shard-0/", "shard-4/")
+		writeManifest(t, dir, `{"version":1,"shards":3,"epoch":1}`)
+		_, err := checkDataLayout(dir)
+		if err == nil {
+			t.Fatal("want error for a contradicted manifest")
+		}
+		for _, want := range []string{"manifest's 3-shard layout", "shard-0, shard-4", "missing shard-1, shard-2", "extra shard-4"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q does not enumerate %q", err, want)
+			}
+		}
+	})
+	t.Run("manifest with root logs", func(t *testing.T) {
+		dir := mkLayout(t, "shard-0/", "inserts.log")
+		writeManifest(t, dir, `{"version":1,"shards":1,"epoch":1}`)
+		if _, err := checkDataLayout(dir); err == nil {
+			t.Fatal("want error for root logs under a manifest")
+		}
+	})
+	t.Run("bad manifest", func(t *testing.T) {
+		dir := t.TempDir()
+		writeManifest(t, dir, `{"version":99}`)
+		if _, err := checkDataLayout(dir); err == nil {
+			t.Fatal("want error for an unsupported manifest version")
+		}
+	})
+}
+
+func testBootConfig(dir string, shards int) daemonConfig {
+	return daemonConfig{
+		addr: ":0", dataset: workload.NYCTaxi, rows: 4000, seed: 42,
+		leafNodes: 16, sampleRate: 0.05, catchUpRate: 1.0,
+		retain: retainCompact, shards: shards, dataDir: dir,
+		logger: obs.NewLogger(io.Discard, obs.ParseLevel("info"), "text", "janusd-test"),
+	}
+}
+
+// TestBootDurableGroupReshardOnBoot drives the boot-time layout protocol
+// end to end at a fixed seed: a fresh -shards 1 boot materializes the
+// classic root layout, rebooting it with -shards 3 reshards the directory
+// before serving (manifest committed, root logs retired), -shards 2
+// shrinks it again, and a matching reboot leaves the epoch alone. Covering
+// answers must agree across every layout.
+func TestBootDurableGroupReshardOnBoot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	ctx := context.Background()
+	sum := func(eng server.Engine) float64 {
+		t.Helper()
+		req := janus.Request{Template: "trips", Query: janus.Query{
+			Func: janus.FuncSum, AggIndex: -1, Rect: janus.Universe(1)}}
+		resp, err := eng.Do(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Result.Estimate
+	}
+
+	boot := func(shards int) (*durableSet, server.Engine, *server.Options) {
+		t.Helper()
+		opts := &server.Options{}
+		ds, eng, err := bootDurableGroup(testBootConfig(dir, shards), opts)
+		if err != nil {
+			t.Fatalf("boot -shards %d: %v", shards, err)
+		}
+		return ds, eng, opts
+	}
+
+	// First boot: fresh directory, classic single-engine root layout.
+	ds, eng, opts := boot(1)
+	if _, err := os.Stat(filepath.Join(dir, "inserts.log")); err != nil {
+		t.Fatalf("fresh -shards 1 boot did not materialize the root layout: %v", err)
+	}
+	extra, err := workload.Generate(workload.NYCTaxi, 500, 1<<20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.InsertBatch(extra); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.DeleteBatch([]int64{extra[0].ID, extra[1].ID}); err != nil {
+		t.Fatal(err)
+	}
+	const wantRows = 4000 + 500 - 2
+	want := sum(eng)
+	ds.Close()
+
+	close10 := func(got float64) bool {
+		diff := got - want
+		return diff < 1e-6*want && diff > -1e-6*want
+	}
+
+	// Reboot wider: reshard on boot 1 -> 3. The extra rows live only in
+	// the log tail (no checkpoint covered them), so a lost acked write
+	// would show up right here.
+	ds, eng, opts = boot(3)
+	group := eng.(*janus.ShardGroup)
+	if group.NumShards() != 3 || group.LayoutEpoch() != 1 {
+		t.Fatalf("serving %d shards at epoch %d, want 3 at 1", group.NumShards(), group.LayoutEpoch())
+	}
+	if got := group.Stats().ArchiveRows; got != wantRows {
+		t.Fatalf("resharded layout holds %d rows, want %d", got, wantRows)
+	}
+	if got := sum(eng); !close10(got) {
+		t.Fatalf("post-reshard sum %v, want %v", got, want)
+	}
+	ly, err := checkDataLayout(dir)
+	if err != nil || ly.manifest == nil || ly.shards != 3 {
+		t.Fatalf("on-disk layout after reshard = (%+v, %v), want a 3-shard manifest", ly, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "inserts.log")); !os.IsNotExist(err) {
+		t.Fatalf("root logs survived the reshard: %v", err)
+	}
+	// The rebound closures must operate on the new stores.
+	if _, err := opts.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after reshard-on-boot: %v", err)
+	}
+	if opts.Reshard == nil || opts.ReshardStatus == nil {
+		t.Fatal("durable boot did not wire the admin reshard closures")
+	}
+	ds.Close()
+
+	// Reboot narrower: 3 -> 2, manifest epoch advances.
+	ds, eng, _ = boot(2)
+	group = eng.(*janus.ShardGroup)
+	if group.NumShards() != 2 || group.LayoutEpoch() != 2 {
+		t.Fatalf("serving %d shards at epoch %d, want 2 at 2", group.NumShards(), group.LayoutEpoch())
+	}
+	if got := sum(eng); !close10(got) {
+		t.Fatalf("post-shrink sum %v, want %v", got, want)
+	}
+	ds.Close()
+
+	// Litter from a crashed reshard attempt is swept on the next boot.
+	if err := os.MkdirAll(filepath.Join(dir, "shard-7.new"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ds, eng, _ = boot(2)
+	group = eng.(*janus.ShardGroup)
+	if group.NumShards() != 2 || group.LayoutEpoch() != 2 {
+		t.Fatalf("matching reboot moved the layout: %d shards at epoch %d", group.NumShards(), group.LayoutEpoch())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "shard-7.new")); !os.IsNotExist(err) {
+		t.Fatalf("shard-7.new litter survived boot: %v", err)
+	}
+	if got := sum(eng); !close10(got) {
+		t.Fatalf("post-reboot sum %v, want %v", got, want)
+	}
+	ds.Close()
+}

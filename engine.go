@@ -153,6 +153,9 @@ func NewEngine(cfg Config, b *Broker) *Engine {
 // Broker returns the engine's streaming substrate.
 func (e *Engine) Broker() *Broker { return e.broker }
 
+// Config returns the configuration the engine was built with.
+func (e *Engine) Config() Config { return e.cfg }
+
 // lookup returns the named synopsis.
 func (e *Engine) lookup(name string) (*synopsis, bool) {
 	e.reg.RLock()

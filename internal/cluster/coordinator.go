@@ -43,7 +43,25 @@ import (
 //  4. what still fails wraps janus.ErrShardUnavailable with the shard
 //     index (503 on the HTTP surface).
 type Coordinator struct {
-	slots []*slot
+	// slots is the serving slot set — one per shard, swapped wholesale by
+	// Reshard. Methods load it once and work over that snapshot, so a
+	// concurrent layout change never mutates a scatter mid-flight.
+	slots atomic.Pointer[[]*slot]
+
+	// gate holds ingest out of a reshard: InsertBatch and DeleteBatch take
+	// the read side, Reshard the write side for the whole copy — cluster
+	// writes stall during a layout change while reads keep serving the old
+	// layout.
+	gate sync.RWMutex
+	// swapMu holds queries out of the brief install+swap window at the end
+	// of a reshard, when target nodes already carry new-layout state but
+	// the slot set still routes by the old one.
+	swapMu sync.RWMutex
+	// reshardMu serializes layout changes; a second concurrent Reshard
+	// fails fast with janus.ErrReshardInProgress.
+	reshardMu sync.Mutex
+	// epoch counts completed reshards — the serving layout's generation.
+	epoch atomic.Int64
 
 	// tmplMu guards the lazily fetched template cache (registrations are
 	// a boot-time affair on every node, so one fetch serves the process).
@@ -69,10 +87,22 @@ type slot struct {
 // (index i serves hash-shard i). standbys maps a shard index to its warm
 // standby's address; shards without one simply cannot fail over.
 func NewCoordinator(peers []string, standbys map[int]string) (*Coordinator, error) {
+	slots, err := buildSlots(peers, standbys)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{}
+	c.slots.Store(&slots)
+	return c, nil
+}
+
+// buildSlots validates a peer list and builds its routing slots —
+// shared by NewCoordinator and the reshard swap.
+func buildSlots(peers []string, standbys map[int]string) ([]*slot, error) {
 	if len(peers) == 0 {
 		return nil, errors.New("cluster: a coordinator needs at least one peer")
 	}
-	c := &Coordinator{}
+	slots := make([]*slot, 0, len(peers))
 	for i, addr := range peers {
 		if addr == "" {
 			return nil, fmt.Errorf("cluster: peer %d has an empty address", i)
@@ -82,34 +112,32 @@ func NewCoordinator(peers []string, standbys map[int]string) (*Coordinator, erro
 		if sb, ok := standbys[i]; ok && sb != "" {
 			sl.standby = transport.NewClient(sb)
 		}
-		c.slots = append(c.slots, sl)
+		slots = append(slots, sl)
 	}
 	for i := range standbys {
 		if i < 0 || i >= len(peers) {
 			return nil, fmt.Errorf("cluster: standby index %d out of range (have %d peers)", i, len(peers))
 		}
 	}
-	return c, nil
+	return slots, nil
 }
+
+// shards loads the serving slot set snapshot.
+func (c *Coordinator) shards() []*slot { return *c.slots.Load() }
 
 // The coordinator must keep satisfying the server's routing surface — the
 // point of the whole refactor.
 var _ server.Engine = (*Coordinator)(nil)
 
 // NumShards returns the cluster's shard count K.
-func (c *Coordinator) NumShards() int { return len(c.slots) }
+func (c *Coordinator) NumShards() int { return len(c.shards()) }
+
+// LayoutEpoch returns how many reshards this coordinator has completed —
+// the serving layout's generation.
+func (c *Coordinator) LayoutEpoch() int64 { return c.epoch.Load() }
 
 // Close discards every pooled connection.
-func (c *Coordinator) Close() {
-	for _, sl := range c.slots {
-		sl.client.Load().Close()
-		sl.mu.Lock()
-		if sl.standby != nil {
-			sl.standby.Close()
-		}
-		sl.mu.Unlock()
-	}
-}
+func (c *Coordinator) Close() { closeSlots(c.shards()) }
 
 // RegisterMetrics exports the coordinator's RPC latency histogram
 // (janusd_rpc_seconds by method), connection-pool gauges, and the
@@ -122,7 +150,7 @@ func (c *Coordinator) RegisterMetrics(reg *metrics.Registry) {
 	pool := func(f func(transport.PoolStats) float64) func() float64 {
 		return func() float64 {
 			var total float64
-			for _, sl := range c.slots {
+			for _, sl := range c.shards() {
 				total += f(sl.client.Load().Stats())
 			}
 			return total
@@ -290,15 +318,21 @@ func (c *Coordinator) Do(ctx context.Context, req janus.Request) (janus.Response
 	if req.Trace {
 		encoded = time.Now()
 	}
+	// Hold the swap gate shared: a reshard's install+swap window must not
+	// overlap a scatter, or a node reused across layouts could answer from
+	// the new layout while this merge still assumes the old one.
+	c.swapMu.RLock()
+	defer c.swapMu.RUnlock()
+	slots := c.shards()
 	start := time.Now()
-	replies := make([]transport.QueryReply, len(c.slots))
-	errs := make([]error, len(c.slots))
+	replies := make([]transport.QueryReply, len(slots))
+	errs := make([]error, len(slots))
 	var rpcDurs []time.Duration
 	if req.Trace {
-		rpcDurs = make([]time.Duration, len(c.slots))
+		rpcDurs = make([]time.Duration, len(slots))
 	}
 	var wg sync.WaitGroup
-	for i, sl := range c.slots {
+	for i, sl := range slots {
 		wg.Add(1)
 		go func(i int, sl *slot) {
 			defer wg.Done()
@@ -360,7 +394,7 @@ func (c *Coordinator) Do(ctx context.Context, req janus.Request) (janus.Response
 		scatterDur := scattered.Sub(start)
 		mergeDur := time.Since(scattered)
 		resp.Elapsed = resolveDur + scatterDur + mergeDur
-		trace := make([]janus.TraceStage, 0, 2*len(c.slots)+3)
+		trace := make([]janus.TraceStage, 0, 2*len(slots)+3)
 		trace = append(trace, janus.TraceStage{Stage: janus.StageResolve, Shard: -1, Dur: resolveDur})
 		trace = append(trace, janus.TraceStage{Stage: janus.StageScatter, Shard: -1, Dur: scatterDur})
 		for i, d := range rpcDurs {
@@ -384,9 +418,16 @@ func (c *Coordinator) InsertBatch(tuples []janus.Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
+	// The ingest gate stalls writes for the duration of a reshard: an
+	// acknowledged write either precedes the state reconstruction (the
+	// copy carries it) or follows the swap (it lands in the new layout) —
+	// never in between, where it would be silently lost.
+	c.gate.RLock()
+	defer c.gate.RUnlock()
+	slots := c.shards()
 	reqID := obs.RequestID()
-	parts := janus.SplitByShard(tuples, len(c.slots))
-	errs := make([]error, len(c.slots))
+	parts := janus.SplitByShard(tuples, len(slots))
+	errs := make([]error, len(slots))
 	var wg sync.WaitGroup
 	for i, sub := range parts {
 		if len(sub) == 0 {
@@ -396,7 +437,7 @@ func (c *Coordinator) InsertBatch(tuples []janus.Tuple) error {
 		go func(i int, sub []janus.Tuple) {
 			defer wg.Done()
 			body := transport.EncodeIngestRequest(sub, nil)
-			f, err := c.call(context.Background(), c.slots[i], transport.MsgIngest, reqID, body, false)
+			f, err := c.call(context.Background(), slots[i], transport.MsgIngest, reqID, body, false)
 			if err != nil {
 				errs[i] = err
 				return
@@ -406,7 +447,7 @@ func (c *Coordinator) InsertBatch(tuples []janus.Tuple) error {
 				errs[i] = err
 				return
 			}
-			c.slots[i].noteAck(rep.InsLen, rep.DelLen)
+			slots[i].noteAck(rep.InsLen, rep.DelLen)
 		}(i, sub)
 	}
 	wg.Wait()
@@ -426,19 +467,22 @@ func (c *Coordinator) DeleteBatch(ids []int64) (int, error) {
 	if len(ids) == 0 {
 		return 0, nil
 	}
+	c.gate.RLock()
+	defer c.gate.RUnlock()
+	slots := c.shards()
 	reqID := obs.RequestID()
-	parts := make([][]int64, len(c.slots))
-	if len(c.slots) == 1 {
+	parts := make([][]int64, len(slots))
+	if len(slots) == 1 {
 		parts[0] = ids
 	} else {
 		for _, id := range ids {
-			i := janus.ShardIndex(id, len(c.slots))
+			i := janus.ShardIndex(id, len(slots))
 			parts[i] = append(parts[i], id)
 		}
 	}
-	counts := make([]int, len(c.slots))
-	missings := make([][]int64, len(c.slots))
-	errs := make([]error, len(c.slots))
+	counts := make([]int, len(slots))
+	missings := make([][]int64, len(slots))
+	errs := make([]error, len(slots))
 	var wg sync.WaitGroup
 	for i, sub := range parts {
 		if len(sub) == 0 {
@@ -448,7 +492,7 @@ func (c *Coordinator) DeleteBatch(ids []int64) (int, error) {
 		go func(i int, sub []int64) {
 			defer wg.Done()
 			body := transport.EncodeIngestRequest(nil, sub)
-			f, err := c.call(context.Background(), c.slots[i], transport.MsgIngest, reqID, body, false)
+			f, err := c.call(context.Background(), slots[i], transport.MsgIngest, reqID, body, false)
 			if err != nil {
 				errs[i] = err
 				return
@@ -460,7 +504,7 @@ func (c *Coordinator) DeleteBatch(ids []int64) (int, error) {
 			}
 			counts[i] = rep.Deleted
 			missings[i] = rep.Missing
-			c.slots[i].noteAck(rep.InsLen, rep.DelLen)
+			slots[i].noteAck(rep.InsLen, rep.DelLen)
 		}(i, sub)
 	}
 	wg.Wait()
@@ -498,9 +542,10 @@ func (c *Coordinator) Follow(ctx context.Context, source *janus.Broker, state *j
 // while the data path reports hard errors).
 func (c *Coordinator) Stats() janus.EngineStats {
 	reqID := obs.RequestID()
-	parts := make([]janus.EngineStats, len(c.slots))
+	slots := c.shards()
+	parts := make([]janus.EngineStats, len(slots))
 	var wg sync.WaitGroup
-	for i, sl := range c.slots {
+	for i, sl := range slots {
 		wg.Add(1)
 		go func(i int, sl *slot) {
 			defer wg.Done()
@@ -518,10 +563,11 @@ func (c *Coordinator) Stats() janus.EngineStats {
 // StatsFor gathers and merges one template's stats from every shard.
 func (c *Coordinator) StatsFor(template string) (janus.TemplateStats, error) {
 	reqID := obs.RequestID()
-	parts := make([]janus.TemplateStats, len(c.slots))
-	errs := make([]error, len(c.slots))
+	slots := c.shards()
+	parts := make([]janus.TemplateStats, len(slots))
+	errs := make([]error, len(slots))
 	var wg sync.WaitGroup
-	for i, sl := range c.slots {
+	for i, sl := range slots {
 		wg.Add(1)
 		go func(i int, sl *slot) {
 			defer wg.Done()
@@ -551,7 +597,7 @@ func (c *Coordinator) templates() ([]janus.Template, error) {
 	if c.tmpls != nil {
 		return c.tmpls, nil
 	}
-	f, err := c.call(context.Background(), c.slots[0], transport.MsgTemplates, obs.RequestID(), nil, true)
+	f, err := c.call(context.Background(), c.shards()[0], transport.MsgTemplates, obs.RequestID(), nil, true)
 	if err != nil {
 		return nil, err
 	}

@@ -9,10 +9,12 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -157,6 +159,9 @@ func (n *Node) ServeFrame(f transport.Frame, w *transport.ResponseWriter) {
 			}
 		}
 		replyJSON(w, decls)
+
+	case transport.MsgInstall:
+		n.serveInstall(f, w)
 
 	case transport.MsgStatsFor:
 		eng := n.Engine()
@@ -313,6 +318,80 @@ func (n *Node) serveIngest(f transport.Frame, w *transport.ResponseWriter) {
 	b := eng.Broker()
 	rep.InsLen, rep.DelLen = b.Inserts.Len(), b.Deletes.Len()
 	w.Reply(transport.EncodeIngestReply(rep))
+}
+
+// serveInstall replaces the node's entire local state with the shipped
+// checkpoint image — the node-join half of a coordinator-driven reshard.
+// A durable node rebuilds its data directory: the image is staged into
+// DIR.install as a fresh replica layout, the old directory is swapped out
+// wholesale, and the standard recovery path boots the new engine — a
+// crash mid-install leaves either the old directory or the staged one on
+// disk, never a blend of the two layouts. An ephemeral node just opens
+// the image in memory. The reply is the node's post-install status.
+func (n *Node) serveInstall(f transport.Frame, w *transport.ResponseWriter) {
+	req, err := transport.DecodeInstallRequest(f.Body)
+	if err != nil {
+		w.Error(fmt.Errorf("cluster: %w: %v", janus.ErrInvalidRequest, err))
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.standby != nil {
+		w.Error(errStandby())
+		return
+	}
+	if n.store != nil {
+		if err := n.installDurableLocked(req); err != nil {
+			w.Error(err)
+			return
+		}
+	} else {
+		b := janus.NewBroker()
+		eng, _, err := janus.OpenCheckpoint(bytes.NewReader(req.Image), req.Config, b)
+		if err != nil {
+			w.Error(fmt.Errorf("cluster: install: %w", err))
+			return
+		}
+		n.eng = eng
+	}
+	w.Reply(transport.EncodeStatus(n.status()))
+}
+
+// installDurableLocked stages, swaps, and recovers a durable install;
+// the caller holds n.mu. A failure before the old store closes leaves
+// the node serving its old state untouched; after that point the old
+// engine keeps serving reads from memory while the closed store refuses
+// further write acks — the coordinator sees the error and the operator
+// retries the install.
+func (n *Node) installDurableLocked(req transport.InstallRequest) error {
+	dir := n.store.Dir()
+	staging := dir + ".install"
+	if err := os.RemoveAll(staging); err != nil {
+		return fmt.Errorf("cluster: install: clearing staging dir: %w", err)
+	}
+	if err := janus.InitReplicaDir(staging, req.Image); err != nil {
+		return fmt.Errorf("cluster: install: %w", err)
+	}
+	if err := n.store.Close(); err != nil {
+		return fmt.Errorf("cluster: install: closing old store: %w", err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("cluster: install: removing old state: %w", err)
+	}
+	if err := os.Rename(staging, dir); err != nil {
+		return fmt.Errorf("cluster: install: swapping in new state: %w", err)
+	}
+	st, err := janus.OpenStore(dir)
+	if err != nil {
+		return fmt.Errorf("cluster: install: %w", err)
+	}
+	eng, _, err := st.Recover(req.Config)
+	if err != nil {
+		st.Close()
+		return fmt.Errorf("cluster: install: %w", err)
+	}
+	n.eng, n.store = eng, st
+	return nil
 }
 
 // serveFetchCheckpoint streams the durable checkpoint image in bounded

@@ -186,6 +186,26 @@ type CompactResponse struct {
 	ElapsedMicros  int64              `json:"elapsedMicros"`
 }
 
+// ReshardRequest is the POST /v2/admin/reshard payload: the target shard
+// count to live-migrate the serving layout to.
+type ReshardRequest struct {
+	Shards int `json:"shards"`
+}
+
+// ReshardResponse reports a completed live reshard: the layout move, how
+// much data the copy migrated, how many records dual-writes mirrored, and
+// the write pause the cutover imposed.
+type ReshardResponse struct {
+	FromShards         int   `json:"fromShards"`
+	ToShards           int   `json:"toShards"`
+	Epoch              int64 `json:"epoch"`
+	RowsCopied         int64 `json:"rowsCopied"`
+	DualWrites         int64 `json:"dualWrites"`
+	CopyMicros         int64 `json:"copyMicros"`
+	CutoverPauseMicros int64 `json:"cutoverPauseMicros"`
+	ElapsedMicros      int64 `json:"elapsedMicros"`
+}
+
 // ErrorResponse is the body of every non-2xx response. RequestID echoes
 // the X-Request-Id the response carries, so a client error report can be
 // matched against the daemon's logs.

@@ -16,6 +16,12 @@
 //	                   checkpoint, then drop the segment-log prefix the
 //	                   snapshot made redundant (requires a configured
 //	                   compaction sink; see Options)
+//	POST /v2/admin/reshard
+//	                   live-migrate the serving layout to a new shard
+//	                   count with dual-writes and an atomic cutover
+//	                   (requires a configured resharder; see Options)
+//	GET  /v2/admin/reshard
+//	                   progress of the in-flight (or last) reshard
 //	POST /v1/query     v1 single query (thin wrapper over the v2 path)
 //	POST /v1/insert    v1 row ingestion (now atomic, via InsertBatch)
 //	POST /v1/delete    v1 row deletion
@@ -141,6 +147,16 @@ type Options struct {
 	// SlowQuery, when positive, logs any query whose engine-side handling
 	// exceeds it (janusd -slow-query). Requires Logger.
 	SlowQuery time.Duration
+	// Reshard, when non-nil, performs a live reshard of the serving layout
+	// to the requested shard count (typically janus.ShardGroup.Reshard, or
+	// janus.ReshardDurable on a daemon with -data). It powers POST
+	// /v2/admin/reshard; the call blocks for the whole copy, so clients
+	// should poll the GET side for progress.
+	Reshard func(ctx context.Context, targetShards int) (*janus.ReshardReport, error)
+	// ReshardStatus, when non-nil, reports the latest reshard's progress
+	// snapshot (typically janus.ShardGroup.ReshardProgress). It powers GET
+	// /v2/admin/reshard and the janusd_reshard_* gauges.
+	ReshardStatus func() (janus.ReshardProgress, bool)
 	// EnableAdmin registers GET /v2/admin/debug and the net/http/pprof
 	// handlers (janusd -admin). Off by default: profiles and debug dumps
 	// expose operational detail a public listener should not.
@@ -212,6 +228,15 @@ type Server struct {
 	compactions      *metrics.Counter
 	compactionErrors *metrics.Counter
 	compactedRecords *metrics.Counter
+
+	reshard           func(ctx context.Context, targetShards int) (*janus.ReshardReport, error)
+	reshardStatus     func() (janus.ReshardProgress, bool)
+	reshardLatency    *metrics.Histogram
+	reshardPause      *metrics.Histogram
+	reshards          *metrics.Counter
+	reshardErrors     *metrics.Counter
+	reshardRowsCopied *metrics.Counter
+	reshardDualWrites *metrics.Counter
 	// checkpointMu serializes the admin endpoints against the background
 	// checkpointer, so two snapshots (or a snapshot and a log rotation)
 	// never interleave their I/O.
@@ -270,8 +295,18 @@ func New(eng Engine, opts Options) *Server {
 			"End-to-end /v2/ingest handling latency."),
 		slowQueries: reg.Counter("janusd_slow_queries_total",
 			"Queries slower than the configured slow-query threshold."),
+		reshard:       opts.Reshard,
+		reshardStatus: opts.ReshardStatus,
+		reshardLatency: reg.Histogram("janusd_reshard_seconds",
+			"End-to-end live reshard duration (copy through cutover)."),
+		reshardPause: reg.Histogram("janusd_reshard_cutover_pause_seconds",
+			"Write-gated cutover pause observed by writers during a reshard."),
+		reshards:          reg.Counter("janusd_reshards_total", "Live reshards completed successfully."),
+		reshardErrors:     reg.Counter("janusd_reshard_errors_total", "Live reshards that failed or were rejected."),
+		reshardRowsCopied: reg.Counter("janusd_reshard_rows_copied_total", "Rows migrated into target layouts by reshard copies."),
+		reshardDualWrites: reg.Counter("janusd_reshard_dual_writes_total", "Records mirrored into target layouts by dual-writes during reshard copies."),
 		spanSeconds: reg.HistogramVec("janusd_engine_span_seconds", "span",
-			"Engine-internal span durations (insert_batch, trigger_eval, reinit, catchup, stream_apply, checkpoint_encode, checkpoint_fsync, compact_rotate, merge)."),
+			"Engine-internal span durations (insert_batch, trigger_eval, reinit, catchup, stream_apply, checkpoint_encode, checkpoint_fsync, compact_rotate, reshard_copy, reshard_build, reshard_cutover, merge)."),
 		shardAnswer: reg.HistogramVec("janusd_shard_answer_seconds", "shard",
 			"Per-shard synopsis answer latency inside a query."),
 		logger:    opts.Logger,
@@ -296,6 +331,8 @@ func New(eng Engine, opts Options) *Server {
 	s.mux.HandleFunc("POST /v2/ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v2/admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("POST /v2/admin/compact", s.handleCompact)
+	s.mux.HandleFunc("POST /v2/admin/reshard", s.handleReshard)
+	s.mux.HandleFunc("GET /v2/admin/reshard", s.handleReshardStatus)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
@@ -478,6 +515,67 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReshard serves POST /v2/admin/reshard: live-migrate the serving
+// layout to the requested shard count with dual-writes and an atomic
+// cutover. The call blocks until the cutover completes (poll the GET side
+// for progress); a second reshard while one is running answers 409. The
+// checkpoint mutex is held for the duration so the background
+// checkpointer never snapshots stores the cutover is retiring.
+func (s *Server) handleReshard(w http.ResponseWriter, r *http.Request) {
+	if s.reshard == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "this daemon serves a fixed layout (resharding needs a shard group)")
+		return
+	}
+	var req ReshardRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Shards < 1 {
+		s.writeError(w, http.StatusBadRequest, "shards must be >= 1, got %d", req.Shards)
+		return
+	}
+	start := time.Now()
+	s.checkpointMu.Lock()
+	rep, err := s.reshard(r.Context(), req.Shards)
+	s.checkpointMu.Unlock()
+	if err != nil {
+		s.reshardErrors.Inc()
+		status := http.StatusInternalServerError
+		if errors.Is(err, janus.ErrReshardInProgress) {
+			status = http.StatusConflict
+		}
+		s.writeError(w, status, "reshard failed: %v", err)
+		return
+	}
+	s.reshards.Inc()
+	s.reshardLatency.ObserveSince(start)
+	s.reshardPause.Observe(rep.CutoverPause.Seconds())
+	s.reshardRowsCopied.Add(uint64(rep.RowsCopied))
+	s.reshardDualWrites.Add(uint64(rep.DualWrites))
+	s.writeJSON(w, http.StatusOK, ReshardResponse{
+		FromShards:         rep.FromShards,
+		ToShards:           rep.ToShards,
+		Epoch:              rep.Epoch,
+		RowsCopied:         rep.RowsCopied,
+		DualWrites:         rep.DualWrites,
+		CopyMicros:         rep.CopyDuration.Microseconds(),
+		CutoverPauseMicros: rep.CutoverPause.Microseconds(),
+		ElapsedMicros:      time.Since(start).Microseconds(),
+	})
+}
+
+// handleReshardStatus serves GET /v2/admin/reshard: the latest reshard's
+// progress snapshot (phase, rows copied, dual-write count), with
+// active=false and an empty phase when the layout has never resharded.
+func (s *Server) handleReshardStatus(w http.ResponseWriter, r *http.Request) {
+	if s.reshardStatus == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "this daemon serves a fixed layout (resharding needs a shard group)")
+		return
+	}
+	p, _ := s.reshardStatus()
+	s.writeJSON(w, http.StatusOK, p)
+}
+
 // registerGauges exports the engine-internal gauges. Engine-derived
 // values read a cached Stats() snapshot (refreshed at most once a second)
 // so one scrape never costs more than one stats pass; runtime values read
@@ -519,6 +617,29 @@ func (s *Server) registerGauges(opts Options) {
 					lag = 0
 				}
 				return float64(lag)
+			})
+	}
+	if opts.ReshardStatus != nil {
+		status := opts.ReshardStatus
+		s.reg.GaugeFunc("janusd_reshard_active",
+			"1 while a live reshard is copying or cutting over, else 0.",
+			func() float64 {
+				if p, ok := status(); ok && p.Active {
+					return 1
+				}
+				return 0
+			})
+		s.reg.GaugeFunc("janusd_reshard_rows_copied",
+			"Rows the in-flight (or last) reshard has copied into the target layout.",
+			func() float64 {
+				p, _ := status()
+				return float64(p.RowsCopied)
+			})
+		s.reg.GaugeFunc("janusd_layout_epoch",
+			"Serving layout epoch: 0 at first boot, +1 per completed reshard cutover.",
+			func() float64 {
+				p, _ := status()
+				return float64(p.Epoch)
 			})
 	}
 	if opts.RecoveryTailRecords > 0 || opts.Checkpoint != nil {

@@ -2,9 +2,11 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -888,5 +890,92 @@ func TestServerOverShardGroup(t *testing.T) {
 	}
 	if len(es.Templates) != 1 || es.Templates[0].Name != "trips" {
 		t.Fatalf("merged templates = %+v, want one trips entry", es.Templates)
+	}
+}
+
+// TestAdminReshardEndpoint drives a live reshard over HTTP: POST
+// /v2/admin/reshard splits a 2-shard group to 4 behind live traffic
+// routing, the GET side reports the finished progress, and the metrics
+// surface records the move. A daemon without a resharder answers 503.
+func TestAdminReshardEndpoint(t *testing.T) {
+	const rows = 8000
+	group, tuples := newTestShardGroup(t, rows, 2)
+	cfg := janus.Config{LeafNodes: 32, SampleRate: 0.05, CatchUpRate: 1.0, Seed: 7}
+	srv := New(group, Options{
+		Reshard: func(ctx context.Context, targetShards int) (*janus.ReshardReport, error) {
+			return group.Reshard(ctx, janus.ReshardOptions{TargetShards: targetShards, Config: cfg})
+		},
+		ReshardStatus: group.ReshardProgress,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp, raw := postJSON(t, ts.URL+"/v2/admin/reshard", ReshardRequest{Shards: 0}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("shards=0: status %d: %s", resp.StatusCode, raw)
+	}
+	resp, raw := postJSON(t, ts.URL+"/v2/admin/reshard", ReshardRequest{Shards: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out ReshardResponse
+	decodeInto(t, raw, &out)
+	if out.FromShards != 2 || out.ToShards != 4 || out.Epoch != 1 || out.RowsCopied != rows {
+		t.Fatalf("reshard response %+v", out)
+	}
+	if group.NumShards() != 4 {
+		t.Fatalf("group serves %d shards after the endpoint, want 4", group.NumShards())
+	}
+
+	// Progress reflects the finished move.
+	gresp, err := http.Get(ts.URL + "/v2/admin/reshard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	praw, _ := io.ReadAll(gresp.Body)
+	gresp.Body.Close()
+	var prog janus.ReshardProgress
+	decodeInto(t, praw, &prog)
+	if prog.Active || prog.Phase != "done" || prog.ToShards != 4 {
+		t.Fatalf("progress %+v", prog)
+	}
+
+	// The resharded group still answers exactly over the moved data.
+	var exactSum float64
+	for _, tp := range tuples {
+		exactSum += tp.Vals[0]
+	}
+	qresp, qraw := postJSON(t, ts.URL+"/v2/query", map[string]any{
+		"sql": "SELECT SUM(tripDistance) FROM trips",
+	})
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("query after reshard: status %d: %s", qresp.StatusCode, qraw)
+	}
+	var qout QueryResultV2
+	decodeInto(t, qraw, &qout)
+	if math.Abs(qout.Estimate-exactSum) > 1e-6*math.Abs(exactSum) {
+		t.Fatalf("post-reshard SUM = %+v, want %.3f", qout, exactSum)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"janusd_reshards_total 1", "janusd_reshard_rows_copied_total 8000", "janusd_layout_epoch 1"} {
+		if !strings.Contains(string(mbody), want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+
+	// A fixed-layout daemon refuses the surface.
+	eng, _ := newTestEngine(t, 100)
+	fixed := New(eng, Options{})
+	defer fixed.Close()
+	fts := httptest.NewServer(fixed.Handler())
+	defer fts.Close()
+	if resp, raw := postJSON(t, fts.URL+"/v2/admin/reshard", ReshardRequest{Shards: 2}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("fixed layout: status %d: %s", resp.StatusCode, raw)
 	}
 }

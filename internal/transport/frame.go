@@ -67,6 +67,11 @@ const (
 	// MsgQuery, whose reply is a mergeable partial only a coordinator can
 	// use.
 	MsgClientQuery
+	// MsgInstall replaces a node's entire local state with a shipped
+	// checkpoint image (installReqBody; status reply) — the node-join half
+	// of a coordinator-driven cluster reshard. New message types append
+	// here: the constants are the wire format.
+	MsgInstall
 )
 
 // Frame flags.

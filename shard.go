@@ -7,6 +7,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"janusaqp/internal/core"
@@ -45,7 +46,35 @@ import (
 // ShardGroup methods are safe for concurrent use; each shard keeps its own
 // sharded locking underneath.
 type ShardGroup struct {
-	shards []*Engine
+	// layout is the serving layout: the shard engines and the layout
+	// epoch, swapped atomically at a reshard cutover. Readers (queries,
+	// stats) load it once and work against an immutable snapshot; they
+	// never block on the write gate, which is what keeps reads flowing
+	// through a cutover.
+	layout atomic.Pointer[groupLayout]
+
+	// gate orders writes against a reshard: every mutating path
+	// (InsertBatch, DeleteBatch, stream application) holds the read half
+	// for the duration of its batch, and the Resharder takes the write
+	// half for the two instants that must exclude all writers — enabling
+	// dual-writes and the final layout swap. Outside a reshard the only
+	// cost is an uncontended RLock per batch.
+	gate sync.RWMutex
+
+	// dual, while a reshard is copying, is the target layout every
+	// acknowledged write is mirrored into; nil otherwise.
+	dual atomic.Pointer[reshardTarget]
+
+	// reshardMu serializes reshards: at most one layout change at a time.
+	reshardMu sync.Mutex
+
+	// progress is the last reshard's progress snapshot (nil before the
+	// first reshard).
+	progress atomic.Pointer[ReshardProgress]
+
+	// obs remembers the installed SpanObserver so a cutover can instrument
+	// the new layout's engines exactly like the old one's.
+	obs atomic.Pointer[SpanObserver]
 
 	// follow is the group-level followed-stream watermark (the group
 	// routes a followed broker's records to shards itself, so
@@ -55,6 +84,31 @@ type ShardGroup struct {
 	// spans receives the group's own span emissions (the merge stage);
 	// per-shard spans go through each shard's wrapped observer.
 	spans spanSink
+}
+
+// groupLayout is one immutable serving layout: a shard set and its epoch.
+// A reshard builds a new one and swaps the pointer; nothing in a published
+// layout is ever mutated.
+type groupLayout struct {
+	epoch  int64
+	shards []*Engine
+}
+
+// engines returns the current serving shard set.
+func (g *ShardGroup) engines() []*Engine { return g.layout.Load().shards }
+
+// LayoutEpoch reports the serving layout's epoch: 0 at construction,
+// incremented by each completed reshard cutover.
+func (g *ShardGroup) LayoutEpoch() int64 { return g.layout.Load().epoch }
+
+// SetLayoutEpoch seeds the serving layout's epoch. Boot paths call it
+// with the epoch of a recovered durable layout manifest so the in-memory
+// epoch resumes where the directory stands and the next reshard advances
+// it monotonically. Call before serving; it does not synchronize with a
+// concurrent reshard.
+func (g *ShardGroup) SetLayoutEpoch(epoch int64) {
+	ly := g.layout.Load()
+	g.layout.Store(&groupLayout{epoch: epoch, shards: ly.shards})
 }
 
 // NewShardGroup groups pre-built engines into one hash-sharded group. The
@@ -70,7 +124,8 @@ func NewShardGroup(shards []*Engine) (*ShardGroup, error) {
 			return nil, fmt.Errorf("janus: shard %d is nil", i)
 		}
 	}
-	g := &ShardGroup{shards: shards}
+	g := &ShardGroup{}
+	g.layout.Store(&groupLayout{shards: shards})
 	// Resume the group watermark from the shards' recovered follow
 	// offsets: the group's Sync advances every shard's watermark in step
 	// (each checkpoint persists it), so a group rebuilt over checkpoint-
@@ -132,22 +187,29 @@ func (c Config) WithShardSeed(shard int) Config {
 	return c
 }
 
-// NumShards returns the group size K.
-func (g *ShardGroup) NumShards() int { return len(g.shards) }
+// NumShards returns the serving layout's size K.
+func (g *ShardGroup) NumShards() int { return len(g.engines()) }
 
-// Shard returns the i-th shard engine (for per-shard operations like
-// durable checkpointing).
-func (g *ShardGroup) Shard(i int) *Engine { return g.shards[i] }
+// Shard returns the i-th shard engine of the serving layout (for
+// per-shard operations like durable checkpointing).
+func (g *ShardGroup) Shard(i int) *Engine { return g.engines()[i] }
 
-// ShardFor returns the shard index the tuple id routes to.
-func (g *ShardGroup) ShardFor(id int64) int { return ShardIndex(id, len(g.shards)) }
+// ShardFor returns the shard index the tuple id routes to in the serving
+// layout.
+func (g *ShardGroup) ShardFor(id int64) int { return ShardIndex(id, len(g.engines())) }
 
 // AddTemplate builds the template's synopsis on every shard. Each shard
 // must hold bootstrap data (a synopsis cannot initialize from an empty
 // archive); hash partitioning spreads any non-trivial bootstrap across all
-// shards.
+// shards. Registration is refused while a reshard is copying — the target
+// layout would silently miss the template.
 func (g *ShardGroup) AddTemplate(t Template) error {
-	for i, e := range g.shards {
+	g.gate.RLock()
+	defer g.gate.RUnlock()
+	if g.dual.Load() != nil {
+		return fmt.Errorf("janus: cannot register template %q during an active reshard", t.Name)
+	}
+	for i, e := range g.engines() {
 		if err := e.AddTemplate(t); err != nil {
 			return fmt.Errorf("janus: shard %d: %w", i, err)
 		}
@@ -156,8 +218,14 @@ func (g *ShardGroup) AddTemplate(t Template) error {
 }
 
 // RegisterSchema attaches a SQL schema to the template on every shard.
+// Like AddTemplate, it is refused while a reshard is copying.
 func (g *ShardGroup) RegisterSchema(template string, sc TableSchema) error {
-	for i, e := range g.shards {
+	g.gate.RLock()
+	defer g.gate.RUnlock()
+	if g.dual.Load() != nil {
+		return fmt.Errorf("janus: cannot register schema for %q during an active reshard", template)
+	}
+	for i, e := range g.engines() {
 		if err := e.RegisterSchema(template, sc); err != nil {
 			return fmt.Errorf("janus: shard %d: %w", i, err)
 		}
@@ -171,12 +239,19 @@ func (g *ShardGroup) RegisterSchema(template string, sc TableSchema) error {
 // sub-batches are rejected whole while other shards' land (see the type
 // comment). Duplicate ids — within the batch or against live rows — always
 // collide on their home shard, so validation loses nothing to sharding.
+//
+// While a reshard is copying, every sub-batch the serving layout accepted
+// is also mirrored into the target layout (dual-write), so the copy phase
+// never races acknowledged writes.
 func (g *ShardGroup) InsertBatch(tuples []Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
-	parts := SplitByShard(tuples, len(g.shards))
-	errs := make([]error, len(g.shards))
+	g.gate.RLock()
+	defer g.gate.RUnlock()
+	shards := g.engines()
+	parts := SplitByShard(tuples, len(shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
 	for i, sub := range parts {
 		if len(sub) == 0 {
@@ -185,10 +260,20 @@ func (g *ShardGroup) InsertBatch(tuples []Tuple) error {
 		wg.Add(1)
 		go func(i int, sub []Tuple) {
 			defer wg.Done()
-			errs[i] = g.shards[i].InsertBatch(sub)
+			errs[i] = shards[i].InsertBatch(sub)
 		}(i, sub)
 	}
 	wg.Wait()
+	if d := g.dual.Load(); d != nil {
+		// Mirror only the sub-batches the serving layout acknowledged: a
+		// rejected sub-batch was never acked, so the target layout must not
+		// hold it either.
+		for i, sub := range parts {
+			if errs[i] == nil && len(sub) > 0 {
+				d.mirrorInserts(sub)
+			}
+		}
+	}
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("janus: shard %d: %w", i, err)
@@ -205,17 +290,20 @@ func (g *ShardGroup) DeleteBatch(ids []int64) (int, error) {
 	if len(ids) == 0 {
 		return 0, nil
 	}
-	parts := make([][]int64, len(g.shards))
-	if len(g.shards) == 1 {
+	g.gate.RLock()
+	defer g.gate.RUnlock()
+	shards := g.engines()
+	parts := make([][]int64, len(shards))
+	if len(shards) == 1 {
 		parts[0] = ids
 	} else {
 		for _, id := range ids {
-			i := ShardIndex(id, len(g.shards))
+			i := ShardIndex(id, len(shards))
 			parts[i] = append(parts[i], id)
 		}
 	}
-	counts := make([]int, len(g.shards))
-	errs := make([]error, len(g.shards))
+	counts := make([]int, len(shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
 	for i, sub := range parts {
 		if len(sub) == 0 {
@@ -224,10 +312,17 @@ func (g *ShardGroup) DeleteBatch(ids []int64) (int, error) {
 		wg.Add(1)
 		go func(i int, sub []int64) {
 			defer wg.Done()
-			counts[i], errs[i] = g.shards[i].DeleteBatch(sub)
+			counts[i], errs[i] = shards[i].DeleteBatch(sub)
 		}(i, sub)
 	}
 	wg.Wait()
+	if d := g.dual.Load(); d != nil {
+		// Deletions mirror unconditionally: an unknown id is data on a
+		// delete stream, and the tombstone must land even when the serving
+		// shard reported the id missing (the copy may not have reached the
+		// target yet — see reshardTarget.mirrorDeletes).
+		d.mirrorDeletes(ids)
+	}
 	// Sum every shard's count before inspecting errors: a failing shard
 	// does not undo the deletions its peers already applied, and the total
 	// must say so even when an error is returned alongside it.
@@ -271,7 +366,11 @@ func (g *ShardGroup) Do(ctx context.Context, req Request) (Response, error) {
 	if req.Trace {
 		t0 = time.Now()
 	}
-	name, q, onKeys, err := g.shards[0].resolveRequest(req)
+	// One layout snapshot answers the whole request: a cutover concurrent
+	// with this query swaps the pointer for later requests, while this one
+	// scatter-gathers over a consistent shard set.
+	shards := g.engines()
+	name, q, onKeys, err := shards[0].resolveRequest(req)
 	if err != nil {
 		return Response{}, err
 	}
@@ -283,7 +382,7 @@ func (g *ShardGroup) Do(ctx context.Context, req Request) (Response, error) {
 		// Fail fast before parking on the watermark: an unknown template
 		// can only ever fail, and the watermark may never advance. SQL
 		// requests already resolved their table above.
-		if _, ok := g.shards[0].lookup(name); !ok {
+		if _, ok := shards[0].lookup(name); !ok {
 			return Response{}, fmt.Errorf("janus: %w %q", ErrUnknownTemplate, name)
 		}
 		if err := g.follow.wait(ctx, req.MinSyncOffset); err != nil {
@@ -292,25 +391,25 @@ func (g *ShardGroup) Do(ctx context.Context, req Request) (Response, error) {
 	}
 	start := time.Now()
 	waited := start
-	parts := make([]core.Partial, len(g.shards))
-	metas := make([]Response, len(g.shards))
-	errs := make([]error, len(g.shards))
+	parts := make([]core.Partial, len(shards))
+	metas := make([]Response, len(shards))
+	errs := make([]error, len(shards))
 	var shardDurs []time.Duration
 	if req.Trace {
-		shardDurs = make([]time.Duration, len(g.shards))
+		shardDurs = make([]time.Duration, len(shards))
 	}
 	var wg sync.WaitGroup
-	for i := range g.shards {
+	for i := range shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			if req.Trace {
 				t := time.Now()
-				parts[i], metas[i], errs[i] = g.shards[i].answerPartial(ctx, name, q, onKeys)
+				parts[i], metas[i], errs[i] = shards[i].answerPartial(ctx, name, q, onKeys)
 				shardDurs[i] = time.Since(t)
 				return
 			}
-			parts[i], metas[i], errs[i] = g.shards[i].answerPartial(ctx, name, q, onKeys)
+			parts[i], metas[i], errs[i] = shards[i].answerPartial(ctx, name, q, onKeys)
 		}(i)
 	}
 	wg.Wait()
@@ -355,7 +454,7 @@ func (g *ShardGroup) Do(ctx context.Context, req Request) (Response, error) {
 		scatterDur := scattered.Sub(waited)
 		mergeDur := time.Since(scattered)
 		resp.Elapsed = resolveDur + scatterDur + mergeDur
-		trace := make([]TraceStage, 0, len(g.shards)+4)
+		trace := make([]TraceStage, 0, len(shards)+4)
 		trace = append(trace, TraceStage{Stage: StageResolve, Shard: -1, Dur: resolveDur})
 		if req.MinSyncOffset > 0 {
 			trace = append(trace, TraceStage{Stage: StageSyncWait, Shard: -1, Dur: waited.Sub(resolved)})
@@ -373,13 +472,14 @@ func (g *ShardGroup) Do(ctx context.Context, req Request) (Response, error) {
 // PumpCatchUp folds one catch-up batch on every shard in parallel,
 // reporting whether any shard did work.
 func (g *ShardGroup) PumpCatchUp() bool {
-	worked := make([]bool, len(g.shards))
+	shards := g.engines()
+	worked := make([]bool, len(shards))
 	var wg sync.WaitGroup
-	for i := range g.shards {
+	for i := range shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			worked[i] = g.shards[i].PumpCatchUp()
+			worked[i] = shards[i].PumpCatchUp()
 		}(i)
 	}
 	wg.Wait()
@@ -394,19 +494,20 @@ func (g *ShardGroup) PumpCatchUp() bool {
 // Template returns the declaration of the named template (identical across
 // shards by construction).
 func (g *ShardGroup) Template(name string) (Template, bool) {
-	return g.shards[0].Template(name)
+	return g.engines()[0].Template(name)
 }
 
 // Templates lists the registered template names.
 func (g *ShardGroup) Templates() []string {
-	return g.shards[0].Templates()
+	return g.engines()[0].Templates()
 }
 
 // StatsFor merges one template's per-shard synopsis stats: sizes and
 // populations add; catch-up progress reports the least caught-up shard.
 func (g *ShardGroup) StatsFor(template string) (TemplateStats, error) {
-	parts := make([]TemplateStats, len(g.shards))
-	for i, e := range g.shards {
+	shards := g.engines()
+	parts := make([]TemplateStats, len(shards))
+	for i, e := range shards {
 		st, err := e.StatsFor(template)
 		if err != nil {
 			return TemplateStats{}, err
@@ -442,8 +543,9 @@ func MergeShardTemplateStats(parts []TemplateStats) TemplateStats {
 // counters and rows add, per-template stats merge by name, and the synced
 // insert offset reports the group watermark.
 func (g *ShardGroup) Stats() EngineStats {
-	parts := make([]EngineStats, len(g.shards))
-	for i, e := range g.shards {
+	shards := g.engines()
+	parts := make([]EngineStats, len(shards))
+	for i, e := range shards {
 		parts[i] = e.Stats()
 	}
 	out := MergeShardStats(parts)
@@ -532,8 +634,13 @@ func (g *ShardGroup) SyncContext(ctx context.Context, source *Broker, state *Syn
 		for _, r := range recs {
 			tuples = append(tuples, r.Tuple)
 		}
-		parts := SplitByShard(tuples, len(g.shards))
-		goods := make([]int, len(g.shards))
+		// The gate is taken per polled batch, not for the whole drain: a
+		// cutover can slot in between batches of a long catch-up without
+		// waiting out the entire stream backlog.
+		g.gate.RLock()
+		shards := g.engines()
+		parts := SplitByShard(tuples, len(shards))
+		goods := make([]int, len(shards))
 		var wg sync.WaitGroup
 		for i, sub := range parts {
 			if len(sub) == 0 {
@@ -543,23 +650,30 @@ func (g *ShardGroup) SyncContext(ctx context.Context, source *Broker, state *Syn
 			go func(i int, sub []Tuple) {
 				defer wg.Done()
 				var rejected int
-				goods[i], rejected = g.shards[i].applyStreamInserts(sub)
+				goods[i], rejected = shards[i].applyStreamInserts(sub)
 				// Skips count on the owning shard, where the record was
 				// rejected — the merged Stats() sums them group-wide.
-				g.shards[i].noteStreamRejected(rejected)
+				shards[i].noteStreamRejected(rejected)
 			}(i, sub)
 		}
 		wg.Wait()
+		if d := g.dual.Load(); d != nil {
+			// The stream path mirrors the whole polled batch: the target
+			// applies with the same skip-don't-fail admission, so a record
+			// the serving layout rejected is rejected there too.
+			d.mirrorInserts(tuples)
+		}
 		state.InsertOffset = next
 		// Every shard is consistent through next — records at or below it
 		// that hash to the shard have been applied — so advance each
 		// shard's own follow watermark too: per-shard checkpoints persist
 		// it, and a restarted group resumes Follow from the recovered
 		// offsets instead of re-polling the whole topic (see NewShardGroup).
-		for _, e := range g.shards {
+		for _, e := range shards {
 			e.follow.note(next)
 		}
 		g.follow.note(next)
+		g.gate.RUnlock()
 		for _, n := range goods {
 			applied += n
 		}
@@ -574,12 +688,16 @@ func (g *ShardGroup) SyncContext(ctx context.Context, source *Broker, state *Syn
 			ids = append(ids, r.Tuple.ID)
 		}
 		// Unknown ids are routine on a delete stream; they do not fail it.
+		// DeleteBatch takes the write gate itself and mirrors into an
+		// active reshard target.
 		_, _ = g.DeleteBatch(ids)
 		state.DeleteOffset = next
-		for _, e := range g.shards {
+		g.gate.RLock()
+		for _, e := range g.engines() {
 			e.follow.noteDelete(next)
 		}
 		g.follow.noteDelete(next)
+		g.gate.RUnlock()
 		applied += len(recs)
 	}
 	return applied

@@ -60,6 +60,21 @@ func (e *Engine) RegisterSchema(template string, sc TableSchema) error {
 	return nil
 }
 
+// Schema returns the SQL schema registered for a template, if any. The
+// second return is false when the template is unknown or has no schema.
+func (e *Engine) Schema(template string) (TableSchema, bool) {
+	s, ok := e.lookup(template)
+	if !ok {
+		return TableSchema{}, false
+	}
+	e.reg.RLock()
+	defer e.reg.RUnlock()
+	if s.schema == nil {
+		return TableSchema{}, false
+	}
+	return *s.schema, true
+}
+
 // compileSQL parses one statement and compiles it against the registered
 // schemas into the unified request form: the answering template's name and
 // the structured query to run against it.

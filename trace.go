@@ -52,6 +52,13 @@ const (
 	SpanCheckpointSave  = "checkpoint_encode"
 	SpanCheckpointFsync = "checkpoint_fsync"
 	SpanCompactRotate   = "compact_rotate"
+
+	// Reshard spans are emitted by the group (shard -1): the archive copy
+	// into the target layout, the target synopsis builds, and the
+	// write-gated cutover window (the pause writers observe).
+	SpanReshardCopy    = "reshard_copy"
+	SpanReshardBuild   = "reshard_build"
+	SpanReshardCutover = "reshard_cutover"
 )
 
 // TraceStage is one timed stage of a traced request. Shard is the shard
@@ -114,10 +121,22 @@ func (e *Engine) SetSpanObserver(fn SpanObserver) { e.spans.set(fn) }
 
 // SetSpanObserver installs fn on every shard, stamping each emission with
 // the shard's index in the group, and keeps a group-level copy for the
-// group's own merge-stage emissions.
+// group's own merge-stage emissions. The observer is remembered so a
+// reshard cutover instruments the new layout's engines identically.
 func (g *ShardGroup) SetSpanObserver(fn SpanObserver) {
 	g.spans.set(fn)
-	for i, e := range g.shards {
+	if fn == nil {
+		g.obs.Store(nil)
+	} else {
+		g.obs.Store(&fn)
+	}
+	instrumentShards(g.engines(), fn)
+}
+
+// instrumentShards installs fn on each engine with its index stamped (nil
+// uninstalls) — shared by SetSpanObserver and the reshard cutover.
+func instrumentShards(shards []*Engine, fn SpanObserver) {
+	for i, e := range shards {
 		if fn == nil {
 			e.SetSpanObserver(nil)
 			continue
