@@ -523,7 +523,7 @@ func measureRestart(rows int, seed int64) (restartReport, error) {
 		return fail(err)
 	}
 	if _, _, err := st3.Recover(cfg); !errors.Is(err, janus.ErrNoCheckpoint) {
-		return fail(fmt.Errorf("cold path: Recover = %v, want ErrNoCheckpoint", err))
+		return fail(fmt.Errorf("cold path: Recover = %w, want ErrNoCheckpoint", err))
 	}
 	cold := janus.NewEngine(cfg, st3.Broker())
 	for _, tmpl := range templates {
@@ -1540,14 +1540,14 @@ func runCheck(path string, seed int64, tol float64) error {
 	}
 	var probe map[string]json.RawMessage
 	if err := json.Unmarshal(raw, &probe); err != nil {
-		return fmt.Errorf("%s: %v", path, err)
+		return fmt.Errorf("%s: %w", path, err)
 	}
 	g := &gate{tol: tol}
 	switch {
 	case probe["matrix"] != nil:
 		var base matrixReport
 		if err := json.Unmarshal(raw, &base); err != nil {
-			return fmt.Errorf("%s: %v", path, err)
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		fmt.Printf("check: rerunning multi-core matrix suite vs %s (rows=%d, procs=%v, best of %d, tolerance %.0f%%)\n",
 			path, base.Rows, base.Procs, checkRuns, tol*100)
@@ -1582,7 +1582,7 @@ func runCheck(path string, seed int64, tol float64) error {
 	case probe["points"] != nil:
 		var base shardReport
 		if err := json.Unmarshal(raw, &base); err != nil {
-			return fmt.Errorf("%s: %v", path, err)
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		fmt.Printf("check: rerunning shard-scaling suite vs %s (rows=%d, best of %d, tolerance %.0f%%)\n",
 			path, base.Rows, checkRuns, tol*100)
@@ -1615,7 +1615,7 @@ func runCheck(path string, seed int64, tol float64) error {
 	case probe["remoteIngestTuplesPerSec"] != nil:
 		var base clusterReport
 		if err := json.Unmarshal(raw, &base); err != nil {
-			return fmt.Errorf("%s: %v", path, err)
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		fmt.Printf("check: rerunning distributed-serving suite vs %s (rows=%d, best of %d, tolerance %.0f%%)\n",
 			path, base.Rows, checkRuns, tol*100)
@@ -1642,7 +1642,7 @@ func runCheck(path string, seed int64, tol float64) error {
 	case probe["binaryIngestTuplesPerSec"] != nil:
 		var base binaryReport
 		if err := json.Unmarshal(raw, &base); err != nil {
-			return fmt.Errorf("%s: %v", path, err)
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		fmt.Printf("check: rerunning client-protocol suite vs %s (rows=%d, best of %d, tolerance %.0f%%)\n",
 			path, base.Rows, checkRuns, tol*100)
@@ -1672,7 +1672,7 @@ func runCheck(path string, seed int64, tol float64) error {
 	case probe["ingestBatchedTuplesPerSec"] != nil:
 		var base perfReport
 		if err := json.Unmarshal(raw, &base); err != nil {
-			return fmt.Errorf("%s: %v", path, err)
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		fmt.Printf("check: rerunning serving-perf suite vs %s (rows=%d, best of %d, tolerance %.0f%%)\n",
 			path, base.Rows, checkRuns, tol*100)
@@ -1696,7 +1696,7 @@ func runCheck(path string, seed int64, tol float64) error {
 	case probe["reshardSteps"] != nil:
 		var base reshardReport
 		if err := json.Unmarshal(raw, &base); err != nil {
-			return fmt.Errorf("%s: %v", path, err)
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		fmt.Printf("check: rerunning online-reshard suite vs %s (rows=%d, best of %d, tolerance %.0f%%)\n",
 			path, base.Rows, checkRuns, tol*100)
@@ -1735,7 +1735,7 @@ func runCheck(path string, seed int64, tol float64) error {
 	case probe["warmRestoreMillis"] != nil:
 		var base restartReport
 		if err := json.Unmarshal(raw, &base); err != nil {
-			return fmt.Errorf("%s: %v", path, err)
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		fmt.Printf("check: rerunning restart suite vs %s (rows=%d, best of %d, tolerance %.0f%%)\n",
 			path, base.Rows, checkRuns, tol*100)

@@ -454,7 +454,7 @@ func parseStandbys(s string) (map[int]string, error) {
 		}
 		i, err := strconv.Atoi(strings.TrimSpace(idx))
 		if err != nil {
-			return nil, fmt.Errorf("-standbys entry %q: %v", pair, err)
+			return nil, fmt.Errorf("-standbys entry %q: %w", pair, err)
 		}
 		if _, dup := out[i]; dup {
 			return nil, fmt.Errorf("-standbys names shard %d twice", i)

@@ -1,0 +1,28 @@
+// Command janusvet runs the project's custom static-analysis suite: five
+// analyzers that mechanically enforce the codebase's concurrency,
+// durability, and error-taxonomy conventions (see internal/lint).
+//
+// Run it standalone:
+//
+//	janusvet ./...
+//	janusvet -summary ./...
+//
+// or as a vet tool, which is how CI runs it:
+//
+//	go vet -vettool=$(which janusvet) ./...
+//
+// Suppress a deliberate violation with a justified directive on (or
+// immediately above) the offending line:
+//
+//	//lint:janusvet-ignore ctxflow: promotion runs on its own budget
+package main
+
+import (
+	"os"
+
+	"janusaqp/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main())
+}

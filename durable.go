@@ -101,7 +101,7 @@ func OpenStore(dir string) (*Store, error) {
 		// touching anything. NOTE for operators: do not delete
 		// checkpoint.db to get past this — on a compacted store it holds
 		// the only copy of every record below the logs' base offsets.
-		return nil, fmt.Errorf("janus: %s exists but is unreadable (%v): refusing to recover the segment logs against an unknown bound; restore or repair the checkpoint first", checkpointName, err)
+		return nil, fmt.Errorf("janus: %s exists but is unreadable (%w): refusing to recover the segment logs against an unknown bound; restore or repair the checkpoint first", checkpointName, err)
 	}
 	st := &Store{dir: dir}
 	ins, insTopic, err := openLog(filepath.Join(dir, insertsLogName), ckIns)
@@ -110,7 +110,7 @@ func OpenStore(dir string) (*Store, error) {
 	}
 	del, delTopic, err := openLog(filepath.Join(dir, deletesLogName), ckDel)
 	if err != nil {
-		ins.Close()
+		_ = ins.Close()
 		return nil, err
 	}
 	st.inserts, st.deletes = ins, del
@@ -135,7 +135,7 @@ func checkpointedOffsets(dir string) (ins, del int64, hasArchive bool, err error
 	if err != nil {
 		return 0, 0, false, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	var hdr checkpointHeader
 	if derr := gob.NewDecoder(f).Decode(&hdr); derr != nil {
 		return 0, 0, false, fmt.Errorf("decoding header: %w", derr)
@@ -161,7 +161,7 @@ func openLog(path string, minRecords int64) (*os.File, *broker.Topic, error) {
 		return nil, nil, fmt.Errorf("janus: opening segment log: %w", err)
 	}
 	fail := func(err error) (*os.File, *broker.Topic, error) {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	topic, valid, err := broker.OpenTopic(f)
@@ -360,16 +360,16 @@ func (st *Store) WriteCheckpoint(e *Engine) (CheckpointInfo, error) {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return CheckpointInfo{}, fmt.Errorf("janus: writing checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(st.dir, checkpointName)); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return CheckpointInfo{}, fmt.Errorf("janus: publishing checkpoint: %w", err)
 	}
 	if d, err := os.Open(st.dir); err == nil {
 		_ = d.Sync()
-		d.Close()
+		_ = d.Close()
 	}
 	st.spans.end(SpanCheckpointFsync, 0, sp)
 	return info, nil
@@ -413,7 +413,7 @@ func (st *Store) Recover(cfg Config) (*Engine, RecoveryInfo, error) {
 	if err != nil {
 		return nil, RecoveryInfo{}, fmt.Errorf("janus: opening checkpoint: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	eng, state, hasArchive, err := openCheckpoint(f, cfg, st.broker)
 	if err != nil {
 		return nil, RecoveryInfo{}, err
@@ -541,16 +541,16 @@ func InitReplicaDir(dir string, checkpoint []byte) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return fmt.Errorf("janus: writing replica checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, checkpointName)); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return fmt.Errorf("janus: publishing replica checkpoint: %w", err)
 	}
 	if d, err := os.Open(dir); err == nil {
 		_ = d.Sync()
-		d.Close()
+		_ = d.Close()
 	}
 	return nil
 }

@@ -82,7 +82,10 @@ func oracleEntry(p geom.Point, val float64, id int64) kdindex.Entry {
 //     the in-flight tuple.
 //
 // Lock ordering is upd → reg → synopsis.mu; read paths take reg and the
-// synopsis lock only, so queries never contend on upd.
+// synopsis lock only, so queries never contend on upd. The lockorder
+// analyzer in internal/lint (run in CI as `go vet -vettool` janusvet)
+// enforces this ordering mechanically — changes here must keep its
+// lockHierarchy table in sync.
 type Engine struct {
 	cfg    Config
 	broker *Broker

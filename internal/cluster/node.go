@@ -387,7 +387,7 @@ func (n *Node) installDurableLocked(req transport.InstallRequest) error {
 	}
 	eng, _, err := st.Recover(req.Config)
 	if err != nil {
-		st.Close()
+		_ = st.Close()
 		return fmt.Errorf("cluster: install: %w", err)
 	}
 	n.eng, n.store = eng, st

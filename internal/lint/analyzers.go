@@ -1,0 +1,12 @@
+package lint
+
+// All returns the full janusvet analyzer suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicField,
+		LockOrder,
+		FsyncRename,
+		SentinelWrap,
+		CtxFlow,
+	}
+}

@@ -1,0 +1,75 @@
+package lint_test
+
+import (
+	"testing"
+
+	"janusaqp/internal/lint"
+	"janusaqp/internal/lint/linttest"
+)
+
+// Each analyzer runs over its fixture tree; the `// want` comments in the
+// fixtures are the positive cases, every unannotated line is a negative
+// case, and the suppression assertions pin the //lint:janusvet-ignore
+// accounting. Weakening an analyzer makes a want go unmatched and fails
+// the test.
+
+func TestAtomicField(t *testing.T) {
+	res := linttest.Run(t, "atomicfield", lint.AtomicField)
+	if got := res.Suppressed["atomicfield"]; got != 1 {
+		t.Errorf("suppressed[atomicfield] = %d, want 1", got)
+	}
+}
+
+func TestLockOrder(t *testing.T) {
+	res := linttest.Run(t, "lockorder", lint.LockOrder)
+	if got := res.Suppressed["lockorder"]; got != 1 {
+		t.Errorf("suppressed[lockorder] = %d, want 1", got)
+	}
+}
+
+func TestFsyncRename(t *testing.T) {
+	res := linttest.Run(t, "fsyncrename", lint.FsyncRename)
+	if got := res.Suppressed["fsyncrename"]; got != 1 {
+		t.Errorf("suppressed[fsyncrename] = %d, want 1", got)
+	}
+}
+
+func TestSentinelWrap(t *testing.T) {
+	res := linttest.Run(t, "sentinelwrap", lint.SentinelWrap)
+	if got := res.Suppressed["sentinelwrap"]; got != 1 {
+		t.Errorf("suppressed[sentinelwrap] = %d, want 1", got)
+	}
+}
+
+func TestCtxFlow(t *testing.T) {
+	res := linttest.Run(t, "ctxflow", lint.CtxFlow)
+	if got := res.Suppressed["ctxflow"]; got != 1 {
+		t.Errorf("suppressed[ctxflow] = %d, want 1", got)
+	}
+}
+
+// TestJanusvetCleanOnTree is the in-repo version of the CI gate: the full
+// analyzer suite must produce zero findings over the module. A regression
+// that reintroduces a lock inversion, a naked rename, or an unregistered
+// sentinel fails here before it fails in CI.
+func TestJanusvetCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := lint.LoadPackages("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded from module root")
+	}
+	for _, pkg := range pkgs {
+		res, err := lint.Run(pkg, lint.All())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range res.Diagnostics {
+			t.Errorf("%s", d)
+		}
+	}
+}

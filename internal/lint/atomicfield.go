@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces the codebase's lock-free publication protocol: a
+// struct field that is ever accessed through sync/atomic — either a typed
+// atomic (atomic.Pointer[T], atomic.Bool, atomic.Int64, ...) or a plain
+// integer/pointer field passed to the atomic.Load*/Store*/Add*/Swap*
+// functions — must be accessed atomically at every site. One plain read of
+// the reshard `dual` gate, a span sink, or the serving-layout pointer is a
+// data race that -race only catches if a test happens to interleave it.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "atomic struct fields must be accessed atomically at every site\n\n" +
+		"Flags (1) copies or direct assignments of fields whose type is a\n" +
+		"sync/atomic value type (their Load/Store methods are the only safe\n" +
+		"access), and (2) plain reads or writes of fields that some other\n" +
+		"site in the package passes to a sync/atomic function.",
+	Run: runAtomicField,
+}
+
+// atomicValueTypes are the sync/atomic struct types whose values must not
+// be copied or reassigned wholesale.
+var atomicValueTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Phase 1: find fields passed by address to sync/atomic functions
+	// anywhere in the package. These are "atomic by convention" even
+	// though their declared type is a plain int/pointer.
+	plainAtomic := make(map[*types.Var]token.Pos) // field -> first atomic use
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isAtomicPkgCall(pass.TypesInfo, call) {
+				return true
+			}
+			if fv := addressedField(pass.TypesInfo, call.Args[0]); fv != nil {
+				if _, seen := plainAtomic[fv]; !seen {
+					plainAtomic[fv] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 2: audit every field access.
+	walkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fv := fieldVar(pass.TypesInfo, sel)
+		if fv == nil {
+			return
+		}
+		parent := parentOf(stack)
+
+		if isAtomicValueType(fv.Type()) {
+			// Typed atomics: the only safe uses are calling a method on
+			// the field (x.f.Load(), x.f.Store(v)) or taking its address.
+			switch p := parent.(type) {
+			case *ast.SelectorExpr:
+				if p.X == sel {
+					if _, isMethod := pass.TypesInfo.Uses[p.Sel].(*types.Func); isMethod {
+						return
+					}
+				}
+			case *ast.UnaryExpr:
+				if p.Op == token.AND && p.X == sel {
+					return
+				}
+			}
+			pass.Reportf(sel.Pos(),
+				"direct use of atomic field %s (%s): atomics must not be copied or reassigned; call its methods instead",
+				exprString(sel), fv.Type())
+			return
+		}
+
+		if first, ok := plainAtomic[fv]; ok {
+			// Plain-typed atomic field: every access must be &x.f handed
+			// to a sync/atomic function.
+			if p, ok := parent.(*ast.UnaryExpr); ok && p.Op == token.AND && p.X == sel {
+				if grand, ok2 := grandparentOf(stack).(*ast.CallExpr); ok2 && isAtomicPkgCall(pass.TypesInfo, grand) {
+					return
+				}
+			}
+			pass.Reportf(sel.Pos(),
+				"non-atomic access to field %s, which is accessed with sync/atomic at %s; every read and write must use sync/atomic",
+				exprString(sel), pass.Fset.Position(first))
+		}
+	})
+	return nil
+}
+
+// isAtomicPkgCall reports whether call invokes a sync/atomic package-level
+// function.
+func isAtomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Package-level func, not a method on atomic.Int64 etc.
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// addressedField returns the struct field var when arg is &x.f.
+func addressedField(info *types.Info, arg ast.Expr) *types.Var {
+	un, ok := arg.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := un.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return fieldVar(info, sel)
+}
+
+// fieldVar returns the *types.Var when sel selects a struct field.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+func isAtomicValueType(t types.Type) bool {
+	n := namedFrom(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic" && atomicValueTypes[n.Obj().Name()]
+}
+
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+func grandparentOf(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow keeps request deadlines and cancellation flowing end to end. A
+// serving-path function that receives a ctx and then calls
+// context.Background() (or time.Sleep) has detached itself from the
+// request: the RPC keeps running after the client gave up, the admin
+// endpoint blocks shutdown, the deadline the coordinator budgeted for a
+// shard call silently becomes infinite. Deliberate detachment (a failover
+// promotion running on its own budget, for example) is exactly what the
+// suppression directive with a written reason is for.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "functions that take a context must not detach from it\n\n" +
+		"Inside any function (or closure) with a context.Context parameter:\n" +
+		"flags context.Background()/context.TODO() calls — except the\n" +
+		"canonical `if ctx == nil { ctx = context.Background() }` guard —\n" +
+		"and time.Sleep calls, which ignore cancellation (use a ctx-aware\n" +
+		"wait instead).",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	walkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		isBackground := isPkgFunc(pass.TypesInfo, call, "context", "Background") ||
+			isPkgFunc(pass.TypesInfo, call, "context", "TODO")
+		isSleep := isPkgFunc(pass.TypesInfo, call, "time", "Sleep")
+		if !isBackground && !isSleep {
+			return
+		}
+		if !inCtxFunction(pass.TypesInfo, stack) {
+			return
+		}
+		if isBackground {
+			if underNilCtxGuard(pass.TypesInfo, stack) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"context.%s() inside a function that already has a ctx: the call detaches from the request's deadline and cancellation (thread the ctx through, or suppress with the reason the detachment is deliberate)",
+				funcName(call))
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"time.Sleep inside a function that has a ctx ignores cancellation: wait with a timer and select on ctx.Done() instead")
+	})
+	return nil
+}
+
+func funcName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "Background"
+}
+
+// inCtxFunction reports whether any enclosing FuncDecl or FuncLit declares
+// a context.Context parameter — i.e. a request context is in scope.
+func inCtxFunction(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = f.Type
+		case *ast.FuncLit:
+			ft = f.Type
+		default:
+			continue
+		}
+		if ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			if tv, ok := info.Types[field.Type]; ok && isPkgType(tv.Type, "context", "Context") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// underNilCtxGuard recognizes the canonical defaulting pattern
+//
+//	if ctx == nil { ctx = context.Background() }
+//
+// by checking whether any enclosing if statement compares a
+// context-typed expression against nil.
+func underNilCtxGuard(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		bin, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			if tv, ok := info.Types[side]; ok && isPkgType(tv.Type, "context", "Context") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,299 @@
+// Package lint is janusvet: a project-specific static-analysis suite that
+// mechanically enforces the codebase's concurrency, durability, and
+// error-taxonomy conventions. Nine PRs of growth piled up invariants that
+// existed only as comments and reviewer memory — the engine's lock
+// ordering, the lock-free atomic pointers that must never be read plainly,
+// the tmp→fsync→rename→dir-fsync durable-write protocol, and the typed
+// sentinel taxonomy that must survive %w wrapping to cross the transport.
+// Each analyzer here turns one of those conventions into a build-time
+// error.
+//
+// The package deliberately depends on the standard library only: a small
+// go/analysis-shaped framework (Analyzer, Pass, Diagnostic), a loader that
+// type-checks packages against `go list -export` compiler export data, and
+// a `go vet -vettool` unit-checker protocol implementation live alongside
+// the analyzers, so cmd/janusvet builds in this module without pulling in
+// golang.org/x/tools.
+//
+// Suppression: a finding on a line carrying (or immediately following) a
+//
+//	//lint:janusvet-ignore <reason>
+//	//lint:janusvet-ignore <analyzer>: <reason>
+//
+// comment is dropped and counted instead of reported. The reason is
+// mandatory — a bare ignore directive is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. It mirrors the shape of
+// golang.org/x/tools/go/analysis.Analyzer so the checks could migrate to
+// the real framework if the dependency ever lands in this module.
+type Analyzer struct {
+	// Name is the analyzer's identifier: a flag on the janusvet command
+	// line, the tag on its diagnostics, and the selector in a scoped
+	// //lint:janusvet-ignore directive.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one type-checked package and reports findings through
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned and tagged with the analyzer
+// that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Result is the outcome of running a set of analyzers over one package.
+type Result struct {
+	Diagnostics []Diagnostic
+	// Suppressed counts findings dropped by //lint:janusvet-ignore
+	// directives, per analyzer name.
+	Suppressed map[string]int
+}
+
+// ignoreDirective is one parsed //lint:janusvet-ignore comment.
+type ignoreDirective struct {
+	analyzer string // "" = any analyzer
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+const ignorePrefix = "lint:janusvet-ignore"
+
+// Run applies analyzers to pkg, honoring suppression directives. The
+// returned diagnostics are sorted by position. Findings in _test.go files
+// are dropped: the suite enforces production-path invariants (tests
+// legitimately sleep, detach contexts, and poke lock internals), and go
+// vet feeds test variants of every package through the tool.
+func Run(pkg *Package, analyzers []*Analyzer) (Result, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			report:    func(d Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return Result{}, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+
+	directives, bad := collectIgnores(pkg)
+	res := Result{Suppressed: make(map[string]int)}
+	for _, d := range raw {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		if dir := matchIgnore(directives, d); dir != nil {
+			dir.used = true
+			res.Suppressed[d.Analyzer]++
+			continue
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+	// A malformed directive is a finding in its own right: an ignore
+	// without a justification defeats the point of counting them.
+	for _, b := range bad {
+		res.Diagnostics = append(res.Diagnostics, b)
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return res, nil
+}
+
+var analyzerNameRe = regexp.MustCompile(`^([a-z][a-z0-9]*):\s*(.*)$`)
+
+// collectIgnores scans every file's comments for janusvet-ignore
+// directives, keyed by file and line. Malformed directives (no reason)
+// come back as diagnostics.
+func collectIgnores(pkg *Package) (map[string]map[int]*ignoreDirective, []Diagnostic) {
+	out := make(map[string]map[int]*ignoreDirective)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				pos := pkg.Fset.Position(c.Pos())
+				dir := &ignoreDirective{reason: rest, pos: pos}
+				if m := analyzerNameRe.FindStringSubmatch(rest); m != nil {
+					dir.analyzer = m[1]
+					dir.reason = strings.TrimSpace(m[2])
+				}
+				if dir.reason == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "janusvet",
+						Pos:      pos,
+						Message:  "janusvet-ignore directive without a reason; write //lint:janusvet-ignore <why this finding is safe>",
+					})
+					continue
+				}
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = make(map[int]*ignoreDirective)
+				}
+				out[pos.Filename][pos.Line] = dir
+			}
+		}
+	}
+	return out, bad
+}
+
+// matchIgnore finds a directive covering d: on d's line or the line
+// immediately above it, scoped to d's analyzer or unscoped.
+func matchIgnore(dirs map[string]map[int]*ignoreDirective, d Diagnostic) *ignoreDirective {
+	lines := dirs[d.Pos.Filename]
+	if lines == nil {
+		return nil
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if dir, ok := lines[line]; ok {
+			if dir.analyzer == "" || dir.analyzer == d.Analyzer {
+				return dir
+			}
+		}
+	}
+	return nil
+}
+
+// walkStack traverses each file keeping the ancestor stack, calling fn on
+// every node push with the stack of enclosing nodes (outermost first, not
+// including n itself).
+func walkStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			fn(n, stack)
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// exprString renders a (selector/ident) expression compactly for use as a
+// map key and in diagnostics: x, x.f, x.f.g.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// isPkgFunc reports whether call is a call of package pkgPath's function
+// name (e.g. os.Rename, atomic.LoadInt64).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath
+}
+
+// namedFrom unwraps pointers and aliases down to a *types.Named, or nil.
+func namedFrom(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(t)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// isPkgType reports whether t (possibly behind pointers) is the named type
+// pkgPath.name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	n := namedFrom(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}

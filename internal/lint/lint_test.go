@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parsePkg builds an analysis Package from source without type-checking —
+// enough for the framework-level behavior (suppression directives,
+// _test.go filtering) that never consults type information.
+func parsePkg(t *testing.T, filename, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{Path: "p", Fset: fset, Files: []*ast.File{f}}
+}
+
+// markAnalyzer reports once at every identifier named "target", so tests
+// can position findings precisely.
+func markAnalyzer(name string) *Analyzer {
+	a := &Analyzer{Name: name, Doc: "test analyzer"}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "target" {
+					pass.Reportf(id.Pos(), "marked")
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func TestSuppressionSameLineAndLineAbove(t *testing.T) {
+	pkg := parsePkg(t, "p.go", `package p
+
+var target = 1 //lint:janusvet-ignore known safe
+
+//lint:janusvet-ignore initialization order
+var target2, target = 2, 3
+
+var target3, target = 4, 5
+`)
+	res, err := Run(pkg, []*Analyzer{markAnalyzer("mark")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Suppressed["mark"]; got != 2 {
+		t.Errorf("suppressed = %d, want 2 (same-line and line-above directives)", got)
+	}
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly the unsuppressed one", res.Diagnostics)
+	}
+	if res.Diagnostics[0].Pos.Line != 8 {
+		t.Errorf("remaining diagnostic at line %d, want 8", res.Diagnostics[0].Pos.Line)
+	}
+}
+
+func TestSuppressionAnalyzerScoping(t *testing.T) {
+	pkg := parsePkg(t, "p.go", `package p
+
+//lint:janusvet-ignore mark: only this analyzer is waved through
+var target = 1
+`)
+	res, err := Run(pkg, []*Analyzer{markAnalyzer("mark"), markAnalyzer("other")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Suppressed["mark"]; got != 1 {
+		t.Errorf("suppressed[mark] = %d, want 1", got)
+	}
+	if got := res.Suppressed["other"]; got != 0 {
+		t.Errorf("suppressed[other] = %d, want 0", got)
+	}
+	if len(res.Diagnostics) != 1 || res.Diagnostics[0].Analyzer != "other" {
+		t.Errorf("diagnostics = %v, want one finding from %q", res.Diagnostics, "other")
+	}
+}
+
+func TestBareDirectiveIsReported(t *testing.T) {
+	pkg := parsePkg(t, "p.go", `package p
+
+//lint:janusvet-ignore
+var target = 1
+`)
+	res, err := Run(pkg, []*Analyzer{markAnalyzer("mark")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reasonless directive suppresses nothing and is itself a finding,
+	// alongside the mark diagnostic it failed to silence.
+	if got := res.Suppressed["mark"]; got != 0 {
+		t.Errorf("suppressed = %d, want 0", got)
+	}
+	var sawBare, sawMark bool
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "janusvet" && strings.Contains(d.Message, "without a reason") {
+			sawBare = true
+		}
+		if d.Analyzer == "mark" {
+			sawMark = true
+		}
+	}
+	if !sawBare || !sawMark {
+		t.Errorf("diagnostics = %v, want both the bare-directive finding and the mark finding", res.Diagnostics)
+	}
+}
+
+func TestTestFileDiagnosticsDropped(t *testing.T) {
+	pkg := parsePkg(t, "p_test.go", `package p
+
+var target = 1
+`)
+	res, err := Run(pkg, []*Analyzer{markAnalyzer("mark")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("diagnostics = %v, want none in _test.go files", res.Diagnostics)
+	}
+}
+
+func TestDiagnosticsSorted(t *testing.T) {
+	pkg := parsePkg(t, "p.go", `package p
+
+var target = 1
+
+var target2, target = 2, 3
+`)
+	res, err := Run(pkg, []*Analyzer{markAnalyzer("mark")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) != 2 {
+		t.Fatalf("diagnostics = %v, want 2", res.Diagnostics)
+	}
+	if res.Diagnostics[0].Pos.Line > res.Diagnostics[1].Pos.Line {
+		t.Errorf("diagnostics out of order: %v", res.Diagnostics)
+	}
+}

@@ -1,0 +1,339 @@
+// Package linttest is a standard-library analogue of
+// golang.org/x/tools/go/analysis/analysistest: it loads a fixture tree
+// from testdata, type-checks it (resolving standard-library imports
+// through compiler export data and fixture-local imports against the
+// fixture itself), runs one analyzer, and compares the diagnostics
+// against `// want "regexp"` comments in the fixture source.
+//
+// A fixture directory is either a single package (Go files directly in
+// the directory) or a tree of packages (Go files in subdirectories, whose
+// relative path is the package's import path — so a fixture can model
+// cross-package rules like the transport codec check, importing
+// "janusaqp" from a sibling fixture package).
+//
+// Every line on which the analyzer is expected to report carries a
+// comment of the form:
+//
+//	code() // want "regexp" "another regexp"
+//
+// Each quoted pattern must match one diagnostic on that line, and every
+// diagnostic must be claimed by a pattern: extra and missing findings
+// both fail the test. Suppression directives (//lint:janusvet-ignore)
+// are honored before matching, and the aggregated Result (with its
+// suppression counts) is returned for further assertions.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"janusaqp/internal/lint"
+)
+
+// fixturePkg is one package discovered under the fixture root.
+type fixturePkg struct {
+	path     string // import path: relative dir, or base name for the root
+	dir      string
+	files    []*ast.File
+	filename []string
+	imports  map[string]bool // import paths appearing in source
+}
+
+// Run loads testdata/<fixture>, runs a over every package in it, compares
+// diagnostics with the fixture's want comments, and returns the merged
+// result.
+func Run(t *testing.T, fixture string, a *lint.Analyzer) lint.Result {
+	t.Helper()
+	root := filepath.Join("testdata", fixture)
+	fset := token.NewFileSet()
+	pkgs, err := discover(fset, root)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s contains no Go packages", fixture)
+	}
+
+	local := make(map[string]*fixturePkg, len(pkgs))
+	for _, p := range pkgs {
+		local[p.path] = p
+	}
+	ordered, err := topoSort(pkgs, local)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", fixture, err)
+	}
+
+	// Resolve every non-fixture import through compiler export data.
+	stdImports := make(map[string]bool)
+	for _, p := range pkgs {
+		for imp := range p.imports {
+			if _, ok := local[imp]; !ok {
+				stdImports[imp] = true
+			}
+		}
+	}
+	lookup, err := stdlibExportLookup(stdImports)
+	if err != nil {
+		t.Fatalf("resolving stdlib export data: %v", err)
+	}
+	imp := &fixtureImporter{
+		local: make(map[string]*types.Package),
+		std:   importer.ForCompiler(fset, "gc", lookup),
+	}
+
+	merged := lint.Result{Suppressed: make(map[string]int)}
+	for _, p := range ordered {
+		pkg, err := lint.TypecheckASTs(fset, p.path, p.files, imp, "")
+		if err != nil {
+			t.Fatalf("type-checking fixture package %s: %v", p.path, err)
+		}
+		imp.local[p.path] = pkg.Types
+		res, err := lint.Run(pkg, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, p.path, err)
+		}
+		merged.Diagnostics = append(merged.Diagnostics, res.Diagnostics...)
+		for k, v := range res.Suppressed {
+			merged.Suppressed[k] += v
+		}
+	}
+
+	compare(t, fset, pkgs, merged.Diagnostics)
+	return merged
+}
+
+// discover parses every package under root: either the root itself or
+// each subdirectory holding Go files.
+func discover(fset *token.FileSet, root string) ([]*fixturePkg, error) {
+	byDir := make(map[string][]string)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			byDir[dir] = append(byDir[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*fixturePkg
+	for dir, files := range byDir {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.ToSlash(rel)
+		if path == "." {
+			path = filepath.Base(root)
+		}
+		p := &fixturePkg{path: path, dir: dir, imports: make(map[string]bool)}
+		sort.Strings(files)
+		for _, name := range files {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			p.files = append(p.files, f)
+			p.filename = append(p.filename, name)
+			for _, spec := range f.Imports {
+				p.imports[strings.Trim(spec.Path.Value, `"`)] = true
+			}
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].path < pkgs[j].path })
+	return pkgs, nil
+}
+
+// topoSort orders packages so fixture-local dependencies type-check
+// before their importers.
+func topoSort(pkgs []*fixturePkg, local map[string]*fixturePkg) ([]*fixturePkg, error) {
+	var out []*fixturePkg
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *fixturePkg) error
+	visit = func(p *fixturePkg) error {
+		switch state[p.path] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", p.path)
+		case 2:
+			return nil
+		}
+		state[p.path] = 1
+		for imp := range p.imports {
+			if dep, ok := local[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.path] = 2
+		out = append(out, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// fixtureImporter resolves fixture-local packages first, standard-library
+// packages through export data second.
+type fixtureImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func (i *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.local[path]; ok {
+		return p, nil
+	}
+	return i.std.Import(path)
+}
+
+var (
+	stdExportMu    sync.Mutex
+	stdExportFiles = make(map[string]string) // import path -> export data file
+)
+
+// stdlibExportLookup resolves export data files for the given standard
+// library imports (plus their dependency closure) via `go list -export`,
+// caching across fixtures in one test binary.
+func stdlibExportLookup(imports map[string]bool) (func(string) (io.ReadCloser, error), error) {
+	stdExportMu.Lock()
+	defer stdExportMu.Unlock()
+
+	var missing []string
+	for imp := range imports {
+		if _, ok := stdExportFiles[imp]; !ok {
+			missing = append(missing, imp)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export", "--"}, missing...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export: %w\n%s", err, stderr.Bytes())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				stdExportFiles[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	snapshot := make(map[string]string, len(stdExportFiles))
+	for k, v := range stdExportFiles {
+		snapshot[k] = v
+	}
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := snapshot[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}, nil
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantPatRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// wantItem is one expected diagnostic from a fixture comment.
+type wantItem struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	source  string
+	matched bool
+}
+
+// compare matches diagnostics against want comments: each pattern must
+// claim exactly one diagnostic at its line, and no diagnostic may go
+// unclaimed.
+func compare(t *testing.T, fset *token.FileSet, pkgs []*fixturePkg, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*wantItem
+	for _, p := range pkgs {
+		for _, f := range p.files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, pm := range wantPatRe.FindAllStringSubmatch(m[1], -1) {
+						src := pm[1]
+						if src == "" {
+							src = pm[2]
+						}
+						re, err := regexp.Compile(src)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, src, err)
+						}
+						wants = append(wants, &wantItem{
+							file:    pos.Filename,
+							line:    pos.Line,
+							pattern: re,
+							source:  src,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.source)
+		}
+	}
+}

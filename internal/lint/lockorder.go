@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockOrder enforces the documented mutex hierarchies and basic Lock/
+// Unlock hygiene. The engine's ordering (engine.go) is upd → reg →
+// synopsis.mu → statsMu; the durability side orders Server.checkpointMu →
+// Store.ckptMu → Topic.mu ("checkpointMu never under a topic lock").
+// Within one function body the analyzer simulates acquisitions in source
+// order and reports:
+//
+//   - a back-edge: acquiring a lower-ranked lock while holding a
+//     higher-ranked one in the same domain (lock-order inversion —
+//     a deadlock with any goroutine following the documented order);
+//   - re-acquiring a lock expression already held (self-deadlock);
+//   - a Lock/RLock with no matching Unlock/RUnlock — deferred or
+//     direct — anywhere in the same function (a leak on some or all
+//     return paths).
+//
+// The analysis is intra-procedural: a lock handed to a callee to release
+// is invisible and must be suppressed with a justification.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "mutex acquisitions must follow the documented lock hierarchy and be released\n\n" +
+		"Simulates Lock/Unlock calls in source order per function: reports\n" +
+		"acquisitions that invert the engine (upd -> reg -> synopsis.mu) or\n" +
+		"durability (checkpointMu -> ckptMu -> Topic.mu) hierarchies,\n" +
+		"double-acquisitions of one lock expression, and Lock calls with no\n" +
+		"matching Unlock in the function.",
+	Run: runLockOrder,
+}
+
+// lockRank places one known mutex field in a hierarchy. Matching is by
+// (named type, field) so the rule reads the same in fixtures and in the
+// real tree; domains keep unrelated hierarchies from cross-firing.
+type lockRank struct {
+	typeName string
+	field    string
+	domain   string
+	rank     int // lower acquires first
+}
+
+// lockHierarchy is the project's documented ordering. engine.go's lock
+// ordering comment and the durability invariant from PR 3/5 are the
+// sources of truth; keep them in sync.
+var lockHierarchy = []lockRank{
+	{"Engine", "upd", "engine", 1},
+	{"Engine", "reg", "engine", 2},
+	{"synopsis", "mu", "engine", 3},
+	{"Engine", "statsMu", "engine", 4},
+
+	{"Server", "checkpointMu", "durability", 1},
+	{"Store", "ckptMu", "durability", 2},
+	{"Topic", "mu", "durability", 3},
+}
+
+// lockEvent is one Lock/Unlock-family call inside a function body.
+type lockEvent struct {
+	expr     string // rendered receiver, e.g. "e.upd" or "s.mu"
+	name     string // Lock, RLock, Unlock, RUnlock, TryLock, TryRLock
+	rank     *lockRank
+	pos      token.Pos
+	deferred bool
+}
+
+func runLockOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunctionLocks(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunctionLocks(pass *Pass, fn *ast.FuncDecl) {
+	var events []lockEvent
+
+	// Collect lock operations in source order. FuncLit bodies are skipped:
+	// a goroutine's critical section is its own sequential program, not
+	// part of the enclosing function's acquisition order.
+	var collect func(n ast.Node, inDefer bool)
+	collect = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				collect(m.Call, true)
+				return false
+			case *ast.CallExpr:
+				if ev, ok := lockEventOf(pass.TypesInfo, m, inDefer); ok {
+					events = append(events, ev)
+				}
+			}
+			return true
+		})
+	}
+	collect(fn.Body, false)
+	if len(events) == 0 {
+		return
+	}
+
+	// Rule 1: every acquisition has a matching release somewhere in the
+	// function (deferred or direct).
+	for _, ev := range events {
+		if ev.name != "Lock" && ev.name != "RLock" {
+			continue
+		}
+		want := "Unlock"
+		if ev.name == "RLock" {
+			want = "RUnlock"
+		}
+		matched := false
+		for _, other := range events {
+			if other.name == want && other.expr == ev.expr {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			pass.Reportf(ev.pos,
+				"%s.%s() has no matching %s in this function: the lock leaks on every return path (release it here, defer it, or suppress with a reason if a callee releases it)",
+				ev.expr, ev.name, want)
+		}
+	}
+
+	// Rule 2+3: simulate acquisition order for back-edges and
+	// double-acquisition. Deferred releases run at function exit, so they
+	// never remove a lock from the held set mid-simulation.
+	type held struct {
+		ev   lockEvent
+		read bool
+	}
+	var holding []held
+	release := func(expr string, read bool) {
+		for i := len(holding) - 1; i >= 0; i-- {
+			if holding[i].ev.expr == expr && holding[i].read == read {
+				holding = append(holding[:i], holding[i+1:]...)
+				return
+			}
+		}
+	}
+	for _, ev := range events {
+		switch ev.name {
+		case "Unlock":
+			if !ev.deferred {
+				release(ev.expr, false)
+			}
+		case "RUnlock":
+			if !ev.deferred {
+				release(ev.expr, true)
+			}
+		case "Lock", "RLock":
+			for _, h := range holding {
+				if h.ev.expr == ev.expr {
+					pass.Reportf(ev.pos,
+						"%s acquired at %s is still held here: re-acquiring it self-deadlocks",
+						ev.expr, pass.Fset.Position(h.ev.pos))
+				}
+				if h.ev.rank != nil && ev.rank != nil &&
+					h.ev.rank.domain == ev.rank.domain && ev.rank.rank < h.ev.rank.rank {
+					pass.Reportf(ev.pos,
+						"lock-order inversion: acquiring %s (%s rank %d) while holding %s (rank %d); the documented order is the lower rank first",
+						ev.expr, ev.rank.domain, ev.rank.rank, h.ev.expr, h.ev.rank.rank)
+				}
+			}
+			holding = append(holding, held{ev: ev, read: ev.name == "RLock"})
+		}
+	}
+}
+
+// lockEventOf recognizes calls to the sync mutex method set on a selector
+// receiver and classifies them against the hierarchy.
+func lockEventOf(info *types.Info, call *ast.CallExpr, deferred bool) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return lockEvent{}, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockEvent{}, false
+	}
+	ev := lockEvent{
+		expr:     exprString(sel.X),
+		name:     sel.Sel.Name,
+		pos:      call.Pos(),
+		deferred: deferred,
+		rank:     rankOf(info, sel.X),
+	}
+	return ev, true
+}
+
+// rankOf resolves the hierarchy entry for a mutex expression like e.upd or
+// s.syn.mu: the field being selected plus the named type it lives on.
+func rankOf(info *types.Info, recv ast.Expr) *lockRank {
+	sel, ok := recv.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	owner := namedFrom(s.Recv())
+	if owner == nil {
+		return nil
+	}
+	for i := range lockHierarchy {
+		r := &lockHierarchy[i]
+		if r.typeName == owner.Obj().Name() && r.field == s.Obj().Name() {
+			return r
+		}
+	}
+	return nil
+}

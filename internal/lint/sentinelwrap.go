@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SentinelWrap guards the typed error taxonomy. Callers everywhere branch
+// with errors.Is against the exported sentinels (janus.ErrUnknownTemplate
+// and friends), and PRs 7/8 taught the binary transport to carry the
+// sentinel identity across the wire. That only works while two rules hold:
+// an error that wraps a sentinel must wrap it with %w (a %v or %s flattens
+// it to text and errors.Is stops matching), and the transport error-body
+// codec must know every sentinel (an unregistered one decodes to a plain
+// string on the client). A third failure mode is shadowing: errors.New
+// with a message that duplicates a sentinel's text compares equal to
+// nothing, silently forking the taxonomy.
+var SentinelWrap = &Analyzer{
+	Name: "sentinelwrap",
+	Doc: "sentinel errors must survive wrapping (%w) and be registered in the transport codec\n\n" +
+		"Flags fmt.Errorf calls that pass an error argument without a %w\n" +
+		"verb, errors.New calls whose message duplicates an exported\n" +
+		"sentinel in the same package, and — inside the transport package —\n" +
+		"taxonomy sentinels missing from the error-body codec.",
+	Run: runSentinelWrap,
+}
+
+// sentinelTaxonomyPath is the import path of the package whose exported
+// sentinels must all be representable by the transport error codec: the
+// engine's public API package.
+var sentinelTaxonomyPath = "janusaqp"
+
+// sentinelCodecPaths are package paths (exact or suffix) that implement
+// the wire error codec and must register the full taxonomy.
+var sentinelCodecPaths = []string{"internal/transport"}
+
+func runSentinelWrap(pass *Pass) error {
+	sentinels := localSentinels(pass)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkErrorfWrap(pass, call)
+			checkSentinelShadow(pass, call, sentinels)
+			return true
+		})
+	}
+
+	if isCodecPackage(pass.Pkg.Path()) {
+		checkCodecRegistration(pass)
+	}
+	return nil
+}
+
+// localSentinels collects this package's exported package-level error
+// variables built from errors.New, mapping message text → name.
+func localSentinels(pass *Pass) map[string]string {
+	out := make(map[string]string)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !name.IsExported() {
+						continue
+					}
+					call, ok := vs.Values[i].(*ast.CallExpr)
+					if !ok || !isPkgFunc(pass.TypesInfo, call, "errors", "New") || len(call.Args) != 1 {
+						continue
+					}
+					if msg, ok := constString(pass.TypesInfo, call.Args[0]); ok {
+						out[msg] = name.Name
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass an error value but no
+// %w verb: the error chain (and any sentinel in it) is flattened to text.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constString(pass.TypesInfo, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if isErrorType(tv.Type) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats an error value without %%w: the wrapped sentinel no longer matches errors.Is (use %%w, or suppress if the chain is intentionally severed)")
+			return
+		}
+	}
+}
+
+// checkSentinelShadow flags errors.New calls (outside the sentinel
+// declarations themselves) whose message duplicates an exported sentinel.
+func checkSentinelShadow(pass *Pass, call *ast.CallExpr, sentinels map[string]string) {
+	if !isPkgFunc(pass.TypesInfo, call, "errors", "New") || len(call.Args) != 1 {
+		return
+	}
+	msg, ok := constString(pass.TypesInfo, call.Args[0])
+	if !ok {
+		return
+	}
+	name, dup := sentinels[msg]
+	if !dup {
+		return
+	}
+	// The declaration of the sentinel itself is exempt: it is the one
+	// errors.New allowed to carry this message.
+	if declaresSentinel(pass, call, name) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"errors.New duplicates the message of sentinel %s but compares unequal under errors.Is: return %s (or wrap it) instead", name, name)
+}
+
+// declaresSentinel reports whether call is the initializer of the named
+// package-level sentinel.
+func declaresSentinel(pass *Pass, call *ast.CallExpr, name string) bool {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name == name && i < len(vs.Values) && vs.Values[i] == call {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkCodecRegistration verifies, inside the transport package, that
+// every exported error sentinel of the taxonomy package is mentioned
+// somewhere in this package — i.e. the error-body codec can encode and
+// decode it. A sentinel the codec does not know crosses the wire as plain
+// text and the client's errors.Is goes dark.
+func checkCodecRegistration(pass *Pass) {
+	var taxonomy *types.Package
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Path() == sentinelTaxonomyPath {
+			taxonomy = imp
+			break
+		}
+	}
+	if taxonomy == nil {
+		return
+	}
+
+	referenced := make(map[string]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok &&
+				obj.Pkg() != nil && obj.Pkg().Path() == sentinelTaxonomyPath {
+				referenced[obj.Name()] = true
+			}
+			return true
+		})
+	}
+
+	var missing []string
+	scope := taxonomy.Scope()
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.Var)
+		if !ok || !obj.Exported() || !strings.HasPrefix(name, "Err") {
+			continue
+		}
+		if !isErrorType(obj.Type()) {
+			continue
+		}
+		if !referenced[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	// Anchor the report on the codec itself when present.
+	pos := pass.Files[0].Name.Pos()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "EncodeErrorBody" {
+				pos = fd.Pos()
+			}
+		}
+	}
+	for _, name := range missing {
+		pass.Reportf(pos,
+			"sentinel %s.%s is not registered in the transport error-body codec: it crosses the wire as plain text and client-side errors.Is stops matching (add it to EncodeErrorBody/DecodeErrorBody)",
+			taxonomy.Name(), name)
+	}
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+func isCodecPackage(path string) bool {
+	for _, p := range sentinelCodecPaths {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+// Fixture for the atomicfield analyzer: typed sync/atomic fields and
+// plain fields accessed through sync/atomic functions must be accessed
+// atomically at every site.
+package atomicfield
+
+import (
+	"sync/atomic"
+)
+
+type gate struct {
+	dual  atomic.Pointer[int]
+	obs   atomic.Bool
+	n     int64
+	plain int
+}
+
+func (g *gate) good() *int {
+	g.obs.Store(true)
+	_ = g.obs.Load()
+	atomic.AddInt64(&g.n, 1)
+	_ = atomic.LoadInt64(&g.n)
+	atomic.StoreInt64(&g.n, 0)
+	p := &g.dual
+	_ = p
+	return g.dual.Load()
+}
+
+func (g *gate) badTypedCopy() {
+	x := g.dual // want `direct use of atomic field g\.dual`
+	_ = x
+}
+
+func (g *gate) badTypedAssign() {
+	g.obs = atomic.Bool{} // want `direct use of atomic field g\.obs`
+}
+
+func (g *gate) badPlainWrite() {
+	g.n = 3 // want `non-atomic access to field g\.n, which is accessed with sync/atomic at`
+}
+
+func (g *gate) badPlainRead() int64 {
+	return g.n // want `non-atomic access to field g\.n`
+}
+
+func (g *gate) neverAtomic() {
+	// plain is never touched by sync/atomic anywhere in the package, so
+	// ordinary access is fine.
+	g.plain = 1
+	_ = g.plain
+}
+
+func (g *gate) suppressed() {
+	//lint:janusvet-ignore atomicfield: zeroed during single-threaded construction before publication
+	g.n = 0
+}

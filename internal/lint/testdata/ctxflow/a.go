@@ -1,0 +1,53 @@
+// Fixture for the ctxflow analyzer: functions holding a context.Context
+// must not detach from it with context.Background()/TODO() or block
+// cancellation with time.Sleep.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+type client struct{}
+
+func (c *client) call(ctx context.Context) error { return ctx.Err() }
+
+func threaded(ctx context.Context, c *client) error {
+	if ctx == nil {
+		ctx = context.Background() // canonical nil guard: exempt
+	}
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return c.call(ctx)
+}
+
+func detached(ctx context.Context, c *client) error {
+	return c.call(context.Background()) // want `context\.Background\(\) inside a function that already has a ctx`
+}
+
+func todoDetached(ctx context.Context) {
+	_ = context.TODO() // want `context\.TODO\(\) inside a function that already has a ctx`
+}
+
+func sleepy(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want `time\.Sleep inside a function that has a ctx ignores cancellation`
+}
+
+func sleepyClosure(ctx context.Context) {
+	go func() {
+		time.Sleep(time.Millisecond) // want `time\.Sleep inside a function that has a ctx ignores cancellation`
+	}()
+}
+
+func noCtxInScope() {
+	// No context parameter anywhere in the stack: both calls are the
+	// normal way to start a fresh root, not a detachment.
+	ctx := context.Background()
+	_ = ctx
+	time.Sleep(0)
+}
+
+func suppressedDetach(ctx context.Context) context.Context {
+	//lint:janusvet-ignore ctxflow: failover promotion must outlive the triggering request
+	return context.Background()
+}

@@ -1,0 +1,22 @@
+// Package-scoped half of the fsyncrename fixture: the import path ends
+// in internal/broker, so every file in the package is in scope
+// regardless of its base name.
+package broker
+
+import "os"
+
+func publishSegment(dir string) error {
+	return os.Rename(dir+"/seg.tmp", dir+"/seg.log") // want `os\.Rename is not followed by a directory fsync in this function`
+}
+
+func publishSegmentSynced(dir string) error {
+	if err := os.Rename(dir+"/seg.tmp", dir+"/seg.log"); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

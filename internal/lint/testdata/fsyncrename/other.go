@@ -1,0 +1,10 @@
+// Out-of-scope half of the fsyncrename fixture: this file is not one of
+// the protocol-owning base names and the package path is not
+// internal/broker, so renames here carry no obligation.
+package fsyncrename
+
+import "os"
+
+func unscopedRename(dir string) error {
+	return os.Rename(dir+"/x", dir+"/y")
+}

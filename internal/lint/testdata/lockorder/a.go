@@ -1,0 +1,130 @@
+// Fixture for the lockorder analyzer: the engine hierarchy is
+// upd -> reg -> synopsis.mu -> statsMu, the durability hierarchy is
+// checkpointMu -> ckptMu -> Topic.mu. Matching is by (type name, field
+// name), so the fixture reuses the production names.
+package lockorder
+
+import "sync"
+
+type Engine struct {
+	upd     sync.Mutex
+	reg     sync.RWMutex
+	statsMu sync.Mutex
+	syn     *synopsis
+}
+
+type synopsis struct {
+	mu sync.RWMutex
+}
+
+type Server struct {
+	checkpointMu sync.Mutex
+}
+
+type Store struct {
+	ckptMu sync.Mutex
+}
+
+type Topic struct {
+	mu sync.RWMutex
+}
+
+func inOrder(e *Engine) {
+	e.upd.Lock()
+	defer e.upd.Unlock()
+	e.reg.RLock()
+	e.syn.mu.Lock()
+	e.syn.mu.Unlock()
+	e.reg.RUnlock()
+	e.statsMu.Lock()
+	e.statsMu.Unlock()
+}
+
+func backEdge(e *Engine) {
+	e.reg.RLock()
+	defer e.reg.RUnlock()
+	e.upd.Lock() // want `lock-order inversion: acquiring e\.upd \(engine rank 1\) while holding e\.reg \(rank 2\)`
+	e.upd.Unlock()
+}
+
+func synopsisBackEdge(e *Engine) {
+	e.syn.mu.Lock()
+	defer e.syn.mu.Unlock()
+	e.reg.RLock() // want `lock-order inversion: acquiring e\.reg \(engine rank 2\) while holding e\.syn\.mu \(rank 3\)`
+	e.reg.RUnlock()
+}
+
+func leak(e *Engine) {
+	e.upd.Lock() // want `e\.upd\.Lock\(\) has no matching Unlock in this function`
+}
+
+func readLeak(e *Engine) {
+	e.reg.RLock() // want `e\.reg\.RLock\(\) has no matching RUnlock in this function`
+}
+
+func doubleAcquire(e *Engine) {
+	e.upd.Lock()
+	e.upd.Lock() // want `e\.upd acquired at .* is still held here: re-acquiring it self-deadlocks`
+	e.upd.Unlock()
+	e.upd.Unlock()
+}
+
+func sequentialReacquire(e *Engine) {
+	// Release before re-acquire: legal, no diagnostics.
+	e.upd.Lock()
+	e.upd.Unlock()
+	e.upd.Lock()
+	e.upd.Unlock()
+}
+
+func checkpointUnderTopic(sv *Server, t *Topic) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sv.checkpointMu.Lock() // want `lock-order inversion: acquiring sv\.checkpointMu \(durability rank 1\) while holding t\.mu \(rank 3\)`
+	sv.checkpointMu.Unlock()
+}
+
+func durabilityInOrder(sv *Server, st *Store, t *Topic) {
+	sv.checkpointMu.Lock()
+	defer sv.checkpointMu.Unlock()
+	st.ckptMu.Lock()
+	defer st.ckptMu.Unlock()
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+func crossDomain(e *Engine, st *Store) {
+	// Engine rank 2 held while taking durability rank 2: different
+	// domains never interleave in the hierarchy, so no report.
+	e.reg.Lock()
+	defer e.reg.Unlock()
+	st.ckptMu.Lock()
+	st.ckptMu.Unlock()
+}
+
+func unrankedLocal() {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func goroutineBody(e *Engine) {
+	// A closure's critical section is its own program: the RLock inside
+	// does not extend the enclosing function's held set.
+	e.syn.mu.Lock()
+	defer e.syn.mu.Unlock()
+	go func() {
+		e.reg.RLock()
+		e.reg.RUnlock()
+	}()
+}
+
+func calleeReleases(e *Engine) {
+	//lint:janusvet-ignore lockorder: handoff protocol; unlockEngine releases on every path
+	e.upd.Lock()
+	unlockEngine(e)
+}
+
+func unlockEngine(e *Engine) {
+	e.upd.Unlock()
+}

@@ -1,0 +1,18 @@
+// Codec half of the sentinelwrap fixture: the package path ends in
+// internal/transport, so every exported Err* sentinel of the taxonomy
+// package must be referenced somewhere in it. ErrUnknownTemplate is
+// registered below; ErrDuplicateTemplate is deliberately missing.
+package transport
+
+import (
+	"errors"
+
+	janus "janusaqp"
+)
+
+func EncodeErrorBody(err error) []byte { // want `sentinel janus\.ErrDuplicateTemplate is not registered in the transport error-body codec`
+	if errors.Is(err, janus.ErrUnknownTemplate) {
+		return []byte{1}
+	}
+	return []byte{0}
+}

@@ -1,0 +1,44 @@
+// Taxonomy half of the sentinelwrap fixture: stands in for the janusaqp
+// root package, declaring exported sentinels and exercising the %w and
+// shadowing rules.
+package janus
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrUnknownTemplate   = errors.New("unknown template")
+	ErrDuplicateTemplate = errors.New("duplicate template")
+)
+
+func wrapGood(op string, err error) error {
+	return fmt.Errorf("%s: %w", op, err)
+}
+
+func wrapBad(op string, err error) error {
+	return fmt.Errorf("%s: %v", op, err) // want `fmt\.Errorf formats an error value without %w`
+}
+
+func wrapBadNoVerb(err error) error {
+	return fmt.Errorf("lookup failed: %s", err) // want `fmt\.Errorf formats an error value without %w`
+}
+
+func noErrorArg(n int) error {
+	// No error value among the arguments: nothing to lose, no report.
+	return fmt.Errorf("bad shard count %d", n)
+}
+
+func shadowed() error {
+	return errors.New("unknown template") // want `errors\.New duplicates the message of sentinel ErrUnknownTemplate`
+}
+
+func freshMessage() error {
+	return errors.New("synopsis under construction")
+}
+
+func suppressedSever(err error) error {
+	//lint:janusvet-ignore sentinelwrap: audit log line, the chain is intentionally severed
+	return fmt.Errorf("audit: %v", err)
+}

@@ -180,7 +180,7 @@ func isBinary(r *http.Request) bool {
 func (s *Server) readBinaryBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
-		s.writeBinaryError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %v", err))
+		s.writeBinaryError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
 		return nil, false
 	}
 	return body, true

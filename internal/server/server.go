@@ -1037,7 +1037,7 @@ func (s *Server) durableAckErr() error {
 		return nil
 	}
 	if err := s.writeHealth(); err != nil {
-		return fmt.Errorf("durable log write failed; batch applied in memory only, restart will lose it: %v", err)
+		return fmt.Errorf("durable log write failed; batch applied in memory only, restart will lose it: %w", err)
 	}
 	return nil
 }

@@ -78,7 +78,7 @@ func (c *Client) Close() {
 	c.closed = true
 	c.mu.Unlock()
 	for _, conn := range conns {
-		conn.Close()
+		_ = conn.Close()
 	}
 }
 
@@ -113,7 +113,7 @@ func (c *Client) put(conn net.Conn) {
 	c.mu.Lock()
 	if c.closed || len(c.idle) >= c.MaxIdle {
 		c.mu.Unlock()
-		conn.Close()
+		_ = conn.Close()
 		return
 	}
 	c.idle = append(c.idle, conn)
@@ -159,7 +159,7 @@ func (c *Client) Call(ctx context.Context, typ byte, requestID string, body []by
 	}
 	f, err := c.roundTrip(ctx, conn, typ, requestID, body)
 	if err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return Frame{}, &TransportError{Method: MethodName(typ), Addr: c.addr, Err: err}
 	}
 	if f.Flags&FlagError != 0 {
@@ -187,21 +187,21 @@ func (c *Client) Stream(ctx context.Context, typ byte, requestID string, body []
 	c.active.Add(1)
 	defer c.active.Add(-1)
 	if err := conn.SetDeadline(c.deadline(ctx)); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return fail(err)
 	}
 	if err := WriteFrame(conn, Frame{Type: typ, RequestID: requestID, Body: body}); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return fail(err)
 	}
 	for {
 		f, err := ReadFrame(conn)
 		if err != nil {
-			conn.Close()
+			_ = conn.Close()
 			return fail(err)
 		}
 		if f.Type != typ {
-			conn.Close()
+			_ = conn.Close()
 			return fail(fmt.Errorf("response type %s does not match", MethodName(f.Type)))
 		}
 		if f.Flags&FlagError != 0 {
@@ -211,7 +211,7 @@ func (c *Client) Stream(ctx context.Context, typ byte, requestID string, body []
 		if err := fn(f.Body); err != nil {
 			// The consumer bailed mid-stream; the rest of the chunks are
 			// still on the wire, so the connection cannot be reused.
-			conn.Close()
+			_ = conn.Close()
 			return err
 		}
 		if f.Flags&FlagMore == 0 {

@@ -84,7 +84,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		ln.Close()
+		_ = ln.Close()
 		return errors.New("transport: server is closed")
 	}
 	s.ln = ln
@@ -103,7 +103,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			return nil
 		}
 		s.conns[conn] = struct{}{}
@@ -130,10 +130,10 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	if ln != nil {
-		ln.Close()
+		_ = ln.Close()
 	}
 	for _, c := range conns {
-		c.Close()
+		_ = c.Close()
 	}
 	s.wg.Wait()
 }
@@ -148,7 +148,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		conn.Close()
+		_ = conn.Close()
 	}()
 	// Frames on one connection are served sequentially, so a single read
 	// buffer carries every frame of the connection's lifetime — zero

@@ -229,6 +229,9 @@ func TestErrorBodySentinelsSurviveTheWire(t *testing.T) {
 		{fmt.Errorf("tuple 3: %w", janus.ErrDuplicateID), janus.ErrDuplicateID},
 		{fmt.Errorf("standby: %w", janus.ErrShardUnavailable), janus.ErrShardUnavailable},
 		{fmt.Errorf("no image: %w", janus.ErrNoCheckpoint), janus.ErrNoCheckpoint},
+		{fmt.Errorf("register: %w", janus.ErrDuplicateTemplate), janus.ErrDuplicateTemplate},
+		{fmt.Errorf("admin: %w", janus.ErrReshardInProgress), janus.ErrReshardInProgress},
+		{fmt.Errorf("shard 2: %w", janus.ErrStoreClosed), janus.ErrStoreClosed},
 	}
 	for _, tc := range cases {
 		got := DecodeErrorBody(EncodeErrorBody(tc.in))

@@ -603,6 +603,9 @@ const (
 	ErrCodeUnknownIDs
 	ErrCodeUnavailable
 	ErrCodeNoCheckpoint
+	ErrCodeDuplicateTemplate
+	ErrCodeReshardInProgress
+	ErrCodeStoreClosed
 )
 
 // EncodeErrorBody classifies err into a wire error frame body:
@@ -628,6 +631,14 @@ func EncodeErrorBody(err error) []byte {
 		code = ErrCodeNoCheckpoint
 	case errors.Is(err, janus.ErrShardUnavailable):
 		code = ErrCodeUnavailable
+	case errors.Is(err, janus.ErrDuplicateTemplate):
+		code = ErrCodeDuplicateTemplate
+	case errors.Is(err, janus.ErrReshardInProgress):
+		code = ErrCodeReshardInProgress
+	case errors.Is(err, janus.ErrStoreClosed):
+		// ErrStoreClosed aliases broker.ErrLogClosed: a shard whose
+		// durable store latched shut reports it on every subsequent write.
+		code = ErrCodeStoreClosed
 	}
 	msg := err.Error()
 	buf := make([]byte, 0, 5+8*len(ids)+len(msg))
@@ -663,6 +674,12 @@ func DecodeErrorBody(p []byte) error {
 		return remoteError{msg: msg, sentinel: janus.ErrNoCheckpoint}
 	case ErrCodeUnavailable:
 		return remoteError{msg: msg, sentinel: janus.ErrShardUnavailable}
+	case ErrCodeDuplicateTemplate:
+		return remoteError{msg: msg, sentinel: janus.ErrDuplicateTemplate}
+	case ErrCodeReshardInProgress:
+		return remoteError{msg: msg, sentinel: janus.ErrReshardInProgress}
+	case ErrCodeStoreClosed:
+		return remoteError{msg: msg, sentinel: janus.ErrStoreClosed}
 	default:
 		return errors.New(msg)
 	}

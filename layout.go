@@ -100,11 +100,11 @@ func writeShardLayout(root string, ly ShardLayout) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return fmt.Errorf("janus: writing layout manifest: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(root, LayoutManifestName)); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return fmt.Errorf("janus: publishing layout manifest: %w", err)
 	}
 	return syncDir(root)
@@ -298,7 +298,7 @@ func ReshardDurable(ctx context.Context, g *ShardGroup, root string, oldStores [
 	closeTargets := func() {
 		for _, st := range stores {
 			if st != nil {
-				st.Close()
+				_ = st.Close()
 			}
 		}
 	}
@@ -350,7 +350,7 @@ func ReshardDurable(ctx context.Context, g *ShardGroup, root string, oldStores [
 		closeTargets()
 		if !errors.Is(err, errSimulatedCrash) {
 			for j := range stores {
-				os.RemoveAll(shardNewDir(root, j))
+				_ = os.RemoveAll(shardNewDir(root, j))
 			}
 		}
 		return nil, nil, err
@@ -360,7 +360,7 @@ func ReshardDurable(ctx context.Context, g *ShardGroup, root string, oldStores [
 	// them before their directories are removed so no write-through handle
 	// outlives its files.
 	for _, st := range oldStores {
-		st.Close()
+		_ = st.Close()
 	}
 	if ferr := finalizeLayoutDirs(root, kNew); ferr != nil {
 		return report, stores, fmt.Errorf("janus: reshard committed but directory finalize failed (a restart completes it): %w", ferr)
